@@ -1,0 +1,65 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the reproduced rows/series (also written to
+``benchmarks/results/<name>.txt`` so the output survives pytest's capture).
+
+Scale: the paper's reference workload is the 6.0-degree Montage workflow
+(8,586 jobs); the full 200-workflow ensemble is 1.7M jobs, which the pure
+Python DES executes in minutes, not seconds.  Benchmarks therefore default
+to **2.0-degree** workflows (1,010 jobs — same DAG shape, same three-stage
+behaviour) and switch to the paper's exact scale with ``REPRO_FULL_SCALE=1``.
+EXPERIMENTS.md records which scale produced the published numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.generators import montage_workflow
+
+FULL_SCALE = bool(int(os.environ.get("REPRO_FULL_SCALE", "0")))
+
+#: Montage degree used by the figure benchmarks.
+DEGREE = 6.0 if FULL_SCALE else 2.0
+
+#: Ensemble size for the large-scale experiments (Figs 10/11).
+LARGE_W = 200 if FULL_SCALE else 100
+
+RESULTS_DIR = Path(__file__).parent / ("results-full" if FULL_SCALE else "results")
+
+
+@pytest.fixture(scope="session")
+def degree() -> float:
+    return DEGREE
+
+
+@pytest.fixture(scope="session")
+def template():
+    """The Montage workflow all figure benchmarks share."""
+    return montage_workflow(degree=DEGREE)
+
+
+@pytest.fixture(scope="session")
+def template_6deg():
+    """The paper's reference workload, for workload-shape assertions."""
+    return montage_workflow(degree=6.0) if FULL_SCALE else montage_workflow(degree=2.0)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a reproduced table/series and persist it under results/."""
+    banner = f"== {name} " + "=" * max(0, 70 - len(name))
+    print(f"\n{banner}\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def scale_note() -> str:
+    return (
+        f"scale: degree={DEGREE} Montage"
+        + (" (paper scale)" if FULL_SCALE else " (reduced; REPRO_FULL_SCALE=1 for paper scale)")
+    )

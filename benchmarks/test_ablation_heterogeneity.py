@@ -1,0 +1,114 @@
+"""Ablation — the homogeneity assumption (paper §II/§III.A).
+
+DEWE v2's pulling model deliberately ignores worker identity: "for
+critical jobs, the computation cost remains the same regardless of the
+worker node they run on" — true in a placement group of identical
+instances, false on grid-style mixed hardware.  This ablation runs the
+same ensemble on
+
+* a homogeneous 4 x c3.8xlarge cluster, and
+* a heterogeneous cluster mixing c3.8xlarge with slow-cored m3.2xlarge,
+
+and shows that FCFS pulling lets single-threaded blocking jobs land on
+slow cores, stretching the blocking window by up to the core-speed ratio
+— the scheduling-era problem the cloud's homogeneity makes disappear.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.cloud import ClusterSpec, get_instance_type
+from repro.engines import PullEngine
+from repro.monitor import summary_table
+from repro.monitor.timeline import stage_windows
+from repro.workflow import Ensemble
+
+N_WORKFLOWS = 4
+
+
+def run_ablation(template):
+    ensemble = Ensemble.replicated(template, N_WORKFLOWS)
+    homo = PullEngine(
+        ClusterSpec("c3.8xlarge", 4, filesystem="nfs-nton")
+    ).run(ensemble)
+    hetero = PullEngine(
+        ClusterSpec(
+            "c3.8xlarge",
+            4,
+            filesystem="nfs-nton",
+            node_types=("c3.8xlarge", "c3.8xlarge", "m3.2xlarge", "m3.2xlarge"),
+        )
+    ).run(ensemble)
+    return homo, hetero
+
+
+def blocking_stats(result):
+    """Mean blocking-window length and worst blocking-job slowdown."""
+    windows = stage_windows(result)
+    lengths = [end - start for start, end in windows.values()]
+    blocking = [
+        r for r in result.records if r.task_type in ("mConcatFit", "mBgModel")
+    ]
+    slow_nodes = {
+        i
+        for i, node in enumerate(result.cluster.nodes)
+        if node.itype.cpu_speed < 1.0
+    }
+    on_slow = sum(1 for r in blocking if r.node in slow_nodes)
+    return sum(lengths) / len(lengths), on_slow, len(blocking)
+
+
+def test_ablation_heterogeneity(benchmark, template, scale_note):
+    homo, hetero = benchmark.pedantic(
+        run_ablation, args=(template,), rounds=1, iterations=1
+    )
+    homo_window, _, _ = blocking_stats(homo)
+    hetero_window, on_slow, total_blocking = blocking_stats(hetero)
+    rows = [
+        {
+            "cluster": name,
+            "makespan_s": round(r.makespan, 1),
+            "mean_blocking_window_s": round(w, 1),
+        }
+        for name, r, w in (
+            ("4 x c3.8xlarge (homogeneous)", homo, homo_window),
+            ("2 x c3 + 2 x m3 (heterogeneous)", hetero, hetero_window),
+        )
+    ]
+    speed_ratio = 1.0 / get_instance_type("m3.2xlarge").cpu_speed
+    text = (
+        scale_note
+        + "\n"
+        + summary_table(rows)
+        + f"\nblocking jobs on slow nodes: {on_slow}/{total_blocking}; "
+        f"m3 core-speed penalty = {speed_ratio:.2f}x"
+    )
+    emit("ablation_heterogeneity", text)
+
+    # The mixed cluster is slower overall (it has less raw capacity)...
+    assert hetero.makespan > homo.makespan
+    # ...and the homogeneity premise visibly breaks: the same task type
+    # costs ~the core-speed ratio more on the slow nodes.
+    slow_nodes = {
+        i
+        for i, node in enumerate(hetero.cluster.nodes)
+        if node.itype.cpu_speed < 1.0
+    }
+    fan_fast = [
+        r.compute_time
+        for r in hetero.records
+        if r.task_type == "mProjectPP" and r.node not in slow_nodes
+    ]
+    fan_slow = [
+        r.compute_time
+        for r in hetero.records
+        if r.task_type == "mProjectPP" and r.node in slow_nodes
+    ]
+    assert fan_fast and fan_slow  # FCFS spread the fan over all nodes
+    observed_ratio = (sum(fan_slow) / len(fan_slow)) / (sum(fan_fast) / len(fan_fast))
+    assert observed_ratio == pytest.approx(speed_ratio, rel=0.25)
+    # When FCFS does hand a blocking job to a slow node (it cannot know
+    # better), the blocking window stretches toward the speed penalty.
+    if on_slow >= 1:
+        assert hetero_window > homo_window * 1.1
+        assert hetero_window < homo_window * (speed_ratio + 0.5)

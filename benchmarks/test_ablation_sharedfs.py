@@ -1,0 +1,66 @@
+"""Ablation — shared-file-system choice (DESIGN.md §5).
+
+The paper used N-to-N NFS for small clusters and switched to MooseFS for
+the large-scale runs because per-export NFS "results in unbalanced
+utilization" as clusters grow.  This ablation runs the same ensemble on
+an 8-node cluster under the three placement policies:
+
+* **central NFS** — every byte funnels through node 0's disk and NIC;
+* **N-to-N NFS** — each workflow's folder lives on one export (hot
+  spots when few workflows dominate);
+* **MooseFS** — per-file uniform striping.
+
+Expectation: MooseFS <= N-to-N <= central on makespan, and the spread of
+per-node disk traffic (imbalance) shrinks in the same order.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.cloud import ClusterSpec
+from repro.engines import PullEngine
+from repro.engines.base import RunConfig
+from repro.monitor import summary_table
+from repro.workflow import Ensemble
+
+FS_CHOICES = ("nfs-central", "nfs-nton", "moosefs")
+N_NODES = 8
+N_WORKFLOWS = 16
+
+
+def run_ablation(template):
+    out = {}
+    for fs in FS_CHOICES:
+        spec = ClusterSpec("c3.8xlarge", N_NODES, filesystem=fs)
+        ensemble = Ensemble.replicated(template, N_WORKFLOWS)
+        result = PullEngine(spec, RunConfig(record_jobs=False)).run(ensemble)
+        reads = np.array(
+            [n.disk.read.log.integrate(result.makespan) for n in result.cluster.nodes]
+        )
+        writes = np.array(
+            [n.disk.write.log.integrate(result.makespan) for n in result.cluster.nodes]
+        )
+        io_per_node = reads + writes
+        imbalance = float(io_per_node.max() / max(io_per_node.mean(), 1.0))
+        out[fs] = (result.makespan, imbalance)
+    return out
+
+
+def test_ablation_shared_filesystem(benchmark, template, scale_note):
+    out = benchmark.pedantic(run_ablation, args=(template,), rounds=1, iterations=1)
+    rows = [
+        {
+            "filesystem": fs,
+            "makespan_s": round(out[fs][0], 1),
+            "max/mean node I/O": round(out[fs][1], 2),
+        }
+        for fs in FS_CHOICES
+    ]
+    emit("ablation_sharedfs", scale_note + "\n" + summary_table(rows))
+
+    # Distribution beats centralisation.
+    assert out["moosefs"][0] <= out["nfs-central"][0]
+    assert out["nfs-nton"][0] <= out["nfs-central"][0] * 1.05
+    # MooseFS balances device traffic best; central NFS is one hot node.
+    assert out["moosefs"][1] < out["nfs-nton"][1] + 0.5
+    assert out["nfs-central"][1] > out["moosefs"][1]

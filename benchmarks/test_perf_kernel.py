@@ -1,0 +1,79 @@
+"""Performance benchmarks of the simulation substrate itself.
+
+Not a paper figure — these guard the simulator's throughput so the
+full-scale reproductions (1.7 M jobs) stay tractable.  pytest-benchmark
+runs these with real repetition statistics.
+"""
+
+import pytest
+
+from repro.cloud import ClusterSpec
+from repro.engines import PullEngine, RunConfig, SchedulingEngine
+from repro.generators import montage_workflow
+from repro.sim import FairShareLink, Simulator
+from repro.workflow import Ensemble
+
+
+def test_perf_event_loop_throughput(benchmark):
+    """Raw kernel: ping-pong timeout events."""
+
+    def run():
+        sim = Simulator()
+
+        def ticker():
+            for _ in range(20_000):
+                yield sim.timeout(1.0)
+
+        sim.process(ticker())
+        sim.run()
+        return sim.now
+
+    result = benchmark(run)
+    assert result == pytest.approx(20_000.0)
+
+
+def test_perf_fair_share_link(benchmark):
+    """PS link under churning concurrency."""
+
+    def run():
+        sim = Simulator()
+        link = FairShareLink(sim, capacity=1e9)
+
+        def stream(start, size):
+            yield sim.timeout(start)
+            yield link.transfer(size)
+
+        for i in range(2_000):
+            sim.process(stream(i * 0.01, 1e6 + (i % 7) * 1e5))
+        sim.run()
+        return link.log.integrate(sim.now)
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_perf_pull_engine_jobs_per_second(benchmark):
+    """End-to-end engine throughput on a 1.0-degree workflow (212 jobs)."""
+    template = montage_workflow(degree=1.0)
+    spec = ClusterSpec("c3.8xlarge", 1, filesystem="local")
+
+    def run():
+        return PullEngine(spec, RunConfig(record_jobs=False)).run(
+            Ensemble([template])
+        )
+
+    result = benchmark(run)
+    assert result.jobs_executed == len(template)
+
+
+def test_perf_scheduling_engine(benchmark):
+    template = montage_workflow(degree=1.0)
+    spec = ClusterSpec("c3.8xlarge", 1, filesystem="local")
+
+    def run():
+        return SchedulingEngine(spec, RunConfig(record_jobs=False)).run(
+            Ensemble([template])
+        )
+
+    result = benchmark(run)
+    assert result.jobs_executed == len(template)

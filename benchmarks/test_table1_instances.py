@@ -1,0 +1,47 @@
+"""Table I — EC2 instance types used in the evaluation.
+
+Regenerates the table from the catalogue and checks the transcription
+against the paper's values.
+"""
+
+from conftest import emit
+
+from repro.cloud import INSTANCE_TYPES, get_instance_type
+from repro.monitor import summary_table
+
+PAPER_TABLE1 = {
+    # model: (vCPU, memory GB, storage, network Gbps, USD/hour)
+    "c3.8xlarge": (32, 60, (2, 320), 10, 1.68),
+    "r3.8xlarge": (32, 244, (2, 320), 10, 2.80),
+    "i2.8xlarge": (32, 244, (8, 800), 10, 6.82),
+}
+
+
+def render_table1() -> str:
+    rows = []
+    for name in ("c3.8xlarge", "r3.8xlarge", "i2.8xlarge"):
+        t = get_instance_type(name)
+        rows.append(
+            {
+                "Model": t.name,
+                "vCPU": t.vcpus,
+                "Memory(GB)": t.memory_gb,
+                "Storage(GB)": f"{t.storage[0]} x {t.storage[1]}",
+                "Network(Gbps)": t.network_gbps,
+                "Price(USD/hr)": t.price_per_hour,
+            }
+        )
+    return summary_table(rows)
+
+
+def test_table1_instance_types(benchmark):
+    table = benchmark.pedantic(render_table1, rounds=1, iterations=1)
+    emit("table1_instances", table)
+    for name, (vcpu, mem, storage, net, price) in PAPER_TABLE1.items():
+        t = get_instance_type(name)
+        assert t.vcpus == vcpu
+        assert t.memory_gb == mem
+        assert t.storage == storage
+        assert t.network_gbps == net
+        assert t.price_per_hour == price
+    assert "m3.2xlarge" in INSTANCE_TYPES  # Fig 2's motivational instance

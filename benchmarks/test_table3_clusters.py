@@ -1,0 +1,79 @@
+"""Table III — cluster configurations designed by Equation 2.
+
+With the paper's converged node performance indices (0.0015 / 0.0024 /
+0.0026), W = 200 workflows and T = 3,300 s, the planner reproduces the
+paper's cluster designs (the planner's ceil() differs from the paper's
+round() by at most one node — it never undershoots the deadline), and the
+control cluster i2.8xlarge B (10 nodes) prices out at roughly the same
+hourly cost as the designed c3/r3 clusters.
+"""
+
+from conftest import emit
+
+from repro.cloud import ClusterSpec, get_instance_type
+from repro.monitor import summary_table
+from repro.provision import plan_table
+
+PAPER_TABLE3 = {
+    # cluster: (nodes, vCPU, memory TB, storage TB, USD/hr)
+    "c3.8xlarge": (40, 1280, 2.40, 25.6, 67.2),
+    "r3.8xlarge": (25, 800, 6.10, 16.0, 70.0),
+    "i2.8xlarge": (23, 768, 5.61, 147.2, 156.7),
+    "i2.8xlarge B": (10, 320, 2.44, 64.0, 68.2),
+}
+
+
+def run_table3():
+    plans = plan_table(workflows=200, deadline=3300.0)
+    rows = []
+    for plan in plans:
+        spec = plan.spec
+        rows.append(
+            {
+                "Cluster": spec.instance_type,
+                "Nodes": spec.n_nodes,
+                "vCPU": spec.total_vcpus,
+                "Memory(TB)": round(spec.total_memory_gb / 1000, 2),
+                "Storage(TB)": round(spec.total_storage_gb / 1000, 1),
+                "Price(USD/hr)": round(spec.price_per_hour, 1),
+                "Predicted(s)": round(plan.predicted_time, 0),
+                "MeetsDeadline": plan.meets_deadline,
+            }
+        )
+    control = ClusterSpec("i2.8xlarge", 10, name="i2.8xlarge B")
+    rows.append(
+        {
+            "Cluster": "i2.8xlarge B",
+            "Nodes": control.n_nodes,
+            "vCPU": control.total_vcpus,
+            "Memory(TB)": round(control.total_memory_gb / 1000, 2),
+            "Storage(TB)": round(control.total_storage_gb / 1000, 1),
+            "Price(USD/hr)": round(control.price_per_hour, 1),
+            "Predicted(s)": "-",
+            "MeetsDeadline": "-",
+        }
+    )
+    return rows
+
+
+def test_table3_cluster_configurations(benchmark):
+    rows = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    emit("table3_clusters", summary_table(rows))
+
+    by_cluster = {r["Cluster"]: r for r in rows if r["Cluster"] != "i2.8xlarge B"}
+    for name, (nodes, vcpu, mem_tb, storage_tb, price) in PAPER_TABLE3.items():
+        if name == "i2.8xlarge B":
+            continue
+        row = by_cluster[name]
+        # The planner's ceil() may add one node over the paper's round().
+        assert nodes <= row["Nodes"] <= nodes + 1
+        itype = get_instance_type(name)
+        assert row["vCPU"] == row["Nodes"] * itype.vcpus
+        # Hourly price follows directly; within one node of the paper.
+        assert abs(row["Price(USD/hr)"] - price) <= itype.price_per_hour + 0.2
+    # Every designed cluster is predicted to meet the 3,300 s deadline.
+    assert all(r["MeetsDeadline"] is True for r in by_cluster.values())
+    # The control cluster costs about as much per hour as c3/r3 (68.2 vs
+    # 67.2/70.0 USD) — the paper chose 10 nodes for exactly that reason.
+    control = next(r for r in rows if r["Cluster"] == "i2.8xlarge B")
+    assert abs(control["Price(USD/hr)"] - 68.2) < 0.1

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""The paper's §IV/§V.B pipeline end to end, at laptop scale:
+
+1. profile an instance type with small single-node and multi-node
+   experiments (Fig 5);
+2. derive the converged node performance index (Eq. 1);
+3. design a cluster for a target ensemble and deadline (Eq. 2);
+4. run the ensemble on the designed cluster and check deadline + cost.
+"""
+
+from repro import (
+    ClusterSpec,
+    Ensemble,
+    ProfilingCampaign,
+    PullEngine,
+    montage_workflow,
+    plan_cluster,
+)
+from repro.engines.base import RunConfig
+
+DEGREE = 1.0
+TARGET_W = 40
+DEADLINE = 400.0  # seconds
+
+
+def main() -> None:
+    template = montage_workflow(degree=DEGREE)
+    print(f"profiling workload: {template.name} ({len(template)} jobs)")
+
+    campaign = ProfilingCampaign(template)
+    print("\nsingle-node workload sweep (Fig 5a):")
+    single = campaign.single_node("c3.8xlarge", workflow_counts=(1, 2, 4, 8))
+    for w, t in zip(single.workflow_counts, single.execution_times):
+        print(f"  {w:2d} workflows -> {t:7.1f} s")
+
+    print("\nmulti-node cluster-size sweep, 12 workflows (Fig 5b/5c):")
+    multi = campaign.multi_node("c3.8xlarge", node_counts=(2, 3, 4, 5), workflows=12)
+    for n, t, p in zip(multi.node_counts, multi.execution_times, multi.indices):
+        print(f"  {n} nodes -> {t:7.1f} s   P = {p:.5f}")
+    index = multi.converged
+    print(f"\nconverged node performance index: P = {index:.5f}")
+
+    plan = plan_cluster(
+        "c3.8xlarge", workflows=TARGET_W, deadline=DEADLINE, index=index
+    )
+    spec = plan.spec
+    print(
+        f"\nEq. 2 design for {TARGET_W} workflows within {DEADLINE:.0f} s: "
+        f"{spec.n_nodes} x c3.8xlarge "
+        f"(predicted {plan.predicted_time:.0f} s, {plan.predicted_cost:.2f} USD)"
+    )
+
+    result = PullEngine(spec, RunConfig(record_jobs=False)).run(
+        Ensemble.replicated(template, TARGET_W)
+    )
+    status = "MET" if result.makespan <= DEADLINE else "MISSED"
+    print(
+        f"measured: {result.makespan:.0f} s -> deadline {status}; "
+        f"cost {result.cost():.2f} USD "
+        f"({result.cost() / TARGET_W:.3f} USD per workflow)"
+    )
+
+
+if __name__ == "__main__":
+    main()

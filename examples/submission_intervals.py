@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Workflow submission intervals (paper Fig 8/9).
+
+Submitting an ensemble's workflows at a staggered interval — rather than
+all at once — interleaves CPU-hungry and I/O-hungry stages of different
+workflows and shortens the ensemble makespan.  This example sweeps the
+interval for a five-workflow Montage ensemble and reports the utilisation
+shift that explains the win.
+"""
+
+from repro import ClusterSpec, Ensemble, PullEngine, montage_workflow
+from repro.engines.base import RunConfig
+from repro.monitor import node_metrics
+
+SPEC = ClusterSpec("c3.8xlarge", 1, filesystem="local")
+COPIES = 5
+
+
+def main() -> None:
+    template = montage_workflow(degree=1.0)
+    base = PullEngine(SPEC, RunConfig(record_jobs=False)).run(Ensemble([template]))
+    print(f"single workflow: {base.makespan:.0f} s; sweeping submission "
+          f"intervals for {COPIES} workflows\n")
+    print(f"{'interval':>9}  {'makespan':>9}  {'mean CPU':>9}  {'vs batch':>9}")
+
+    batch_time = None
+    fractions = (0.0, 0.08, 0.16, 0.25, 0.33, 0.42)
+    for fraction in fractions:
+        interval = round(base.makespan * fraction)
+        ensemble = Ensemble.replicated(template, COPIES, interval=interval)
+        result = PullEngine(SPEC, RunConfig(record_jobs=False)).run(ensemble)
+        metrics = node_metrics(result, 0)
+        if batch_time is None:
+            batch_time = result.makespan
+        gain = 100 * (batch_time - result.makespan) / batch_time
+        print(f"{interval:8.0f}s  {result.makespan:8.0f}s  "
+              f"{metrics.mean_cpu_util():8.1f}%  {gain:+8.1f}%")
+
+    print("\nbatch submission leaves the node idle through every blocking"
+          "\nwindow at once; staggering fills those valleys with other"
+          "\nworkflows' fan jobs (Fig 9).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,155 @@
+"""Command-line entry points.
+
+Three commands mirror the system's main user journeys:
+
+* ``repro-run`` — execute a workflow ensemble on a simulated cluster with
+  a chosen engine and print the run summary;
+* ``repro-plan`` — size clusters for a workload/deadline (Table III);
+* ``repro-profile`` — run the Fig 5 profiling campaign for an instance
+  type and print the derived node performance index.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cloud import ClusterSpec
+from repro.cloud.cluster import FS_KINDS
+from repro.engines import DeweV1Engine, PullEngine, SchedulingEngine
+from repro.engines.base import RunConfig
+from repro.generators import cybershake_workflow, ligo_workflow, montage_workflow
+from repro.monitor import run_summary, summary_table
+from repro.provision import ProfilingCampaign, plan_cluster
+from repro.workflow import Ensemble
+
+ENGINES = {
+    "dewe-v2": PullEngine,
+    "pegasus": SchedulingEngine,
+    "dewe-v1": DeweV1Engine,
+}
+
+
+def _make_workflow(kind: str, size: float):
+    if kind == "montage":
+        return montage_workflow(degree=size)
+    if kind == "ligo":
+        return ligo_workflow(blocks=max(1, int(size)))
+    if kind == "cybershake":
+        return cybershake_workflow(ruptures=max(1, int(size)))
+    raise SystemExit(f"unknown workflow kind {kind!r}")
+
+
+def main_run(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-run",
+        description="Run a workflow ensemble on a simulated EC2 cluster.",
+    )
+    parser.add_argument("--engine", choices=sorted(ENGINES), default="dewe-v2")
+    parser.add_argument("--workflow", default="montage",
+                        choices=("montage", "ligo", "cybershake"))
+    parser.add_argument("--size", type=float, default=1.0,
+                        help="Montage degree / LIGO blocks / CyberShake ruptures")
+    parser.add_argument("--workflows", type=int, default=1,
+                        help="ensemble size (copies of the workflow)")
+    parser.add_argument("--interval", type=float, default=0.0,
+                        help="incremental submission interval in seconds")
+    parser.add_argument("--instance-type", default="c3.8xlarge")
+    parser.add_argument("--nodes", type=int, default=1)
+    parser.add_argument("--filesystem", choices=FS_KINDS, default=None)
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="job timeout for the master daemon")
+    parser.add_argument("--export-dir", default=None,
+                        help="write trace.json / timeline.svg / metrics.csv here")
+    args = parser.parse_args(argv)
+
+    fs = args.filesystem or ("local" if args.nodes == 1 else "moosefs")
+    spec = ClusterSpec(args.instance_type, args.nodes, filesystem=fs)
+    template = _make_workflow(args.workflow, args.size)
+    ensemble = Ensemble.replicated(template, args.workflows, interval=args.interval)
+    config = RunConfig(
+        default_timeout=args.timeout, record_jobs=args.export_dir is not None
+    )
+    engine = ENGINES[args.engine](spec, config)
+    result = engine.run(ensemble)
+    print(summary_table([run_summary(result)]))
+    if args.export_dir is not None:
+        from pathlib import Path
+
+        from repro.monitor import metrics_to_csv, node_metrics, to_chrome_trace
+        from repro.monitor.plot import svg_gantt
+
+        out = Path(args.export_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        to_chrome_trace(result, out / "trace.json")
+        svg_gantt(result, path=out / "timeline.svg")
+        metrics_to_csv(node_metrics(result, 0), out / "metrics.csv")
+        print(f"exported trace.json, timeline.svg, metrics.csv to {out}")
+    return 0
+
+
+def main_plan(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-plan",
+        description="Size clusters for a workload under a deadline (Eq. 2).",
+    )
+    parser.add_argument("--workflows", type=int, default=200)
+    parser.add_argument("--deadline", type=float, default=3300.0)
+    parser.add_argument("--instance-types", nargs="*",
+                        default=["c3.8xlarge", "r3.8xlarge", "i2.8xlarge"])
+    parser.add_argument("--index", type=float, default=None,
+                        help="override the node performance index")
+    args = parser.parse_args(argv)
+
+    rows = []
+    for itype in args.instance_types:
+        plan = plan_cluster(itype, args.workflows, args.deadline, index=args.index)
+        rows.append(
+            {
+                "instance_type": itype,
+                "nodes": plan.spec.n_nodes,
+                "vCPUs": plan.spec.total_vcpus,
+                "index": plan.performance_index,
+                "predicted_s": round(plan.predicted_time, 0),
+                "cost_usd": round(plan.predicted_cost, 2),
+                "usd_per_wf": round(plan.price_per_workflow, 3),
+                "deadline_ok": plan.meets_deadline,
+            }
+        )
+    print(summary_table(rows))
+    return 0
+
+
+def main_profile(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-profile",
+        description="Run the Fig 5 profiling campaign for an instance type.",
+    )
+    parser.add_argument("--instance-type", default="c3.8xlarge")
+    parser.add_argument("--degree", type=float, default=1.0,
+                        help="Montage degree of the profiled workflow")
+    parser.add_argument("--workflows", type=int, default=20,
+                        help="multi-node test workload")
+    parser.add_argument("--max-nodes", type=int, default=6)
+    args = parser.parse_args(argv)
+
+    campaign = ProfilingCampaign(montage_workflow(degree=args.degree))
+    single = campaign.single_node(args.instance_type)
+    print("single-node (Fig 5a):")
+    for w, t in zip(single.workflow_counts, single.execution_times):
+        print(f"  {w:3d} workflows -> {t:8.1f} s")
+    multi = campaign.multi_node(
+        args.instance_type,
+        node_counts=tuple(range(2, args.max_nodes + 1)),
+        workflows=args.workflows,
+    )
+    print(f"multi-node, {args.workflows} workflows (Fig 5b/5c):")
+    for n, t, p in zip(multi.node_counts, multi.execution_times, multi.indices):
+        print(f"  {n:2d} nodes -> {t:8.1f} s   P = {p:.6f}")
+    print(f"converged node performance index: {multi.converged:.6f}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main_run())

@@ -1,0 +1,146 @@
+"""EC2 instance-type catalogue (paper Tables I and II).
+
+Table I gives the specs and on-demand prices of the instance types used in
+the paper's evaluation; Table II gives the measured disk I/O capacity of
+their instance-store SSD volumes combined in RAID 0.  Both tables are
+transcribed verbatim; m3.2xlarge (used in the motivational experiment of
+Fig 2) is added with representative 2015-era figures.
+
+All byte quantities use decimal units (1 MB = 1e6 B) to match the paper's
+MB/s axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["DiskProfile", "InstanceType", "INSTANCE_TYPES", "get_instance_type"]
+
+MB = 1e6
+GB = 1e9
+
+
+@dataclass(frozen=True)
+class DiskProfile:
+    """RAID-0 instance-store throughput in bytes/second (paper Table II)."""
+
+    seq_read: float
+    seq_write: float
+    rand_read: float
+    rand_write: float
+
+    def __post_init__(self) -> None:
+        for field in ("seq_read", "seq_write", "rand_read", "rand_write"):
+            if getattr(self, field) <= 0:
+                raise ValueError(f"disk {field} must be positive")
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """One EC2 instance type (paper Table I + Table II).
+
+    ``storage`` is ``(volume_count, volume_gb)`` of SSD instance-store
+    volumes, always combined into a RAID-0 array by the provisioning
+    scripts (paper §IV.A).
+    """
+
+    name: str
+    vcpus: int
+    memory_gb: float
+    storage: Tuple[int, int]
+    network_gbps: float
+    price_per_hour: float
+    disk: DiskProfile
+    #: Per-core speed relative to the 8xlarge types' Ivy Bridge cores.
+    #: The paper notes c3/r3/i2 "have similar CPU and memory performance"
+    #: (§IV.A); m3.2xlarge's older Sandy Bridge cores are slower, which is
+    #: why Fig 2's blocking stage occupies a larger makespan fraction.
+    cpu_speed: float = 1.0
+
+    @property
+    def storage_gb(self) -> int:
+        return self.storage[0] * self.storage[1]
+
+    @property
+    def memory_bytes(self) -> float:
+        return self.memory_gb * GB
+
+    @property
+    def network_bytes_per_s(self) -> float:
+        return self.network_gbps * 1e9 / 8.0
+
+
+INSTANCE_TYPES: Dict[str, InstanceType] = {
+    t.name: t
+    for t in (
+        # -- Table I / Table II rows -------------------------------------
+        InstanceType(
+            name="c3.8xlarge",
+            vcpus=32,
+            memory_gb=60.0,
+            storage=(2, 320),
+            network_gbps=10.0,
+            price_per_hour=1.68,
+            disk=DiskProfile(
+                seq_read=250 * MB,
+                seq_write=800 * MB,
+                rand_read=400 * MB,
+                rand_write=600 * MB,
+            ),
+        ),
+        InstanceType(
+            name="r3.8xlarge",
+            vcpus=32,
+            memory_gb=244.0,
+            storage=(2, 320),
+            network_gbps=10.0,
+            price_per_hour=2.80,
+            disk=DiskProfile(
+                seq_read=350 * MB,
+                seq_write=1000 * MB,
+                rand_read=700 * MB,
+                rand_write=800 * MB,
+            ),
+        ),
+        InstanceType(
+            name="i2.8xlarge",
+            vcpus=32,
+            memory_gb=244.0,
+            storage=(8, 800),
+            network_gbps=10.0,
+            price_per_hour=6.82,
+            disk=DiskProfile(
+                seq_read=2200 * MB,
+                seq_write=3800 * MB,
+                rand_read=1800 * MB,
+                rand_write=3600 * MB,
+            ),
+        ),
+        # -- Fig 2's motivational instance (2015 us-east-1 figures) ------
+        InstanceType(
+            name="m3.2xlarge",
+            vcpus=8,
+            memory_gb=30.0,
+            storage=(2, 80),
+            network_gbps=1.0,
+            price_per_hour=0.532,
+            disk=DiskProfile(
+                seq_read=300 * MB,
+                seq_write=350 * MB,
+                rand_read=200 * MB,
+                rand_write=250 * MB,
+            ),
+            cpu_speed=0.55,
+        ),
+    )
+}
+
+
+def get_instance_type(name: str) -> InstanceType:
+    """Look up an instance type by name; raises KeyError with suggestions."""
+    try:
+        return INSTANCE_TYPES[name]
+    except KeyError:
+        known = ", ".join(sorted(INSTANCE_TYPES))
+        raise KeyError(f"unknown instance type {name!r}; known types: {known}") from None

@@ -1,0 +1,67 @@
+"""A simulated worker node assembled from its instance type.
+
+Resources per node (all logged for the monitoring layer):
+
+* ``cores`` — one :class:`~repro.sim.CorePool` slot per vCPU, matching the
+  worker daemon's concurrency limit (paper §III.D);
+* ``disk`` — the RAID-0 array's read/write channels (Table II);
+* ``nic_in`` / ``nic_out`` — the 10 Gbps (Table I) network interface, full
+  duplex;
+* ``write_cache`` — write-back page cache (paper §IV.A);
+* ``page_cache_bytes`` — memory available for caching reads.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.instances import InstanceType
+from repro.sim import CorePool, FairShareLink, Simulator
+from repro.storage.cache import WriteBackCache
+from repro.storage.disk import DiskArray
+
+__all__ = ["SimNode"]
+
+#: Fraction of node memory the OS can devote to the page cache; the rest
+#: is processes, buffers and the file systems' own memory.
+PAGE_CACHE_FRACTION = 0.75
+
+#: Fraction of the page cache that may hold dirty (unflushed) pages before
+#: writers throttle — mirrors the kernel's vm.dirty_ratio (default 20%,
+#: but EC2 images of the era shipped with generous write buffering).
+DIRTY_FRACTION = 0.40
+
+
+class SimNode:
+    """One cluster node: cores, disk channels, NIC, page cache."""
+
+    __slots__ = (
+        "sim",
+        "index",
+        "name",
+        "itype",
+        "cores",
+        "disk",
+        "nic_in",
+        "nic_out",
+        "write_cache",
+        "page_cache_bytes",
+    )
+
+    def __init__(self, sim: Simulator, index: int, itype: InstanceType):
+        self.sim = sim
+        self.index = index
+        self.itype = itype
+        self.name = f"{itype.name}-{index:03d}"
+        self.cores = CorePool(sim, itype.vcpus, name=f"{self.name}.cores")
+        self.disk = DiskArray(sim, itype.disk, name=self.name)
+        nic = itype.network_bytes_per_s
+        self.nic_in = FairShareLink(sim, nic, name=f"{self.name}.nic_in")
+        self.nic_out = FairShareLink(sim, nic, name=f"{self.name}.nic_out")
+        self.page_cache_bytes = PAGE_CACHE_FRACTION * itype.memory_bytes
+        self.write_cache = WriteBackCache(
+            sim,
+            capacity_bytes=DIRTY_FRACTION * self.page_cache_bytes,
+            name=f"{self.name}.wb",
+        )
+
+    def __repr__(self) -> str:
+        return f"SimNode({self.name})"

@@ -1,0 +1,47 @@
+"""Configuration for the real DEWE v2 daemons."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["DeweConfig"]
+
+
+@dataclass(frozen=True)
+class DeweConfig:
+    """Tunables for the master and worker daemons.
+
+    Attributes
+    ----------
+    default_timeout:
+        System-wide job timeout in seconds (paper §III.B); a job whose
+        completion ack misses it is resubmitted.
+    master_poll_interval:
+        Sleep between master loop iterations when all topics are idle.
+    worker_poll_interval:
+        Worker's blocking-consume timeout on the dispatch topic.
+    max_concurrent_jobs:
+        Worker thread cap; ``0`` means one per CPU (paper §III.D: "the
+        worker daemon stops pulling ... when the number of concurrent job
+        execution threads equals the number of CPUs").
+    """
+
+    default_timeout: float = 600.0
+    master_poll_interval: float = 0.01
+    worker_poll_interval: float = 0.02
+    max_concurrent_jobs: int = 0
+
+    def __post_init__(self) -> None:
+        if self.default_timeout <= 0:
+            raise ValueError("default_timeout must be positive")
+        if self.master_poll_interval <= 0 or self.worker_poll_interval <= 0:
+            raise ValueError("poll intervals must be positive")
+        if self.max_concurrent_jobs < 0:
+            raise ValueError("max_concurrent_jobs must be >= 0")
+
+    @property
+    def worker_slots(self) -> int:
+        if self.max_concurrent_jobs > 0:
+            return self.max_concurrent_jobs
+        return os.cpu_count() or 1

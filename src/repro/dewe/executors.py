@@ -1,0 +1,78 @@
+"""Job executors for the real worker daemon.
+
+An executor turns a :class:`~repro.workflow.dag.Job` into actual work.
+Three are provided:
+
+* :class:`CallableExecutor` — runs ``job.action`` (a Python callable);
+  this is the default for library users embedding computations.
+* :class:`SubprocessExecutor` — runs ``job.action`` as an argv list via
+  ``subprocess`` (how real Montage binaries would be invoked).
+* :class:`NullExecutor` — completes instantly (control-plane tests) or
+  after a scaled sleep (``time_scale > 0``) to emulate job duration.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import time
+from typing import Protocol
+
+from repro.workflow.dag import Job
+
+__all__ = ["Executor", "CallableExecutor", "SubprocessExecutor", "NullExecutor"]
+
+
+class Executor(Protocol):
+    """Executes one job; raises on failure."""
+
+    def run(self, job: Job) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class CallableExecutor:
+    """Runs ``job.action()``; jobs without an action complete trivially."""
+
+    def run(self, job: Job) -> None:
+        if job.action is not None:
+            job.action()
+
+
+class SubprocessExecutor:
+    """Runs ``job.action`` as an argv list in a subprocess.
+
+    ``job.action`` must be a sequence like ``["mProjectPP", "in.fits",
+    "out.fits"]``.  Non-zero exit raises ``CalledProcessError`` which the
+    worker converts into a FAILED ack.
+    """
+
+    def __init__(self, check: bool = True, timeout: float | None = None):
+        self.check = check
+        self.timeout = timeout
+
+    def run(self, job: Job) -> None:
+        argv = job.action
+        if argv is None:
+            return
+        if callable(argv):
+            raise TypeError(
+                f"job {job.id}: SubprocessExecutor needs an argv list, got a callable"
+            )
+        subprocess.run(list(argv), check=self.check, timeout=self.timeout)
+
+
+class NullExecutor:
+    """No-op executor, optionally sleeping ``runtime * time_scale``.
+
+    With ``time_scale=0.001`` a 600-second workflow plays back in ~0.6 s
+    of wall time, preserving relative job durations — used by the
+    robustness tests to exercise timeouts without real work.
+    """
+
+    def __init__(self, time_scale: float = 0.0):
+        if time_scale < 0:
+            raise ValueError(f"time_scale must be >= 0, got {time_scale}")
+        self.time_scale = time_scale
+
+    def run(self, job: Job) -> None:
+        if self.time_scale > 0 and job.runtime > 0:
+            time.sleep(job.runtime * self.time_scale)

@@ -1,0 +1,68 @@
+"""Folder-based workflow packaging (paper §III.B).
+
+"A workflow is encapsulated in a folder on the shared file system,
+including the DAG file, the executable binaries, as well as the input
+and output files."  This module implements that convention for the real
+engine: a workflow folder holds
+
+* ``workflow.json`` (or ``workflow.dax``) — the DAG with the cost model;
+* ``bin/`` — executables referenced by subprocess jobs (optional);
+* ``inputs/``, ``outputs/`` — data directories (optional).
+
+The submission application can then be pointed at folders, matching the
+paper's two-parameter interface (workflow name, folder path).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.dewe.submit import submit_workflow
+from repro.mq.broker import Broker
+from repro.workflow.dag import Workflow
+from repro.workflow.serialize import load_dax, load_json, save_json
+from repro.workflow.validation import validate_workflow
+
+__all__ = ["create_workflow_folder", "load_workflow_folder", "submit_workflow_folder"]
+
+_PathLike = Union[str, Path]
+
+DAG_JSON = "workflow.json"
+DAG_DAX = "workflow.dax"
+
+
+def create_workflow_folder(workflow: Workflow, folder: _PathLike) -> Path:
+    """Materialise the folder layout for ``workflow``; returns its path."""
+    root = Path(folder)
+    if root.exists() and any(root.iterdir()):
+        raise FileExistsError(f"workflow folder {root} exists and is not empty")
+    for sub in ("bin", "inputs", "outputs"):
+        (root / sub).mkdir(parents=True, exist_ok=True)
+    save_json(workflow, root / DAG_JSON)
+    return root
+
+
+def load_workflow_folder(folder: _PathLike) -> Workflow:
+    """Parse the DAG file of a workflow folder (JSON first, then DAX)."""
+    root = Path(folder)
+    if not root.is_dir():
+        raise FileNotFoundError(f"workflow folder not found: {root}")
+    json_path = root / DAG_JSON
+    dax_path = root / DAG_DAX
+    if json_path.exists():
+        workflow = load_json(json_path)
+    elif dax_path.exists():
+        workflow = load_dax(dax_path)
+    else:
+        raise FileNotFoundError(
+            f"no DAG file in {root}: expected {DAG_JSON} or {DAG_DAX}"
+        )
+    return validate_workflow(workflow)
+
+
+def submit_workflow_folder(broker: Broker, folder: _PathLike) -> str:
+    """The paper's submission interface: hand a folder to the master."""
+    root = Path(folder)
+    workflow = load_workflow_folder(root)
+    return submit_workflow(broker, workflow, folder=str(root))

@@ -1,0 +1,163 @@
+"""The DEWE v2 master daemon (real, threaded).
+
+The master "only manages the progress of the workflow, and publishes jobs
+that are eligible to run to a message queue.  It has no knowledge about
+the worker nodes" (paper §III.B).  One background thread services all
+three topics:
+
+* submissions — parse/validate the DAG, store a
+  :class:`~repro.dewe.state.WorkflowState`, publish the initially
+  eligible jobs;
+* acknowledgments — update job status; completions may make children
+  eligible, which are published immediately (jobs of *different*
+  workflows share the one dispatch topic, so ensembles run in parallel);
+* timeouts — periodically republish jobs whose completion ack is overdue.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+from repro.dewe.config import DeweConfig
+from repro.dewe.state import WorkflowState
+from repro.mq.broker import Broker
+from repro.mq.messages import (
+    TOPIC_ACK,
+    TOPIC_DISPATCH,
+    TOPIC_SUBMIT,
+    AckKind,
+    JobAck,
+    JobDispatch,
+    WorkflowSubmission,
+)
+
+__all__ = ["MasterDaemon"]
+
+
+class MasterDaemon:
+    """Manages workflow progress over the broker; start()/stop() lifecycle."""
+
+    def __init__(self, broker: Broker, config: Optional[DeweConfig] = None):
+        self.broker = broker
+        self.config = config or DeweConfig()
+        self.states: Dict[str, WorkflowState] = {}
+        #: Rejected submissions: name -> reason (duplicate, invalid DAG...).
+        self.rejected: Dict[str, str] = {}
+        self.makespans: Dict[str, float] = {}
+        self._submit_times: Dict[str, float] = {}
+        self._events: Dict[str, threading.Event] = {}
+        self._events_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "MasterDaemon":
+        if self._thread is not None:
+            raise RuntimeError("master daemon already started")
+        self._thread = threading.Thread(
+            target=self._loop, name="dewe-master", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def __enter__(self) -> "MasterDaemon":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- public queries ------------------------------------------------------
+    def completion_event(self, workflow_name: str) -> threading.Event:
+        with self._events_lock:
+            event = self._events.get(workflow_name)
+            if event is None:
+                event = threading.Event()
+                self._events[workflow_name] = event
+            return event
+
+    def wait(self, workflow_name: str, timeout: Optional[float] = None) -> bool:
+        """Block until ``workflow_name`` completes; True on completion."""
+        return self.completion_event(workflow_name).wait(timeout)
+
+    def makespan(self, workflow_name: str) -> float:
+        """Seconds from submission to completion (raises if not done)."""
+        return self.makespans[workflow_name]
+
+    # -- internals ----------------------------------------------------------
+    def _dispatch(self, state: WorkflowState, job_id: str) -> None:
+        self.broker.publish(
+            TOPIC_DISPATCH,
+            JobDispatch(
+                workflow_name=state.name,
+                job_id=job_id,
+                attempt=state.current_attempt(job_id),
+                job=state.workflow.job(job_id),
+            ),
+        )
+
+    def _handle_submission(self, msg: WorkflowSubmission) -> None:
+        if msg.workflow.name in self.states:
+            raise ValueError(f"workflow {msg.workflow.name!r} already submitted")
+        state = WorkflowState(msg.workflow, self.config.default_timeout)
+        self.states[state.name] = state
+        self._submit_times[state.name] = time.monotonic()
+        for job_id in state.initial_ready():
+            self._dispatch(state, job_id)
+        if state.is_complete:  # degenerate empty-DAG guard
+            self._finish(state)
+
+    def _finish(self, state: WorkflowState) -> None:
+        self.makespans[state.name] = time.monotonic() - self._submit_times[state.name]
+        self.completion_event(state.name).set()
+
+    def _handle_ack(self, ack: JobAck) -> None:
+        state = self.states.get(ack.workflow_name)
+        if state is None:
+            return  # ack for an unknown workflow: drop
+        if ack.kind is AckKind.RUNNING:
+            state.on_running(ack.job_id, ack.attempt, time.monotonic())
+        elif ack.kind is AckKind.COMPLETED:
+            for job_id in state.on_completed(ack.job_id, ack.attempt):
+                self._dispatch(state, job_id)
+            if state.is_complete:
+                self._finish(state)
+        else:  # FAILED: immediate resubmission
+            if state.on_failed(ack.job_id, ack.attempt) is not None:
+                self._dispatch(state, ack.job_id)
+
+    def _check_timeouts(self) -> None:
+        now = time.monotonic()
+        for state in self.states.values():
+            for job_id in state.expired(now):
+                self._dispatch(state, job_id)
+
+    def _loop(self) -> None:
+        broker = self.broker
+        while not self._stop.is_set():
+            busy = False
+            msg = broker.consume(TOPIC_SUBMIT)
+            if msg is not None:
+                try:
+                    self._handle_submission(msg)
+                except Exception as exc:  # noqa: BLE001
+                    # A malformed or duplicate submission must not kill
+                    # the daemon: record the rejection and keep serving.
+                    self.rejected[msg.workflow.name] = repr(exc)
+                busy = True
+            while True:
+                ack = broker.consume(TOPIC_ACK)
+                if ack is None:
+                    break
+                self._handle_ack(ack)
+                busy = True
+            self._check_timeouts()
+            if not busy:
+                time.sleep(self.config.master_poll_interval)

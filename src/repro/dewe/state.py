@@ -1,0 +1,157 @@
+"""DAG state machine shared by the real master daemon and the simulated
+pull engine.
+
+Tracks, per job: remaining unfinished parents, lifecycle status, delivery
+attempt counter and completion deadline.  The logic implements the paper's
+at-least-once execution discipline:
+
+* a job becomes **eligible** when its last parent completes and is then
+  published (QUEUED);
+* a **running** ack arms the job's timeout ("a job can have a user-defined
+  timeout value or a system-wide default timeout value", §III.B);
+* if the completion ack misses the deadline, the job is **resubmitted**
+  with an incremented attempt counter;
+* a completion ack from *any* attempt completes the job (the original
+  worker may still finish after a resubmission — first ack wins, duplicates
+  are ignored).
+
+Time is an argument everywhere, so the same class serves wall-clock
+threads and the DES.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.workflow.dag import Workflow
+from repro.workflow.validation import validate_workflow
+
+__all__ = ["JobStatus", "WorkflowState"]
+
+
+class JobStatus(Enum):
+    WAITING = "waiting"      # has unfinished parents
+    QUEUED = "queued"        # published to the job-dispatching topic
+    RUNNING = "running"      # checked out by a worker (running ack seen)
+    COMPLETED = "completed"
+
+
+class WorkflowState:
+    """Execution state of one submitted workflow."""
+
+    def __init__(
+        self,
+        workflow: Workflow,
+        default_timeout: float = 600.0,
+        validate: bool = True,
+    ):
+        if default_timeout <= 0:
+            raise ValueError(f"default_timeout must be positive, got {default_timeout}")
+        if validate:
+            validate_workflow(workflow)
+        self.workflow = workflow
+        self.name = workflow.name
+        self.default_timeout = default_timeout
+        self.pending: Dict[str, int] = {}
+        self.status: Dict[str, JobStatus] = {}
+        self.attempt: Dict[str, int] = {}
+        self.deadline: Dict[str, float] = {}
+        self.resubmissions = 0
+        self._n_completed = 0
+        for job in workflow.jobs.values():
+            self.pending[job.id] = len(job.parents)
+            self.status[job.id] = JobStatus.WAITING
+
+    # -- lifecycle ---------------------------------------------------------
+    def initial_ready(self) -> List[str]:
+        """Jobs eligible at submission; marks them QUEUED."""
+        ready = []
+        for job_id, count in self.pending.items():
+            if count == 0 and self.status[job_id] is JobStatus.WAITING:
+                self.status[job_id] = JobStatus.QUEUED
+                self.attempt[job_id] = 1
+                ready.append(job_id)
+        return ready
+
+    def on_running(self, job_id: str, attempt: int, now: float) -> bool:
+        """Handle a running ack; returns False for stale/duplicate acks."""
+        status = self.status[job_id]
+        if status is JobStatus.COMPLETED:
+            return False
+        if attempt != self.attempt[job_id]:
+            return False  # ack from a superseded delivery
+        self.status[job_id] = JobStatus.RUNNING
+        timeout = self.workflow.job(job_id).timeout or self.default_timeout
+        self.deadline[job_id] = now + timeout
+        return True
+
+    def on_completed(self, job_id: str, attempt: int) -> List[str]:
+        """Handle a completion ack; returns newly eligible job ids (QUEUED).
+
+        Completion is accepted from any attempt — with at-least-once
+        delivery the first finisher wins and later duplicates are no-ops.
+        """
+        if self.status[job_id] is JobStatus.COMPLETED:
+            return []
+        self.status[job_id] = JobStatus.COMPLETED
+        self.deadline.pop(job_id, None)
+        self._n_completed += 1
+        newly_ready: List[str] = []
+        for child_id in self.workflow.job(job_id).children:
+            self.pending[child_id] -= 1
+            if self.pending[child_id] == 0:
+                self.status[child_id] = JobStatus.QUEUED
+                self.attempt[child_id] = 1
+                newly_ready.append(child_id)
+        return newly_ready
+
+    def on_failed(self, job_id: str, attempt: int) -> Optional[str]:
+        """Handle a failure ack: resubmit immediately (attempt + 1).
+
+        Returns the job id to republish, or ``None`` for stale acks.
+        """
+        if self.status[job_id] is JobStatus.COMPLETED:
+            return None
+        if attempt != self.attempt[job_id]:
+            return None
+        self.attempt[job_id] += 1
+        self.status[job_id] = JobStatus.QUEUED
+        self.deadline.pop(job_id, None)
+        self.resubmissions += 1
+        return job_id
+
+    def expired(self, now: float) -> List[str]:
+        """Jobs whose completion ack missed its deadline; re-QUEUED with a
+        fresh attempt number, ready to be republished."""
+        out = []
+        for job_id, deadline in list(self.deadline.items()):
+            if now >= deadline and self.status[job_id] is JobStatus.RUNNING:
+                self.attempt[job_id] += 1
+                self.status[job_id] = JobStatus.QUEUED
+                del self.deadline[job_id]
+                self.resubmissions += 1
+                out.append(job_id)
+        return out
+
+    # -- inspection ----------------------------------------------------------
+    @property
+    def n_jobs(self) -> int:
+        return len(self.status)
+
+    @property
+    def n_completed(self) -> int:
+        return self._n_completed
+
+    @property
+    def is_complete(self) -> bool:
+        return self._n_completed == len(self.status)
+
+    def current_attempt(self, job_id: str) -> int:
+        return self.attempt.get(job_id, 0)
+
+    def counts(self) -> Dict[str, int]:
+        out = {s.value: 0 for s in JobStatus}
+        for status in self.status.values():
+            out[status.value] += 1
+        return out

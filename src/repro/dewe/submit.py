@@ -1,0 +1,26 @@
+"""The workflow submission application (paper §III.E).
+
+"The workflow submission application accepts two parameters from the
+user — workflow name and the path to the related folder on the shared
+file system" — and publishes them to the workflow-submission topic.
+Scientists can submit workflows "from any nodes at any time"; here that
+means any thread with a reference to the broker.
+"""
+
+from __future__ import annotations
+
+from repro.mq.broker import Broker
+from repro.mq.messages import TOPIC_SUBMIT, WorkflowSubmission
+from repro.workflow.dag import Workflow
+
+__all__ = ["submit_workflow"]
+
+
+def submit_workflow(broker: Broker, workflow: Workflow, folder: str = "") -> str:
+    """Publish ``workflow`` for execution; returns its name immediately.
+
+    The master daemon picks the submission up asynchronously; use
+    :meth:`~repro.dewe.master.MasterDaemon.wait` to block on completion.
+    """
+    broker.publish(TOPIC_SUBMIT, WorkflowSubmission(workflow=workflow, folder=folder))
+    return workflow.name

@@ -1,0 +1,148 @@
+"""The DEWE v2 worker daemon (real, threaded).
+
+"The worker daemon has a stateless design.  The only knowledge it has
+about the whole workflow execution system is the address of the message
+queue" (paper §III.D).  The daemon pulls the job-dispatching topic, sends
+a running ack, runs the job in its own thread, and sends a completed (or
+failed) ack.  It stops pulling while the number of in-flight job threads
+equals the CPU count.
+
+Fault injection: :meth:`kill` emulates the process being killed — pulling
+stops immediately and acknowledgments of in-flight jobs are suppressed, so
+the master's timeout mechanism must recover them (paper §V.A.3).  A killed
+worker cannot be restarted; start a fresh daemon, exactly like restarting
+the real process.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.dewe.config import DeweConfig
+from repro.dewe.executors import CallableExecutor, Executor
+from repro.mq.broker import Broker
+from repro.mq.messages import TOPIC_ACK, TOPIC_DISPATCH, AckKind, JobAck, JobDispatch
+
+__all__ = ["WorkerDaemon"]
+
+
+class WorkerDaemon:
+    """Pulls and executes jobs; start()/stop()/kill() lifecycle."""
+
+    def __init__(
+        self,
+        broker: Broker,
+        executor: Optional[Executor] = None,
+        config: Optional[DeweConfig] = None,
+        name: str = "worker-0",
+    ):
+        self.broker = broker
+        self.executor = executor or CallableExecutor()
+        self.config = config or DeweConfig()
+        self.name = name
+        self.jobs_started = 0
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+        self._active = 0
+        self._active_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._killed = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._job_threads: list = []
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "WorkerDaemon":
+        if self._thread is not None:
+            raise RuntimeError(f"worker {self.name} already started")
+        self._thread = threading.Thread(
+            target=self._loop, name=f"dewe-{self.name}", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Graceful shutdown: stop pulling, let in-flight jobs finish."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        for t in self._job_threads:
+            t.join()
+        self._job_threads.clear()
+
+    def kill(self) -> None:
+        """Abrupt death: in-flight jobs never acknowledge (fault injection)."""
+        self._killed.set()
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def __enter__(self) -> "WorkerDaemon":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def active_jobs(self) -> int:
+        with self._active_lock:
+            return self._active
+
+    # -- internals -----------------------------------------------------------
+    def _ack(self, msg: JobDispatch, kind: AckKind, error: str = None) -> None:
+        if self._killed.is_set():
+            return  # a dead process sends nothing
+        self.broker.publish(
+            TOPIC_ACK,
+            JobAck(
+                workflow_name=msg.workflow_name,
+                job_id=msg.job_id,
+                kind=kind,
+                worker=self.name,
+                attempt=msg.attempt,
+                error=error,
+            ),
+        )
+
+    def _run_job(self, msg: JobDispatch) -> None:
+        try:
+            self.executor.run(msg.job)
+        except Exception as exc:  # noqa: BLE001 - worker must survive any job
+            self.jobs_failed += 1
+            self._ack(msg, AckKind.FAILED, error=repr(exc))
+        else:
+            self.jobs_completed += 1
+            self._ack(msg, AckKind.COMPLETED)
+        finally:
+            with self._active_lock:
+                self._active -= 1
+
+    def _loop(self) -> None:
+        slots = self.config.worker_slots
+        poll = self.config.worker_poll_interval
+        while not self._stop.is_set():
+            with self._active_lock:
+                full = self._active >= slots
+            if full:
+                # At the concurrency cap: stop pulling (paper §III.D).
+                self._stop.wait(poll)
+                continue
+            msg = self.broker.consume(TOPIC_DISPATCH, timeout=poll)
+            if msg is None:
+                continue
+            if self._stop.is_set():
+                if not self._killed.is_set():
+                    # Graceful shutdown mid-checkout: hand the job back.
+                    self.broker.publish(TOPIC_DISPATCH, msg)
+                break
+            self.jobs_started += 1
+            with self._active_lock:
+                self._active += 1
+            self._ack(msg, AckKind.RUNNING)
+            thread = threading.Thread(
+                target=self._run_job, args=(msg,), name=f"{self.name}-job", daemon=True
+            )
+            self._job_threads.append(thread)
+            thread.start()

@@ -1,0 +1,30 @@
+"""Cluster-scale execution engines over the discrete-event simulator.
+
+Three engines share one result schema so the evaluation harness can
+compare them directly (paper §V):
+
+* :class:`~repro.engines.pull.PullEngine` — DEWE v2's pulling model: the
+  master publishes eligible jobs to a queue, stateless per-core worker
+  slots compete for them first-come-first-served;
+* :class:`~repro.engines.scheduling.SchedulingEngine` — the Pegasus +
+  DAGMan + Condor baseline: a central matchmaker with periodic
+  negotiation cycles, per-job submission overhead and log/staging I/O
+  amplification;
+* :class:`~repro.engines.dewe_v1.DeweV1Engine` — the push-based
+  predecessor used in the motivational Fig 2: immediate round-robin
+  assignment with per-job data staging, one workflow at a time.
+"""
+
+from repro.engines.base import EngineResult, JobRecord, RunConfig
+from repro.engines.dewe_v1 import DeweV1Engine
+from repro.engines.pull import PullEngine
+from repro.engines.scheduling import SchedulingEngine
+
+__all__ = [
+    "DeweV1Engine",
+    "EngineResult",
+    "JobRecord",
+    "PullEngine",
+    "RunConfig",
+    "SchedulingEngine",
+]

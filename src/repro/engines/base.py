@@ -1,0 +1,239 @@
+"""Shared machinery for the simulation engines.
+
+Defines the run configuration, the per-job record, the result object the
+benchmarks consume, and the canonical three-phase job execution process
+(read inputs -> compute -> write outputs) used by every engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cloud.cluster import ClusterSpec, SimCluster
+from repro.cloud.node import SimNode
+from repro.cloud.pricing import BillingModel
+from repro.sim import SegmentLog, Simulator
+from repro.storage.base import SharedFileSystem
+from repro.workflow.dag import Job
+from repro.workflow.ensemble import Ensemble
+
+__all__ = ["RunConfig", "JobRecord", "EngineResult", "execute_job", "EngineBase"]
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Engine-independent run options.
+
+    Attributes
+    ----------
+    default_timeout:
+        Master-daemon job timeout (paper §III.B).
+    timeout_check_interval:
+        How often the master scans for overdue jobs.
+    record_jobs:
+        Keep a :class:`JobRecord` per executed job.  Needed for the
+        timeline figures; turn off for the 1.7M-job full-scale runs to
+        save memory.
+    drain_caches:
+        If True, the run ends when write-back caches are flushed, not at
+        the last job ack (the paper measures to the last ack; flushing
+        continues in the background).
+    """
+
+    default_timeout: float = 600.0
+    timeout_check_interval: float = 5.0
+    record_jobs: bool = True
+    drain_caches: bool = False
+
+
+@dataclass
+class JobRecord:
+    """What one executed job attempt did, for timelines and reports."""
+
+    workflow: str
+    job_id: str
+    task_type: str
+    node: int
+    start: float
+    end: float
+    read_time: float
+    compute_time: float
+    write_time: float
+    attempt: int = 1
+    #: Coordination latency before the job started doing useful work
+    #: (scheduling-cycle wait, dispatch overhead...).
+    overhead_time: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one simulated ensemble run."""
+
+    engine: str
+    spec: ClusterSpec
+    n_workflows: int
+    makespan: float
+    workflow_spans: Dict[str, Tuple[float, float]]
+    records: List[JobRecord]
+    cluster: SimCluster
+    resubmissions: int = 0
+    jobs_executed: int = 0
+    extra_write_bytes: float = 0.0  # engine overhead (logs, staging copies)
+    #: Per-node concurrent-job-thread logs (Fig 6a).
+    thread_logs: List[SegmentLog] = field(default_factory=list)
+    #: Per-node worker-daemon lease intervals ``{node: [(start, end), ...]}``.
+    #: For a static run every node is leased for the whole makespan; an
+    #: autoscaled run (paper §V.A.3's dynamic provisioning) has shorter
+    #: leases that :meth:`elastic_cost` bills individually.
+    rental_spans: Dict[int, List[Tuple[float, float]]] = field(default_factory=dict)
+
+    # -- aggregate metrics (paper Fig 7) ------------------------------------
+    def total_cpu_seconds(self) -> float:
+        """vCPU-seconds of actual compute over the run (Fig 7b)."""
+        return sum(
+            node.cores.log.integrate(self.makespan) for node in self.cluster.nodes
+        )
+
+    def total_disk_write_bytes(self) -> float:
+        """Logical bytes written, including engine overhead (Fig 7c)."""
+        return self.cluster.fs.bytes_written + self.extra_write_bytes
+
+    def total_disk_read_bytes(self) -> float:
+        return self.cluster.fs.bytes_read
+
+    def cost(self, model: BillingModel = BillingModel.PER_HOUR) -> float:
+        """Bill for the whole cluster over the whole run (static rental)."""
+        return self.spec.cost(self.makespan, model)
+
+    def elastic_cost(self, model: BillingModel = BillingModel.PER_HOUR) -> float:
+        """Bill each node's actual lease intervals (dynamic provisioning).
+
+        Falls back to :meth:`cost` when no rental spans were recorded
+        (engines other than the pull engine do not track leases).
+        """
+        if not self.rental_spans:
+            return self.cost(model)
+        from repro.cloud.pricing import cluster_cost
+
+        itype = self.spec.itype
+        total = 0.0
+        for spans in self.rental_spans.values():
+            for start, end in spans:
+                total += cluster_cost(itype, 1, max(0.0, end - start), model)
+        return total
+
+    def workflow_makespans(self) -> Dict[str, float]:
+        return {name: end - start for name, (start, end) in self.workflow_spans.items()}
+
+    def mean_workflow_makespan(self) -> float:
+        spans = self.workflow_makespans()
+        return sum(spans.values()) / len(spans) if spans else 0.0
+
+
+def execute_job(
+    sim: Simulator,
+    node: SimNode,
+    fs: SharedFileSystem,
+    job: Job,
+    speed: float = 1.0,
+    read_miss_override: Optional[float] = None,
+    extra_cpu: float = 0.0,
+    extra_write_bytes: float = 0.0,
+    owner: str = "",
+):
+    """Canonical job execution on a node; a generator for ``sim.process``.
+
+    Phases: read inputs from the shared FS, compute on CPU cores, write
+    outputs (absorbed by the write-back cache).  Returns
+    ``(read_time, compute_time, write_time)``.
+
+    ``speed`` scales compute (CPU performance factor).  ``extra_cpu`` and
+    ``extra_write_bytes`` model engine overhead (Condor job wrappers,
+    per-job logs).  ``read_miss_override`` forces a miss ratio (the
+    scheduling engine's explicit staging bypasses the page cache).
+    """
+    t0 = sim.now
+    # -- read phase --------------------------------------------------------
+    if job.inputs:
+        if read_miss_override is None:
+            yield fs.read(node, job.inputs, owner)
+        else:
+            yield from _read_with_miss(sim, node, fs, job, read_miss_override)
+    t1 = sim.now
+    # -- compute phase -------------------------------------------------------
+    cpu_seconds = job.runtime / speed + extra_cpu
+    if cpu_seconds > 0:
+        yield node.cores.acquire()
+        extra_cores = 0
+        if job.threads > 1:
+            # Opportunistically grab idle cores for multi-threaded jobs
+            # (paper §III.D: OpenMP jobs keep their parallelism).
+            while extra_cores < job.threads - 1 and node.cores.available > 0:
+                node.cores.acquire()
+                extra_cores += 1
+        try:
+            yield sim.timeout(cpu_seconds / (1 + extra_cores))
+        finally:
+            for _ in range(1 + extra_cores):
+                node.cores.release()
+    t2 = sim.now
+    # -- write phase ---------------------------------------------------------
+    if job.outputs or extra_write_bytes > 0:
+        yield fs.write(node, job.outputs, owner)
+        if extra_write_bytes > 0:
+            # Overhead bytes go to the local disk via the write cache.
+            yield node.write_cache.write(extra_write_bytes, (node.disk.write,))
+    t3 = sim.now
+    return (t1 - t0, t2 - t1, t3 - t2)
+
+
+def _read_with_miss(sim, node, fs, job, miss: float):
+    """Read inputs at an explicit miss ratio (bypasses the cache model)."""
+    from repro.sim import AllOf
+
+    local = 0.0
+    remote: dict = {}
+    for f in job.inputs:
+        nbytes = f.size * miss
+        home = fs.home_of(f)
+        if home is node:
+            local += nbytes
+        else:
+            remote[home] = remote.get(home, 0.0) + nbytes
+    events = []
+    if local > 0:
+        fs.bytes_read += local
+        events.append(node.disk.read.transfer(local))
+    for home, nbytes in remote.items():
+        fs.bytes_read += nbytes
+        events.append(home.disk.read.transfer(nbytes))
+        events.append(home.nic_out.transfer(nbytes))
+        events.append(node.nic_in.transfer(nbytes))
+    if events:
+        yield AllOf(sim, events) if len(events) > 1 else events[0]
+
+
+class EngineBase:
+    """Common construction and bookkeeping for concrete engines."""
+
+    name = "base"
+
+    def __init__(self, spec: ClusterSpec, config: Optional[RunConfig] = None):
+        self.spec = spec
+        self.config = config or RunConfig()
+
+    def _setup(self, ensemble: Ensemble):
+        sim = Simulator()
+        cluster = SimCluster(sim, self.spec)
+        cluster.fs.stage_inputs(ensemble.workflows)
+        # Per-node concurrent-thread logs (Fig 6a).
+        thread_logs = [SegmentLog(0.0, 0.0) for _ in cluster.nodes]
+        return sim, cluster, thread_logs
+
+    def run(self, ensemble: Ensemble) -> EngineResult:  # pragma: no cover
+        raise NotImplementedError

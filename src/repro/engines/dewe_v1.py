@@ -1,0 +1,42 @@
+"""DEWE v1 — the push-based predecessor (paper ref [8], used in Fig 2).
+
+DEWE v1 assigns jobs to workers directly (push) and stages data files
+between worker nodes per job, which is why the Fig 2 timeline shows
+per-slot communication gaps; and it "is only capable of running a single
+workflow at a time" (§I), so ensembles execute serially.
+
+Modelled as a central dispatcher with no submission serialization and a
+full per-node concurrency cap, but with explicit per-job staging
+(``read_miss = 1.0`` — every input crosses the disk/network) and a small
+per-job staging latency.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cloud.cluster import ClusterSpec
+from repro.engines.base import RunConfig
+from repro.engines.scheduling import CentralDispatchEngine
+
+__all__ = ["DeweV1Engine"]
+
+
+class DeweV1Engine(CentralDispatchEngine):
+    """Push-based, single-workflow-at-a-time engine."""
+
+    name = "dewe-v1"
+
+    def __init__(self, spec: ClusterSpec, config: Optional[RunConfig] = None, **overrides):
+        defaults = dict(
+            max_slots_per_node=None,   # uses all vCPUs
+            submit_overhead=0.0,
+            dispatch_latency=0.2,      # push-assignment round trip
+            wrapper_cpu=0.0,
+            read_miss=1.0,             # per-job data staging, no cache reuse
+            output_copy_factor=0.0,
+            log_bytes_per_job=0.0,
+            sequential_workflows=True,
+        )
+        defaults.update(overrides)
+        super().__init__(spec, config, **defaults)

@@ -1,0 +1,291 @@
+"""The pulling execution engine — DEWE v2's coordination model in the DES.
+
+Faithful to paper §III: the master daemon knows nothing about workers; it
+publishes eligible jobs to the job-dispatching topic and reacts to acks.
+Each node runs one worker-slot process per vCPU (the worker daemon stops
+pulling at the concurrency cap, so vCPU slot processes are equivalent to
+its pull loop + bounded thread pool).  Slots across all nodes wait on the
+same topic, so jobs go to whichever slot asked first — first come, first
+served, with zero scheduling decisions.
+
+Fault injection (paper §V.A.3): a :class:`~repro.faults.injection.FaultSchedule`
+kills and restarts per-node worker daemons mid-run; killed slots
+acknowledge nothing, so interrupted jobs are recovered by the master's
+timeout resubmission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cloud.cluster import ClusterSpec
+from repro.dewe.state import WorkflowState
+from repro.engines.base import EngineBase, EngineResult, JobRecord, RunConfig, execute_job
+from repro.mq.simbroker import SimBroker
+from repro.sim import Interrupt, Process
+from repro.workflow.ensemble import Ensemble
+
+__all__ = ["PullEngine"]
+
+_DISPATCH = "job-dispatching"
+_ACK = "job-acknowledgment"
+_RUNNING = 0
+_COMPLETED = 1
+
+
+@dataclass
+class ElasticAPI:
+    """What an autoscaler controller can see and do during a run.
+
+    The controller is a generator process: it yields DES events (usually
+    ``api.sim.timeout(check_interval)``) and reacts to queue state —
+    exactly the information a real controller could read off the broker's
+    management interface.
+    """
+
+    sim: "object"
+    n_nodes: int
+    _queue_depth: "object"
+    _active: "object"
+    _start: "object"
+    _stop: "object"
+    _done: "object"
+
+    def queue_depth(self) -> int:
+        """Jobs waiting in the dispatching topic right now."""
+        return self._queue_depth()
+
+    def active_nodes(self) -> list:
+        """Node indices with a live worker daemon."""
+        return self._active()
+
+    def start_worker(self, node_index: int) -> None:
+        self._start(node_index)
+
+    def stop_worker(self, node_index: int) -> None:
+        """Graceful scale-in: the node finishes in-flight jobs, then leaves."""
+        self._stop(node_index)
+
+    @property
+    def finished(self) -> bool:
+        return self._done.triggered
+
+
+class PullEngine(EngineBase):
+    """DEWE v2 over the cluster simulator."""
+
+    name = "dewe-v2"
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        config: Optional[RunConfig] = None,
+        broker_latency: float = 0.002,
+        fault_schedule=None,
+        autoscaler=None,
+        initially_down: tuple = (),
+    ):
+        """``autoscaler`` is an optional controller — a generator function
+        taking an :class:`ElasticAPI` — that may start and (gracefully)
+        stop per-node worker daemons while the ensemble runs, the dynamic
+        resource provisioning the paper sketches in §V.A.3.
+        ``initially_down`` lists nodes whose daemon the autoscaler will
+        bring up later (they are provisioned but not leased at t=0)."""
+        super().__init__(spec, config)
+        self.broker_latency = broker_latency
+        self.fault_schedule = fault_schedule
+        self.autoscaler = autoscaler
+        self.initially_down = tuple(initially_down)
+
+    def run(self, ensemble: Ensemble) -> EngineResult:
+        sim, cluster, thread_logs = self._setup(ensemble)
+        cfg = self.config
+        broker = SimBroker(sim, latency=self.broker_latency)
+        fs = cluster.fs
+        states: Dict[str, WorkflowState] = {}
+        spans: Dict[str, Tuple[float, float]] = {}
+        records: List[JobRecord] = []
+        done = sim.event()
+        remaining = [len(ensemble)]
+        jobs_executed = [0]
+        thread_counts = [0] * len(cluster.nodes)
+        node_slots: List[List[Process]] = [[] for _ in cluster.nodes]
+
+        def dispatch(state: WorkflowState, job_id: str) -> None:
+            broker.publish(_DISPATCH, (state.name, job_id, state.attempt[job_id]))
+
+        # -- master daemon ---------------------------------------------------
+        def submitter():
+            for submit_time, wf in ensemble:
+                if submit_time > sim.now:
+                    yield sim.timeout(submit_time - sim.now)
+                state = WorkflowState(wf, cfg.default_timeout, validate=False)
+                states[wf.name] = state
+                spans[wf.name] = (sim.now, float("nan"))
+                for job_id in state.initial_ready():
+                    dispatch(state, job_id)
+
+        def ack_loop():
+            while True:
+                kind, name, job_id, attempt = yield broker.consume(_ACK)
+                state = states[name]
+                if kind == _RUNNING:
+                    state.on_running(job_id, attempt, sim.now)
+                    continue
+                for child_id in state.on_completed(job_id, attempt):
+                    dispatch(state, child_id)
+                if state.is_complete:
+                    spans[name] = (spans[name][0], sim.now)
+                    remaining[0] -= 1
+                    if remaining[0] == 0:
+                        done.succeed()
+                        return
+
+        def timeout_loop():
+            while not done.triggered:
+                yield sim.timeout(cfg.timeout_check_interval)
+                for state in states.values():
+                    for job_id in state.expired(sim.now):
+                        dispatch(state, job_id)
+
+        # -- worker daemons ----------------------------------------------------
+        # Rental accounting for elastic provisioning: a node's lease runs
+        # from worker start until its last slot exits.
+        n_nodes = len(cluster.nodes)
+        leases: List[List[List[float]]] = [[] for _ in range(n_nodes)]
+        slot_alive = [0] * n_nodes
+        draining: set = set()
+        idle_waits: List[set] = [set() for _ in range(n_nodes)]
+
+        def _slot_exit(node_index: int) -> None:
+            slot_alive[node_index] -= 1
+            if slot_alive[node_index] == 0 and leases[node_index]:
+                leases[node_index][-1][1] = sim.now
+
+        def worker_slot(node_index: int):
+            node = cluster.nodes[node_index]
+            log = thread_logs[node_index]
+            try:
+                while node_index not in draining:
+                    pending = broker.consume(_DISPATCH)
+                    idle_waits[node_index].add(pending)
+                    try:
+                        msg = yield pending
+                    except Interrupt:
+                        broker.cancel(_DISPATCH, pending)
+                        return
+                    finally:
+                        idle_waits[node_index].discard(pending)
+                    if msg is None:
+                        return  # consume cancelled (graceful scale-in)
+                    name, job_id, attempt = msg
+                    job = states[name].workflow.job(job_id)
+                    broker.publish(_ACK, (_RUNNING, name, job_id, attempt))
+                    start = sim.now
+                    thread_counts[node_index] += 1
+                    log.record(sim.now, thread_counts[node_index])
+                    try:
+                        phases = yield from execute_job(
+                            sim, node, fs, job, speed=node.itype.cpu_speed, owner=name
+                        )
+                    except Interrupt:
+                        # Worker daemon killed mid-job: no completion ack;
+                        # the master's timeout will resubmit (paper §V.A.3).
+                        thread_counts[node_index] -= 1
+                        log.record(sim.now, thread_counts[node_index])
+                        return
+                    thread_counts[node_index] -= 1
+                    log.record(sim.now, thread_counts[node_index])
+                    jobs_executed[0] += 1
+                    if cfg.record_jobs:
+                        read_t, compute_t, write_t = phases
+                        records.append(
+                            JobRecord(
+                                workflow=name,
+                                job_id=job_id,
+                                task_type=job.task_type,
+                                node=node_index,
+                                start=start,
+                                end=sim.now,
+                                read_time=read_t,
+                                compute_time=compute_t,
+                                write_time=write_t,
+                                attempt=attempt,
+                            )
+                        )
+                    broker.publish(_ACK, (_COMPLETED, name, job_id, attempt))
+            finally:
+                _slot_exit(node_index)
+
+        def start_worker(node_index: int) -> None:
+            if slot_alive[node_index] > 0:
+                return  # daemon already running on this node
+            draining.discard(node_index)
+            leases[node_index].append([sim.now, None])
+            slots = node_slots[node_index]
+            slots.clear()
+            capacity = cluster.nodes[node_index].cores.capacity
+            slot_alive[node_index] = capacity
+            for _ in range(capacity):
+                slots.append(sim.process(worker_slot(node_index)))
+
+        def kill_worker(node_index: int) -> None:
+            """Abrupt death: in-flight jobs are lost (fault injection)."""
+            for proc in node_slots[node_index]:
+                proc.interrupt("worker daemon killed")
+            node_slots[node_index].clear()
+
+        def stop_worker(node_index: int) -> None:
+            """Graceful scale-in: idle slots leave now, busy slots finish
+            their current job first — nothing is lost, no timeout needed."""
+            draining.add(node_index)
+            for pending in list(idle_waits[node_index]):
+                broker.cancel(_DISPATCH, pending)
+            node_slots[node_index].clear()
+
+        sim.process(submitter())
+        sim.process(ack_loop())
+        sim.process(timeout_loop())
+        initially_down = set(self.initially_down)
+        if self.fault_schedule is not None:
+            initially_down |= set(self.fault_schedule.initially_down)
+            self.fault_schedule.install(sim, start_worker, kill_worker)
+        for i in range(n_nodes):
+            if i not in initially_down:
+                start_worker(i)
+        if self.autoscaler is not None:
+            api = ElasticAPI(
+                sim=sim,
+                n_nodes=n_nodes,
+                _queue_depth=lambda: broker.depth(_DISPATCH),
+                _active=lambda: [i for i in range(n_nodes) if slot_alive[i] > 0],
+                _start=start_worker,
+                _stop=stop_worker,
+                _done=done,
+            )
+            sim.process(self.autoscaler(api))
+
+        sim.run_until(done)
+        if cfg.drain_caches:
+            sim.run_until(fs.drained())
+
+        makespan = max(end for _start, end in spans.values())
+        rental_spans = {
+            i: [(s, e if e is not None else makespan) for s, e in leases[i]]
+            for i in range(n_nodes)
+            if leases[i]
+        }
+        return EngineResult(
+            engine=self.name,
+            spec=self.spec,
+            n_workflows=len(ensemble),
+            makespan=makespan,
+            workflow_spans=dict(spans),
+            records=records,
+            cluster=cluster,
+            resubmissions=sum(s.resubmissions for s in states.values()),
+            jobs_executed=jobs_executed[0],
+            thread_logs=thread_logs,
+            rental_spans=rental_spans,
+        )

@@ -1,0 +1,5 @@
+"""Fault injection for the robustness experiments (paper §V.A.3)."""
+
+from repro.faults.injection import FaultAction, FaultSchedule, kill_restart_cycle
+
+__all__ = ["FaultAction", "FaultSchedule", "kill_restart_cycle"]

@@ -1,0 +1,154 @@
+"""Epigenomics workflow generator.
+
+The USC Epigenome Center's methylation pipeline is a standard member of
+the Pegasus workflow gallery alongside Montage/CyberShake/LIGO.  Its
+shape is a set of independent *lanes*, each a deep chain over chunks of
+sequence data, merged at the end:
+
+    fastqSplit (per lane)
+        -> filterContams -> sol2sanger -> fastq2bfq -> map   (per chunk)
+    mapMerge (per lane) -> mapMergeGlobal -> maqIndex -> pileup
+
+Unlike Montage, the fan jobs form *chains* (4 sequential steps per
+chunk), so the DAG is deep and narrow per chunk — a useful contrast for
+engine tests: coordination overhead is paid per level.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.workflow.dag import DataFile, Workflow
+
+__all__ = ["epigenomics_workflow"]
+
+LANE_BYTES = 1.2e9          # raw sequence data per lane
+CHUNK_BYTES = 60e6
+MAPPED_BYTES = 30e6
+MERGED_BYTES = 400e6
+
+RUNTIME = {
+    "fastqSplit": 8.0,
+    "filterContams": 3.0,
+    "sol2sanger": 2.0,
+    "fastq2bfq": 2.5,
+    "map": 40.0,
+    "mapMerge": 15.0,
+    "mapMergeGlobal": 25.0,
+    "maqIndex": 12.0,
+    "pileup": 30.0,
+}
+
+_CHAIN = ("filterContams", "sol2sanger", "fastq2bfq", "map")
+
+
+def epigenomics_workflow(
+    lanes: int = 4,
+    chunks: int = 8,
+    name: Optional[str] = None,
+    jitter: float = 0.0,
+    seed: int = 0,
+) -> Workflow:
+    """Generate an Epigenomics-shaped workflow.
+
+    Parameters
+    ----------
+    lanes:
+        Independent sequencing lanes (outer parallelism).
+    chunks:
+        Chunks per lane (inner parallelism; each chunk is a 4-job chain).
+    """
+    if lanes < 1 or chunks < 1:
+        raise ValueError("lanes and chunks must be >= 1")
+    if jitter < 0:
+        raise ValueError(f"jitter must be >= 0, got {jitter}")
+    if name is None:
+        name = f"epigenomics-{lanes}x{chunks}"
+    wf = Workflow(name)
+    rng = np.random.default_rng(seed) if jitter > 0 else None
+
+    def runtime_of(task_type: str) -> float:
+        base = RUNTIME[task_type]
+        if rng is not None:
+            base *= float(rng.lognormal(0.0, jitter))
+        return base
+
+    merged_files = []
+    for lane in range(lanes):
+        raw = DataFile(f"{name}/lane_{lane:02d}.fastq", LANE_BYTES, "input")
+        chunk_files = [
+            DataFile(f"{name}/l{lane:02d}_c{c:03d}.fastq", CHUNK_BYTES)
+            for c in range(chunks)
+        ]
+        split_id = f"fastqSplit_{lane:02d}"
+        wf.new_job(
+            split_id,
+            "fastqSplit",
+            runtime=runtime_of("fastqSplit"),
+            inputs=[raw],
+            outputs=chunk_files,
+        )
+        mapped = []
+        for c in range(chunks):
+            prev_id = split_id
+            prev_file = chunk_files[c]
+            for step in _CHAIN:
+                job_id = f"{step}_{lane:02d}_{c:03d}"
+                out_size = MAPPED_BYTES if step == "map" else CHUNK_BYTES
+                out = DataFile(f"{name}/{job_id}.out", out_size)
+                wf.new_job(
+                    job_id,
+                    step,
+                    runtime=runtime_of(step),
+                    inputs=[prev_file],
+                    outputs=[out],
+                )
+                wf.add_dependency(prev_id, job_id)
+                prev_id, prev_file = job_id, out
+            mapped.append((prev_id, prev_file))
+        merge_id = f"mapMerge_{lane:02d}"
+        merged = DataFile(f"{name}/merged_{lane:02d}.map", MERGED_BYTES)
+        merged_files.append(merged)
+        wf.new_job(
+            merge_id,
+            "mapMerge",
+            runtime=runtime_of("mapMerge"),
+            inputs=[f for _id, f in mapped],
+            outputs=[merged],
+        )
+        for job_id, _f in mapped:
+            wf.add_dependency(job_id, merge_id)
+
+    global_map = DataFile(f"{name}/global.map", MERGED_BYTES * lanes)
+    wf.new_job(
+        "mapMergeGlobal",
+        "mapMergeGlobal",
+        runtime=runtime_of("mapMergeGlobal"),
+        inputs=list(merged_files),
+        outputs=[global_map],
+    )
+    for lane in range(lanes):
+        wf.add_dependency(f"mapMerge_{lane:02d}", "mapMergeGlobal")
+
+    index = DataFile(f"{name}/global.index", 50e6)
+    wf.new_job(
+        "maqIndex",
+        "maqIndex",
+        runtime=runtime_of("maqIndex"),
+        inputs=[global_map],
+        outputs=[index],
+    )
+    wf.add_dependency("mapMergeGlobal", "maqIndex")
+
+    pileup = DataFile(f"{name}/methylation.pileup", 200e6, "output")
+    wf.new_job(
+        "pileup",
+        "pileup",
+        runtime=runtime_of("pileup"),
+        inputs=[index, global_map],
+        outputs=[pileup],
+    )
+    wf.add_dependency("maqIndex", "pileup")
+    return wf

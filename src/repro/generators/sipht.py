@@ -1,0 +1,161 @@
+"""SIPHT workflow generator.
+
+SIPHT (sRNA identification protocol using high-throughput technology,
+Harvard) searches bacterial genomes for small untranslated RNAs.  Its
+Pegasus-gallery shape is wide and shallow: many independent candidate
+searches (Patser jobs) feed one concatenation, in parallel with a band of
+heterogeneous analysis codes (Blast variants, RNAMotif, FindTerm,
+TransTerm) that all converge on a single SRNA job, followed by annotation
+fan-out.
+
+SIPHT matters for engine testing because its job families are *not*
+homogeneous — runtimes differ wildly across the analysis band — making it
+the natural low-:func:`~repro.workflow.traces.homogeneity_index` contrast
+to Montage.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.workflow.dag import DataFile, Workflow
+
+__all__ = ["sipht_workflow"]
+
+GENOME_BYTES = 8e6
+CANDIDATE_BYTES = 0.5e6
+RESULT_BYTES = 2e6
+
+RUNTIME = {
+    "Patser": 1.5,
+    "PatserConcat": 3.0,
+    "TransTerm": 60.0,
+    "FindTerm": 45.0,
+    "RNAMotif": 20.0,
+    "Blast": 120.0,
+    "SRNA": 15.0,
+    "FFN_Parse": 4.0,
+    "BlastSynteny": 25.0,
+    "BlastCandidate": 10.0,
+    "BlastQRNA": 35.0,
+    "BlastParalogues": 18.0,
+    "SRNAAnnotate": 8.0,
+}
+
+_ANALYSIS_BAND = ("TransTerm", "FindTerm", "RNAMotif", "Blast")
+_ANNOTATION_FAN = ("BlastSynteny", "BlastCandidate", "BlastQRNA", "BlastParalogues")
+
+
+def sipht_workflow(
+    patsers: int = 24,
+    name: Optional[str] = None,
+    jitter: float = 0.0,
+    seed: int = 0,
+) -> Workflow:
+    """Generate a SIPHT-shaped workflow with ``patsers`` candidate jobs."""
+    if patsers < 1:
+        raise ValueError(f"patsers must be >= 1, got {patsers}")
+    if jitter < 0:
+        raise ValueError(f"jitter must be >= 0, got {jitter}")
+    if name is None:
+        name = f"sipht-{patsers}"
+    wf = Workflow(name)
+    rng = np.random.default_rng(seed) if jitter > 0 else None
+
+    def runtime_of(task_type: str) -> float:
+        base = RUNTIME[task_type]
+        if rng is not None:
+            base *= float(rng.lognormal(0.0, jitter))
+        return base
+
+    genome = DataFile(f"{name}/genome.fna", GENOME_BYTES, "input")
+
+    # Wide Patser band -> concatenation.
+    patser_outs = []
+    for i in range(patsers):
+        out = DataFile(f"{name}/patser_{i:03d}.out", CANDIDATE_BYTES)
+        patser_outs.append(out)
+        wf.new_job(
+            f"Patser_{i:03d}",
+            "Patser",
+            runtime=runtime_of("Patser"),
+            inputs=[genome],
+            outputs=[out],
+        )
+    concat = DataFile(f"{name}/patser_concat.out", CANDIDATE_BYTES * patsers)
+    wf.new_job(
+        "PatserConcat",
+        "PatserConcat",
+        runtime=runtime_of("PatserConcat"),
+        inputs=list(patser_outs),
+        outputs=[concat],
+    )
+    for i in range(patsers):
+        wf.add_dependency(f"Patser_{i:03d}", "PatserConcat")
+
+    # Heterogeneous analysis band, all independent.
+    analysis_outs = []
+    for task_type in _ANALYSIS_BAND:
+        out = DataFile(f"{name}/{task_type.lower()}.out", RESULT_BYTES)
+        analysis_outs.append(out)
+        wf.new_job(
+            task_type,
+            task_type,
+            runtime=runtime_of(task_type),
+            inputs=[genome],
+            outputs=[out],
+        )
+
+    # SRNA joins everything.
+    srna_out = DataFile(f"{name}/srna.out", RESULT_BYTES)
+    wf.new_job(
+        "SRNA",
+        "SRNA",
+        runtime=runtime_of("SRNA"),
+        inputs=[concat] + analysis_outs,
+        outputs=[srna_out],
+    )
+    wf.add_dependency("PatserConcat", "SRNA")
+    for task_type in _ANALYSIS_BAND:
+        wf.add_dependency(task_type, "SRNA")
+
+    # FFN parse feeds part of the annotation fan.
+    ffn = DataFile(f"{name}/ffn_parse.out", RESULT_BYTES)
+    wf.new_job(
+        "FFN_Parse",
+        "FFN_Parse",
+        runtime=runtime_of("FFN_Parse"),
+        inputs=[genome],
+        outputs=[ffn],
+    )
+
+    # Annotation fan after SRNA.
+    fan_outs = []
+    for task_type in _ANNOTATION_FAN:
+        out = DataFile(f"{name}/{task_type.lower()}.out", RESULT_BYTES)
+        fan_outs.append(out)
+        inputs = [srna_out, ffn] if task_type == "BlastSynteny" else [srna_out]
+        wf.new_job(
+            task_type,
+            task_type,
+            runtime=runtime_of(task_type),
+            inputs=inputs,
+            outputs=[out],
+        )
+        wf.add_dependency("SRNA", task_type)
+        if task_type == "BlastSynteny":
+            wf.add_dependency("FFN_Parse", task_type)
+
+    final = DataFile(f"{name}/annotations.out", RESULT_BYTES, "output")
+    wf.new_job(
+        "SRNAAnnotate",
+        "SRNAAnnotate",
+        runtime=runtime_of("SRNAAnnotate"),
+        inputs=list(fan_outs),
+        outputs=[final],
+    )
+    for task_type in _ANNOTATION_FAN:
+        wf.add_dependency(task_type, "SRNAAnnotate")
+    return wf

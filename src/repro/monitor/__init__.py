@@ -1,0 +1,33 @@
+"""Monitoring and reporting.
+
+The paper collects OS-level metrics every 3 seconds with mpstat/iostat
+(§IV.A); here the DES resources keep exact segment logs and this package
+resamples them into the same time series:
+
+* :mod:`~repro.monitor.metrics` — per-node and cluster-wide CPU
+  utilisation, disk read/write throughput and concurrent-thread series
+  (Figs 4, 6, 9, 10);
+* :mod:`~repro.monitor.timeline` — per-vCPU-slot Gantt data with
+  compute/communication split (Fig 2);
+* :mod:`~repro.monitor.report` — aggregate totals (Fig 7) and text
+  rendering for the benchmark harness.
+"""
+
+from repro.monitor.export import ascii_gantt, metrics_to_csv, to_chrome_trace
+from repro.monitor.metrics import NodeMetrics, cluster_metrics, node_metrics
+from repro.monitor.report import format_series, run_summary, summary_table
+from repro.monitor.timeline import SlotSegment, slot_timeline
+
+__all__ = [
+    "NodeMetrics",
+    "SlotSegment",
+    "ascii_gantt",
+    "cluster_metrics",
+    "format_series",
+    "metrics_to_csv",
+    "node_metrics",
+    "run_summary",
+    "slot_timeline",
+    "summary_table",
+    "to_chrome_trace",
+]

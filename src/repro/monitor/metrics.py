@@ -1,0 +1,89 @@
+"""Resource-consumption time series (the paper's mpstat/iostat sampling).
+
+Each node's DES resources log exact utilisation segments; these helpers
+resample them into fixed-interval series, default 3 seconds like the
+paper's background monitoring process (§IV.A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engines.base import EngineResult
+
+__all__ = ["NodeMetrics", "node_metrics", "cluster_metrics"]
+
+#: The paper's sampling interval (seconds).
+SAMPLE_INTERVAL = 3.0
+
+
+@dataclass
+class NodeMetrics:
+    """Sampled series for one node (or a cluster aggregate).
+
+    ``times`` are bucket start times; utilisation is percent; throughputs
+    are MB/s (decimal), matching the paper's axes.
+    """
+
+    times: np.ndarray
+    cpu_util: np.ndarray
+    disk_write: np.ndarray
+    disk_read: np.ndarray
+    threads: np.ndarray
+
+    @property
+    def peak_threads(self) -> float:
+        return float(self.threads.max()) if self.threads.size else 0.0
+
+    @property
+    def peak_cpu_util(self) -> float:
+        return float(self.cpu_util.max()) if self.cpu_util.size else 0.0
+
+    def mean_cpu_util(self) -> float:
+        return float(self.cpu_util.mean()) if self.cpu_util.size else 0.0
+
+
+def node_metrics(
+    result: EngineResult,
+    node_index: int,
+    dt: float = SAMPLE_INTERVAL,
+    t_end: float | None = None,
+) -> NodeMetrics:
+    """Sampled metrics of one node over ``[0, t_end]`` (default makespan)."""
+    node = result.cluster.nodes[node_index]
+    end = result.makespan if t_end is None else t_end
+    times, busy = node.cores.log.sample(end, dt)
+    _t, writes = node.disk.write.log.sample(end, dt)
+    _t, reads = node.disk.read.log.sample(end, dt)
+    if result.thread_logs:
+        _t, threads = result.thread_logs[node_index].sample(end, dt)
+    else:
+        threads = np.zeros_like(busy)
+    return NodeMetrics(
+        times=times,
+        cpu_util=100.0 * busy / node.cores.capacity,
+        disk_write=writes / 1e6,
+        disk_read=reads / 1e6,
+        threads=threads,
+    )
+
+
+def cluster_metrics(
+    result: EngineResult,
+    dt: float = SAMPLE_INTERVAL,
+    t_end: float | None = None,
+) -> NodeMetrics:
+    """Cluster aggregate: mean CPU utilisation, summed disk throughput."""
+    per_node = [
+        node_metrics(result, i, dt, t_end) for i in range(len(result.cluster.nodes))
+    ]
+    n = len(per_node)
+    return NodeMetrics(
+        times=per_node[0].times,
+        cpu_util=sum(m.cpu_util for m in per_node) / n,
+        disk_write=sum(m.disk_write for m in per_node),
+        disk_read=sum(m.disk_read for m in per_node),
+        threads=sum(m.threads for m in per_node),
+    )

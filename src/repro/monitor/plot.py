@@ -1,0 +1,245 @@
+"""Dependency-free SVG rendering of the reproduced figures.
+
+matplotlib is deliberately not a dependency; these helpers emit clean
+standalone SVG so the benchmark outputs can be turned into actual figure
+files (time-series like Fig 4/6/9, Gantt timelines like Fig 2) anywhere
+the library runs.
+
+* :func:`svg_line_chart` — multi-series line chart with axes, ticks and
+  a legend;
+* :func:`svg_gantt` — per-vCPU-slot timeline coloured by task type.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.engines.base import EngineResult
+from repro.monitor.timeline import slot_timeline
+
+__all__ = ["svg_line_chart", "svg_gantt", "PALETTE"]
+
+_PathLike = Union[str, Path]
+
+#: Colour cycle for series/task types.
+PALETTE = (
+    "#4878d0", "#ee854a", "#6acc64", "#d65f5f",
+    "#956cb4", "#8c613c", "#dc7ec0", "#797979",
+)
+
+
+def _ticks(lo: float, hi: float, n: int = 5) -> Sequence[float]:
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    raw = span / max(1, n - 1)
+    # Round the step to 1/2/5 x 10^k.
+    magnitude = 10 ** int(f"{raw:e}".split("e")[1])
+    for mult in (1, 2, 5, 10):
+        step = mult * magnitude
+        if step >= raw:
+            break
+    first = lo - (lo % step) if lo % step else lo
+    ticks = []
+    t = first
+    while t <= hi + 1e-9 * span:
+        if t >= lo - 1e-9 * span:
+            ticks.append(t)
+        t += step
+    return ticks or [lo, hi]
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 10000 or abs(value) < 0.01:
+        return f"{value:.1e}"
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    return f"{value:g}"
+
+
+def svg_line_chart(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    path: Optional[_PathLike] = None,
+    width: int = 640,
+    height: int = 400,
+) -> str:
+    """Render ``{label: (xs, ys)}`` as an SVG line chart; returns the SVG."""
+    if not series:
+        raise ValueError("need at least one series")
+    margin_l, margin_r, margin_t, margin_b = 64, 150, 36, 48
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+    xs_all = [x for xs, _ in series.values() for x in xs]
+    ys_all = [y for _, ys in series.values() for y in ys]
+    if not xs_all:
+        raise ValueError("series contain no points")
+    x_lo, x_hi = min(xs_all), max(xs_all)
+    y_lo, y_hi = min(0.0, min(ys_all)), max(ys_all)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    def sx(x: float) -> float:
+        return margin_l + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def sy(y: float) -> float:
+        return margin_t + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2:.0f}" y="20" text-anchor="middle" '
+        f'font-size="15">{html.escape(title)}</text>',
+    ]
+    # Axes and ticks.
+    parts.append(
+        f'<line x1="{margin_l}" y1="{margin_t + plot_h}" x2="{margin_l + plot_w}" '
+        f'y2="{margin_t + plot_h}" stroke="black"/>'
+    )
+    parts.append(
+        f'<line x1="{margin_l}" y1="{margin_t}" x2="{margin_l}" '
+        f'y2="{margin_t + plot_h}" stroke="black"/>'
+    )
+    for t in _ticks(x_lo, x_hi):
+        x = sx(t)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{margin_t + plot_h}" x2="{x:.1f}" '
+            f'y2="{margin_t + plot_h + 5}" stroke="black"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{margin_t + plot_h + 18}" '
+            f'text-anchor="middle">{_fmt(t)}</text>'
+        )
+    for t in _ticks(y_lo, y_hi):
+        y = sy(t)
+        parts.append(
+            f'<line x1="{margin_l - 5}" y1="{y:.1f}" x2="{margin_l}" '
+            f'y2="{y:.1f}" stroke="black"/>'
+        )
+        parts.append(
+            f'<text x="{margin_l - 8}" y="{y + 4:.1f}" '
+            f'text-anchor="end">{_fmt(t)}</text>'
+        )
+    if xlabel:
+        parts.append(
+            f'<text x="{margin_l + plot_w / 2:.0f}" y="{height - 10}" '
+            f'text-anchor="middle">{html.escape(xlabel)}</text>'
+        )
+    if ylabel:
+        parts.append(
+            f'<text x="16" y="{margin_t + plot_h / 2:.0f}" text-anchor="middle" '
+            f'transform="rotate(-90 16 {margin_t + plot_h / 2:.0f})">'
+            f"{html.escape(ylabel)}</text>"
+        )
+    # Series + legend.
+    for i, (label, (xs, ys)) in enumerate(series.items()):
+        color = PALETTE[i % len(PALETTE)]
+        points = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in zip(xs, ys))
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="2"/>'
+        )
+        for x, y in zip(xs, ys):
+            parts.append(
+                f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="3" fill="{color}"/>'
+            )
+        ly = margin_t + 14 + i * 18
+        lx = margin_l + plot_w + 10
+        parts.append(
+            f'<line x1="{lx}" y1="{ly - 4}" x2="{lx + 18}" y2="{ly - 4}" '
+            f'stroke="{color}" stroke-width="2"/>'
+        )
+        parts.append(f'<text x="{lx + 24}" y="{ly}">{html.escape(label)}</text>')
+    parts.append("</svg>")
+    svg = "\n".join(parts)
+    if path is not None:
+        Path(path).write_text(svg)
+    return svg
+
+
+def svg_gantt(
+    result: EngineResult,
+    path: Optional[_PathLike] = None,
+    width: int = 900,
+    row_height: int = 8,
+    max_slots_per_node: int = 32,
+) -> str:
+    """Render the per-slot timeline as SVG (the paper's Fig 2 layout).
+
+    Rows are vCPU slots grouped by node; bars are jobs coloured by task
+    type, with the I/O share of each bar rendered as a lighter leading
+    segment (the 'communication time' of Fig 2).
+    """
+    segments = slot_timeline(result)
+    lanes = sorted(
+        {(seg.node, seg.slot) for seg in segments if seg.slot < max_slots_per_node}
+    )
+    lane_index = {lane: i for i, lane in enumerate(lanes)}
+    t_end = max(seg.end for seg in segments)
+    margin_l, margin_t = 70, 30
+    plot_w = width - margin_l - 20
+    height = margin_t + len(lanes) * row_height + 40
+    type_colors: Dict[str, str] = {}
+
+    def color_of(task_type: str) -> str:
+        if task_type not in type_colors:
+            type_colors[task_type] = PALETTE[len(type_colors) % len(PALETTE)]
+        return type_colors[task_type]
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="10">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{margin_l}" y="16">{html.escape(result.engine)} on '
+        f"{html.escape(result.spec.name)} — {result.makespan:.0f} s</text>",
+    ]
+    for (node, slot), idx in lane_index.items():
+        if slot == 0:
+            y = margin_t + idx * row_height + row_height - 2
+            parts.append(f'<text x="4" y="{y}">node {node}</text>')
+    for seg in segments:
+        if (seg.node, seg.slot) not in lane_index:
+            continue
+        y = margin_t + lane_index[(seg.node, seg.slot)] * row_height
+        x0 = margin_l + seg.start / t_end * plot_w
+        w = max(0.5, seg.duration / t_end * plot_w)
+        color = color_of(seg.task_type)
+        io_frac = seg.io_time / seg.duration if seg.duration > 0 else 0.0
+        io_w = w * min(1.0, io_frac)
+        if io_w > 0.3:
+            parts.append(
+                f'<rect x="{x0:.1f}" y="{y}" width="{io_w:.1f}" '
+                f'height="{row_height - 1}" fill="{color}" opacity="0.35"/>'
+            )
+        parts.append(
+            f'<rect x="{x0 + io_w:.1f}" y="{y}" width="{max(0.2, w - io_w):.1f}" '
+            f'height="{row_height - 1}" fill="{color}"/>'
+        )
+    # Legend and time axis.
+    lx = margin_l
+    ly = height - 12
+    for task_type, color in type_colors.items():
+        entry_width = 14 + 7 * len(task_type) + 16
+        if lx + entry_width > width - 10:
+            break  # legend overflow: elide the remaining types
+        parts.append(f'<rect x="{lx}" y="{ly - 9}" width="10" height="10" fill="{color}"/>')
+        parts.append(f'<text x="{lx + 14}" y="{ly}">{html.escape(task_type)}</text>')
+        lx += entry_width
+    parts.append(
+        f'<text x="{margin_l + plot_w:.0f}" y="16" text-anchor="end">'
+        f"0 .. {t_end:.0f} s</text>"
+    )
+    parts.append("</svg>")
+    svg = "\n".join(parts)
+    if path is not None:
+        Path(path).write_text(svg)
+    return svg

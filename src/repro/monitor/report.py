@@ -1,0 +1,63 @@
+"""Aggregate run reports and text rendering for the benchmark harness.
+
+The benchmarks regenerate the paper's tables and figure series as text:
+``run_summary`` provides the Fig 7-style totals, ``summary_table`` and
+``format_series`` render aligned rows the way the paper reports them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.engines.base import EngineResult
+
+__all__ = ["run_summary", "summary_table", "format_series"]
+
+
+def run_summary(result: EngineResult) -> Dict[str, float]:
+    """Fig 7-style totals for one run."""
+    return {
+        "engine": result.engine,
+        "cluster": result.spec.name,
+        "workflows": result.n_workflows,
+        "jobs": result.jobs_executed,
+        "makespan_s": round(result.makespan, 1),
+        "total_cpu_seconds": round(result.total_cpu_seconds(), 1),
+        "total_disk_write_gb": round(result.total_disk_write_bytes() / 1e9, 2),
+        "total_disk_read_gb": round(result.total_disk_read_bytes() / 1e9, 2),
+        "resubmissions": result.resubmissions,
+        "cost_usd": round(result.cost(), 2),
+    }
+
+
+def summary_table(rows: Sequence[Dict], columns: Sequence[str] | None = None) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    table: List[List[str]] = [[str(col) for col in columns]]
+    for row in rows:
+        table.append([_fmt(row.get(col, "")) for col in columns])
+    widths = [max(len(r[i]) for r in table) for i in range(len(columns))]
+    lines = []
+    for idx, row in enumerate(table):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_series(
+    label: str, xs: Iterable[float], ys: Iterable[float], unit: str = ""
+) -> str:
+    """One figure series as '<label>: x=... y=...' pairs."""
+    pairs = "  ".join(f"{x:g}:{y:.3g}" for x, y in zip(xs, ys))
+    suffix = f" [{unit}]" if unit else ""
+    return f"{label}{suffix}: {pairs}"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)

@@ -1,0 +1,23 @@
+"""Montage-lite: a working miniature of the Montage toolchain.
+
+The paper runs the real Montage binaries; this package provides
+functional stand-ins that operate on ``.npy`` image tiles so the *real*
+DEWE v2 daemons can execute a genuine image-mosaic computation end to
+end — subprocesses, shared-directory data flow, verifiable output —
+rather than sleeping for synthetic durations.
+
+The science (deliberately simplified but real): each raw tile is the
+true sky plus a per-tile constant background offset plus noise.
+``mDiffFit`` measures pairwise offsets on tile overlaps, ``mBgModel``
+solves the offsets by least squares (anchored to tile 0), ``mBackground``
+subtracts them, and ``mAdd`` stitches the corrected tiles.  Tests verify
+the corrected mosaic is a much better reconstruction of the true sky
+than stitching the raw tiles — i.e. the pipeline *computes something*,
+and computes it identically under the concurrent engine and the
+sequential reference executor (paper §V.A's MD5 check).
+"""
+
+from repro.montage_lite.builder import build_montage_lite_workflow, make_sky
+from repro.montage_lite.tools import TOOLS
+
+__all__ = ["TOOLS", "build_montage_lite_workflow", "make_sky"]

@@ -1,0 +1,27 @@
+"""CLI entry point: ``python -m repro.montage_lite <tool> <args>...``.
+
+This is the "binary" the SubprocessExecutor invokes — each call is one
+Montage-lite job, exactly as the real worker daemon would exec mProjectPP
+and friends from the workflow folder's ``bin/`` directory.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.montage_lite.tools import TOOLS
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] not in TOOLS:
+        known = ", ".join(sorted(TOOLS))
+        print(f"usage: python -m repro.montage_lite <tool> ...\ntools: {known}",
+              file=sys.stderr)
+        return 2
+    TOOLS[argv[0]](argv[1:])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,242 @@
+"""Build a runnable Montage-lite workflow over real files.
+
+``build_montage_lite_workflow`` synthesises a sky, cuts it into tiles
+with per-tile background offsets and noise, writes the raw tiles into a
+workflow folder, and returns a :class:`~repro.workflow.dag.Workflow`
+whose jobs are argv commands invoking :mod:`repro.montage_lite` — ready
+for the real DEWE v2 daemons with a
+:class:`~repro.dewe.executors.SubprocessExecutor` (or, in-process, a
+:class:`~repro.dewe.executors.CallableExecutor` via the same tool
+functions).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.workflow.dag import DataFile, Workflow
+
+__all__ = ["make_sky", "build_montage_lite_workflow"]
+
+_PathLike = Union[str, Path]
+
+
+def make_sky(grid: int, tile: int, seed: int = 0) -> np.ndarray:
+    """A smooth synthetic sky of ``(grid*tile) x (grid*tile)`` pixels."""
+    size = grid * tile
+    ys, xs = np.mgrid[0:size, 0:size] / size
+    rng = np.random.default_rng(seed)
+    sky = np.zeros((size, size))
+    for _ in range(4):
+        fy, fx = rng.uniform(1.0, 4.0, size=2)
+        py, px = rng.uniform(0, 2 * np.pi, size=2)
+        amp = rng.uniform(20.0, 60.0)
+        sky += amp * np.sin(2 * np.pi * fy * ys + py) * np.cos(2 * np.pi * fx * xs + px)
+    return sky + 500.0  # positive baseline like real counts
+
+
+def build_montage_lite_workflow(
+    workdir: _PathLike,
+    grid: int = 3,
+    tile: int = 32,
+    seed: int = 0,
+    offset_scale: float = 50.0,
+    noise_scale: float = 0.5,
+    name: str = "montage-lite",
+    subprocess_actions: bool = True,
+    pad: int = 2,
+) -> Workflow:
+    """Write raw tiles under ``workdir`` and return the workflow.
+
+    The raw tiles carry per-tile background offsets of magnitude
+    ``offset_scale`` (what mBgModel must solve away) and pixel noise of
+    ``noise_scale``.
+
+    With ``subprocess_actions`` the jobs are argv commands invoking
+    ``python -m repro.montage_lite`` (real subprocesses); without, they
+    are in-process callables over the same tool functions — the two
+    modes produce byte-identical outputs, which the test suite verifies.
+    """
+    if grid < 2:
+        raise ValueError(f"grid must be >= 2, got {grid}")
+    if tile < 4:
+        raise ValueError(f"tile must be >= 4, got {tile}")
+    if pad < 1 or 2 * pad >= tile:
+        raise ValueError(f"pad must be in [1, tile/2), got {pad}")
+    root = Path(workdir)
+    (root / name).mkdir(parents=True, exist_ok=True)
+    rng = np.random.default_rng(seed + 1)
+    sky = make_sky(grid, tile, seed)
+    offsets = rng.uniform(-offset_scale, offset_scale, size=grid * grid)
+    offsets[0] = 0.0  # tile 0 anchors the solution
+
+    python = sys.executable
+
+    def tool(tool_name, *args):
+        str_args = [str(a) for a in args]
+        if subprocess_actions:
+            return [python, "-m", "repro.montage_lite", tool_name, *str_args]
+        from functools import partial
+
+        from repro.montage_lite.tools import TOOLS
+
+        return partial(TOOLS[tool_name], str_args)
+
+    wf = Workflow(name)
+    raw_files, proj_files = [], []
+    size = grid * tile
+    for r in range(grid):
+        for c in range(grid):
+            i = r * grid + c
+            # Overlapping footprint: interior edges extend `pad` pixels
+            # into the neighbour, like real Montage tile coverage.
+            r0 = max(0, r * tile - pad)
+            r1 = min(size, (r + 1) * tile + pad)
+            c0 = max(0, c * tile - pad)
+            c1 = min(size, (c + 1) * tile + pad)
+            block = sky[r0:r1, c0:c1]
+            noisy = block + offsets[i] + rng.normal(0, noise_scale, block.shape)
+            raw_rel = f"{name}/raw_{i:03d}.npy"
+            np.save(root / raw_rel, noisy)
+            proj_rel = f"{name}/p_{i:03d}.npy"
+            raw_f = DataFile(raw_rel, (root / raw_rel).stat().st_size, "input")
+            proj_f = DataFile(proj_rel, noisy.nbytes)
+            raw_files.append(raw_f)
+            proj_files.append(proj_f)
+            wf.new_job(
+                f"mProjectPP_{i:03d}",
+                "mProjectPP",
+                runtime=0.01,
+                inputs=[raw_f],
+                outputs=[proj_f],
+                action=tool("mProjectPP", root / raw_rel, root / proj_rel),
+            )
+
+    # Pairwise fits on horizontal and vertical seams.
+    fit_files = []
+    pairs = []
+    for r in range(grid):
+        for c in range(grid):
+            i = r * grid + c
+            if c + 1 < grid:
+                pairs.append((i, i + 1, "h"))
+            if r + 1 < grid:
+                pairs.append((i, i + grid, "v"))
+    for k, (a, b, axis) in enumerate(pairs):
+        fit_rel = f"{name}/fit_{k:03d}.json"
+        fit_f = DataFile(fit_rel, 256)
+        fit_files.append(fit_f)
+        wf.new_job(
+            f"mDiffFit_{k:03d}",
+            "mDiffFit",
+            runtime=0.01,
+            inputs=[proj_files[a], proj_files[b]],
+            outputs=[fit_f],
+            action=tool(
+                "mDiffFit",
+                root / proj_files[a].name,
+                root / proj_files[b].name,
+                axis,
+                pad,
+                root / fit_rel,
+            ),
+        )
+        wf.add_dependency(f"mProjectPP_{a:03d}", f"mDiffFit_{k:03d}")
+        wf.add_dependency(f"mProjectPP_{b:03d}", f"mDiffFit_{k:03d}")
+
+    table_rel = f"{name}/fits.json"
+    table_f = DataFile(table_rel, 4096)
+    wf.new_job(
+        "mConcatFit",
+        "mConcatFit",
+        runtime=0.01,
+        inputs=list(fit_files),
+        outputs=[table_f],
+        action=tool(
+            "mConcatFit", *(root / f.name for f in fit_files), root / table_rel
+        ),
+    )
+    for k in range(len(pairs)):
+        wf.add_dependency(f"mDiffFit_{k:03d}", "mConcatFit")
+
+    corrections_rel = f"{name}/corrections.json"
+    corrections_f = DataFile(corrections_rel, 2048)
+    wf.new_job(
+        "mBgModel",
+        "mBgModel",
+        runtime=0.01,
+        inputs=[table_f],
+        outputs=[corrections_f],
+        action=tool("mBgModel", root / table_rel, root / corrections_rel),
+    )
+    wf.add_dependency("mConcatFit", "mBgModel")
+
+    corrected_files = []
+    for i in range(grid * grid):
+        c_rel = f"{name}/c_{i:03d}.npy"
+        c_f = DataFile(c_rel, proj_files[i].size)
+        corrected_files.append(c_f)
+        wf.new_job(
+            f"mBackground_{i:03d}",
+            "mBackground",
+            runtime=0.01,
+            inputs=[proj_files[i], corrections_f],
+            outputs=[c_f],
+            action=tool(
+                "mBackground",
+                root / proj_files[i].name,
+                root / corrections_rel,
+                f"p_{i:03d}",
+                root / c_rel,
+            ),
+        )
+        wf.add_dependency(f"mProjectPP_{i:03d}", f"mBackground_{i:03d}")
+        wf.add_dependency("mBgModel", f"mBackground_{i:03d}")
+
+    mosaic_rel = f"{name}/mosaic.npy"
+    mosaic_f = DataFile(mosaic_rel, sky.nbytes)
+    wf.new_job(
+        "mAdd",
+        "mAdd",
+        runtime=0.02,
+        inputs=list(corrected_files),
+        outputs=[mosaic_f],
+        action=tool(
+            "mAdd",
+            *(root / f.name for f in corrected_files),
+            grid,
+            pad,
+            root / mosaic_rel,
+        ),
+    )
+    for i in range(grid * grid):
+        wf.add_dependency(f"mBackground_{i:03d}", "mAdd")
+
+    small_rel = f"{name}/mosaic_small.npy"
+    small_f = DataFile(small_rel, sky.nbytes // 4)
+    wf.new_job(
+        "mShrink",
+        "mShrink",
+        runtime=0.01,
+        inputs=[mosaic_f],
+        outputs=[small_f],
+        action=tool("mShrink", root / mosaic_rel, 2, root / small_rel),
+    )
+    wf.add_dependency("mAdd", "mShrink")
+
+    pgm_rel = f"{name}/mosaic.pgm"
+    pgm_f = DataFile(pgm_rel, sky.size // 4 + 32, "output")
+    wf.new_job(
+        "mJpeg",
+        "mJpeg",
+        runtime=0.01,
+        inputs=[small_f],
+        outputs=[pgm_f],
+        action=tool("mJpeg", root / small_rel, root / pgm_rel),
+    )
+    wf.add_dependency("mShrink", "mJpeg")
+    return wf

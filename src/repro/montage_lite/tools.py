@@ -1,0 +1,206 @@
+"""The Montage-lite tool implementations.
+
+Every tool is a pure function of its input files (deterministic bytes in
+-> deterministic bytes out), so repeated/at-least-once execution is safe
+and output MD5s are comparable across engines — the property the paper's
+§V.A verification relies on.
+
+Images are 2-D float64 ``.npy`` arrays; tables are JSON with sorted keys
+and fixed float formatting (bit-stable serialization).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "TOOLS",
+    "m_project",
+    "m_diff_fit",
+    "m_concat_fit",
+    "m_bg_model",
+    "m_background",
+    "m_add",
+    "m_shrink",
+    "m_jpeg",
+]
+
+
+def _load(path: str) -> np.ndarray:
+    return np.load(path)
+
+
+def _save(path: str, image: np.ndarray) -> None:
+    np.save(Path(path).with_suffix(""), image.astype(np.float64))
+
+
+def _write_json(path: str, data) -> None:
+    Path(path).write_text(json.dumps(data, sort_keys=True, separators=(",", ":")))
+
+
+def m_project(raw_path: str, out_path: str) -> None:
+    """Re-project a raw tile (identity geometry, float64 normalisation)."""
+    _save(out_path, _load(raw_path).astype(np.float64))
+
+
+def m_diff_fit(a_path: str, b_path: str, axis: str, pad: int, fit_path: str) -> None:
+    """Fit the background difference between two overlapping tiles.
+
+    Adjacent tiles share a ``2 * pad``-pixel strip of the *same* sky
+    pixels (like real Montage footprints), so the mean difference over
+    the strip is an unbiased estimate of ``offset_a - offset_b``.
+    ``axis``: "h" when b is the right neighbour of a, "v" when b is
+    below a.
+    """
+    a, b = _load(a_path), _load(b_path)
+    pad = int(pad)
+    width = 2 * pad
+    if axis == "h":
+        diff = float(np.mean(a[:, -width:] - b[:, :width]))
+    elif axis == "v":
+        diff = float(np.mean(a[-width:, :] - b[:width, :]))
+    else:
+        raise ValueError(f"axis must be 'h' or 'v', got {axis!r}")
+    _write_json(fit_path, {"a": Path(a_path).stem, "b": Path(b_path).stem,
+                           "axis": axis, "diff": round(diff, 12)})
+
+
+def m_concat_fit(fit_paths: Sequence[str], table_path: str) -> None:
+    """Concatenate all pairwise fits into one table (sorted, stable)."""
+    fits = [json.loads(Path(p).read_text()) for p in fit_paths]
+    fits.sort(key=lambda f: (f["a"], f["b"]))
+    _write_json(table_path, {"fits": fits})
+
+
+def m_bg_model(table_path: str, corrections_path: str) -> None:
+    """Solve per-tile background offsets by least squares.
+
+    Minimises sum over fits of ``(x_a - x_b - diff)^2`` with tile index 0
+    anchored at zero (the absolute sky level is unobservable).  Tile
+    identity is encoded in the projected-file stem as ``p_<index>``.
+    """
+    table = json.loads(Path(table_path).read_text())
+    fits = table["fits"]
+    tiles = sorted({f["a"] for f in fits} | {f["b"] for f in fits})
+    index = {name: i for i, name in enumerate(tiles)}
+    rows: List[np.ndarray] = []
+    rhs: List[float] = []
+    for f in fits:
+        row = np.zeros(len(tiles))
+        row[index[f["a"]]] = 1.0
+        row[index[f["b"]]] = -1.0
+        rows.append(row)
+        rhs.append(f["diff"])
+    # Anchor the first tile.
+    anchor = np.zeros(len(tiles))
+    anchor[0] = 1.0
+    rows.append(anchor)
+    rhs.append(0.0)
+    solution, *_ = np.linalg.lstsq(np.array(rows), np.array(rhs), rcond=None)
+    corrections: Dict[str, float] = {
+        name: round(float(solution[i]), 9) for name, i in index.items()
+    }
+    _write_json(corrections_path, {"corrections": corrections})
+
+
+def m_background(
+    proj_path: str, corrections_path: str, tile_name: str, out_path: str
+) -> None:
+    """Subtract the solved background offset from one projected tile."""
+    corrections = json.loads(Path(corrections_path).read_text())["corrections"]
+    offset = corrections.get(tile_name, 0.0)
+    _save(out_path, _load(proj_path) - offset)
+
+
+def m_add(tile_paths: Sequence[str], grid: int, pad: int, mosaic_path: str) -> None:
+    """Stitch ``grid x grid`` corrected tiles (row-major) into the mosaic.
+
+    Interior tile edges carry a ``pad``-pixel overlap apron that is
+    cropped before stitching (outer edges have no apron).
+    """
+    tiles = [_load(p) for p in tile_paths]
+    grid, pad = int(grid), int(pad)
+    if len(tiles) != grid * grid:
+        raise ValueError(f"expected {grid * grid} tiles, got {len(tiles)}")
+    cropped = []
+    for r in range(grid):
+        for c in range(grid):
+            t = tiles[r * grid + c]
+            r0 = pad if r > 0 else 0
+            r1 = t.shape[0] - (pad if r < grid - 1 else 0)
+            c0 = pad if c > 0 else 0
+            c1 = t.shape[1] - (pad if c < grid - 1 else 0)
+            cropped.append(t[r0:r1, c0:c1])
+    rows = [np.hstack(cropped[r * grid : (r + 1) * grid]) for r in range(grid)]
+    _save(mosaic_path, np.vstack(rows))
+
+
+def m_shrink(mosaic_path: str, factor: int, out_path: str) -> None:
+    """Block-mean downsample by an integer factor."""
+    image = _load(mosaic_path)
+    factor = int(factor)
+    h = (image.shape[0] // factor) * factor
+    w = (image.shape[1] // factor) * factor
+    cropped = image[:h, :w]
+    small = cropped.reshape(h // factor, factor, w // factor, factor).mean(axis=(1, 3))
+    _save(out_path, small)
+
+
+def m_jpeg(small_path: str, out_path: str) -> None:
+    """Render the shrunk mosaic as a binary PGM (P5) grayscale image."""
+    image = _load(small_path)
+    lo, hi = float(image.min()), float(image.max())
+    span = hi - lo if hi > lo else 1.0
+    pixels = np.clip((image - lo) / span * 255.0, 0, 255).astype(np.uint8)
+    header = f"P5\n{pixels.shape[1]} {pixels.shape[0]}\n255\n".encode()
+    Path(out_path).write_bytes(header + pixels.tobytes())
+
+
+def _main_project(args: List[str]) -> None:
+    m_project(args[0], args[1])
+
+
+def _main_diff_fit(args: List[str]) -> None:
+    m_diff_fit(args[0], args[1], args[2], int(args[3]), args[4])
+
+
+def _main_concat_fit(args: List[str]) -> None:
+    m_concat_fit(args[:-1], args[-1])
+
+
+def _main_bg_model(args: List[str]) -> None:
+    m_bg_model(args[0], args[1])
+
+
+def _main_background(args: List[str]) -> None:
+    m_background(args[0], args[1], args[2], args[3])
+
+
+def _main_add(args: List[str]) -> None:
+    # argv: <tile.npy>... <grid> <pad> <mosaic.npy>
+    m_add(args[:-3], int(args[-3]), int(args[-2]), args[-1])
+
+
+def _main_shrink(args: List[str]) -> None:
+    m_shrink(args[0], int(args[1]), args[2])
+
+
+def _main_jpeg(args: List[str]) -> None:
+    m_jpeg(args[0], args[1])
+
+
+#: CLI dispatch table for ``python -m repro.montage_lite <tool> ...``.
+TOOLS = {
+    "mProjectPP": _main_project,
+    "mDiffFit": _main_diff_fit,
+    "mConcatFit": _main_concat_fit,
+    "mBgModel": _main_bg_model,
+    "mBackground": _main_background,
+    "mAdd": _main_add,
+    "mShrink": _main_shrink,
+    "mJpeg": _main_jpeg,
+}

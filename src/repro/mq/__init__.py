@@ -1,0 +1,42 @@
+"""Message-queue substrate (the paper's RabbitMQ).
+
+DEWE v2 coordinates exclusively through three topics (paper §III.C):
+
+* ``workflow-submission`` — submission application -> master daemon;
+* ``job-dispatching`` — master daemon -> worker daemons (work queue);
+* ``job-acknowledgment`` — worker daemons -> master daemon.
+
+:class:`~repro.mq.broker.Broker` is a thread-safe in-process broker with
+RabbitMQ-like work-queue semantics (a consumed message is invisible to
+other consumers; redelivery is the master's timeout responsibility).
+:class:`~repro.mq.simbroker.SimBroker` offers the same topics inside the
+discrete-event simulator, with configurable publish latency.
+"""
+
+from repro.mq.broker import Broker, Topic
+from repro.mq.tcpbroker import BrokerServer, RemoteBroker
+from repro.mq.messages import (
+    TOPIC_ACK,
+    TOPIC_DISPATCH,
+    TOPIC_SUBMIT,
+    AckKind,
+    JobAck,
+    JobDispatch,
+    WorkflowSubmission,
+)
+from repro.mq.simbroker import SimBroker
+
+__all__ = [
+    "AckKind",
+    "Broker",
+    "BrokerServer",
+    "RemoteBroker",
+    "JobAck",
+    "JobDispatch",
+    "SimBroker",
+    "TOPIC_ACK",
+    "TOPIC_DISPATCH",
+    "TOPIC_SUBMIT",
+    "Topic",
+    "WorkflowSubmission",
+]

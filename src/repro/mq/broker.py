@@ -1,0 +1,90 @@
+"""Thread-safe in-process topic broker (the RabbitMQ stand-in).
+
+Work-queue semantics per topic: ``publish`` appends, ``consume`` pops the
+oldest message and makes it invisible to every other consumer — exactly
+the check-out behaviour DEWE v2 relies on ("the job is no longer visible
+to other worker nodes", paper §III.C).  There is no broker-side ack or
+redelivery: lost jobs are recovered by the master daemon's timeout
+mechanism, as in the paper.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Dict, Optional
+
+__all__ = ["Topic", "Broker"]
+
+
+class Topic:
+    """One named FIFO message stream."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._queue: "queue.Queue[Any]" = queue.Queue()
+        self.published = 0
+        self.consumed = 0
+        self._lock = threading.Lock()
+
+    def publish(self, message: Any) -> None:
+        with self._lock:
+            self.published += 1
+        self._queue.put(message)
+
+    def consume(self, timeout: Optional[float] = None) -> Optional[Any]:
+        """Pop the oldest message; ``None`` when empty after ``timeout``.
+
+        ``timeout=None`` polls without blocking (returns immediately).
+        """
+        try:
+            if timeout is None:
+                message = self._queue.get_nowait()
+            else:
+                message = self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+        with self._lock:
+            self.consumed += 1
+        return message
+
+    @property
+    def depth(self) -> int:
+        """Approximate number of queued messages."""
+        return self._queue.qsize()
+
+
+class Broker:
+    """A set of named topics; topics are created on first use."""
+
+    def __init__(self) -> None:
+        self._topics: Dict[str, Topic] = {}
+        self._lock = threading.Lock()
+
+    def topic(self, name: str) -> Topic:
+        with self._lock:
+            topic = self._topics.get(name)
+            if topic is None:
+                topic = Topic(name)
+                self._topics[name] = topic
+            return topic
+
+    def publish(self, topic_name: str, message: Any) -> None:
+        self.topic(topic_name).publish(message)
+
+    def consume(self, topic_name: str, timeout: Optional[float] = None) -> Optional[Any]:
+        return self.topic(topic_name).consume(timeout)
+
+    def depth(self, topic_name: str) -> int:
+        return self.topic(topic_name).depth
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        with self._lock:
+            return {
+                name: {
+                    "published": t.published,
+                    "consumed": t.consumed,
+                    "depth": t.depth,
+                }
+                for name, t in self._topics.items()
+            }

@@ -1,0 +1,57 @@
+"""Simulated topic broker for the discrete-event engines.
+
+Same topic semantics as :class:`repro.mq.broker.Broker`, but ``consume``
+returns a DES event.  An optional per-message ``latency`` models broker
+round-trip time; the default of a few milliseconds matches a co-located
+RabbitMQ node and is deliberately negligible next to job runtimes — the
+pull model's point is that coordination is cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.sim import Event, FifoStore, Simulator
+
+__all__ = ["SimBroker"]
+
+
+class SimBroker:
+    """Topic broker living inside a :class:`~repro.sim.Simulator`."""
+
+    def __init__(self, sim: Simulator, latency: float = 0.002):
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency}")
+        self.sim = sim
+        self.latency = latency
+        self._topics: Dict[str, FifoStore] = {}
+        self.published = 0
+        self.consumed = 0
+
+    def topic(self, name: str) -> FifoStore:
+        store = self._topics.get(name)
+        if store is None:
+            store = FifoStore(self.sim)
+            self._topics[name] = store
+        return store
+
+    def publish(self, topic_name: str, message: Any) -> None:
+        """Deliver ``message`` to the topic after the broker latency."""
+        self.published += 1
+        store = self.topic(topic_name)
+        if self.latency == 0:
+            store.put(message)
+        else:
+            self.sim.schedule_call(self.latency, store.put, message)
+
+    def consume(self, topic_name: str) -> Event:
+        """Event that fires with the next message of the topic."""
+        self.consumed += 1
+        return self.topic(topic_name).get()
+
+    def cancel(self, topic_name: str, event: Event) -> bool:
+        """Abandon a pending consume (worker daemon shutting down)."""
+        return self.topic(topic_name).cancel(event)
+
+    def depth(self, topic_name: str) -> int:
+        return len(self.topic(topic_name))

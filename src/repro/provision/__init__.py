@@ -1,0 +1,44 @@
+"""Profiling-based resource provisioning (paper §IV).
+
+The strategy: run *small-scale* profiling experiments (single-node
+workload sweep, multi-node cluster-size sweep), derive the **node
+performance index** P = W / (N * T) (Eq. 1), observe its convergence as
+clusters grow (clustering performance degradation, Fig 5c), and size the
+production cluster as N = W / (P * T) (Eq. 2) to meet deadline T for
+workload W at minimal cost.
+"""
+
+from repro.provision.autoscale import queue_depth_autoscaler
+from repro.provision.bounds import (
+    check_plan_feasible,
+    ensemble_lower_bound,
+    workflow_bounds,
+)
+from repro.provision.index import (
+    converged_index,
+    node_performance_index,
+    required_nodes,
+)
+from repro.provision.planner import PAPER_INDICES, ClusterPlan, plan_cluster, plan_table
+from repro.provision.profiling import (
+    MultiNodeProfile,
+    ProfilingCampaign,
+    SingleNodeProfile,
+)
+
+__all__ = [
+    "ClusterPlan",
+    "PAPER_INDICES",
+    "MultiNodeProfile",
+    "ProfilingCampaign",
+    "SingleNodeProfile",
+    "check_plan_feasible",
+    "converged_index",
+    "ensemble_lower_bound",
+    "workflow_bounds",
+    "node_performance_index",
+    "plan_cluster",
+    "plan_table",
+    "queue_depth_autoscaler",
+    "required_nodes",
+]

@@ -1,0 +1,37 @@
+"""Discrete-event simulation kernel.
+
+A compact, dependency-free DES in the style of SimPy: generator-based
+processes communicate through :class:`~repro.sim.engine.Event` objects and
+share :mod:`~repro.sim.resources` (CPU core pools, processor-sharing
+bandwidth links, FIFO stores).
+
+The kernel is the substrate for the cluster simulator that replaces the
+paper's Amazon EC2 testbed (see DESIGN.md §1).
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from repro.sim.resources import CorePool, FairShareLink, FifoStore, SegmentLog
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "CorePool",
+    "Event",
+    "FairShareLink",
+    "FifoStore",
+    "Interrupt",
+    "Process",
+    "SegmentLog",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+]

@@ -1,0 +1,369 @@
+"""Event loop and process model for the discrete-event simulator.
+
+The design follows the classic generator-coroutine DES pattern (SimPy):
+
+* :class:`Simulator` owns a binary-heap agenda of ``(time, seq, event)``
+  entries and a monotonically increasing sequence number that makes event
+  ordering fully deterministic.
+* :class:`Event` is a one-shot occurrence; processes ``yield`` events to
+  suspend until they trigger.
+* :class:`Process` wraps a generator and is itself an event that triggers
+  when the generator returns (its value is the generator's return value).
+
+Only the features the workflow engines need are implemented; the hot path
+(schedule, pop, resume) avoids allocations beyond the heap entries
+themselves, per the HPC guide's advice to keep inner loops lean.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "SimulationError",
+    "Interrupt",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Simulator",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal kernel operations (double trigger, bad yield...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    ``cause`` carries the value passed to ``interrupt`` (e.g. a fault
+    description for the robustness experiments).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event states.
+_PENDING = 0
+_SUCCEEDED = 1
+_FAILED = 2
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Callbacks are callables of one argument (the event).  An event may be
+    *succeeded* with a value or *failed* with an exception; waiting
+    processes receive the value or get the exception thrown into them.
+    """
+
+    __slots__ = ("sim", "callbacks", "_state", "_value")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list] = []
+        self._state = _PENDING
+        self._value: Any = None
+
+    # -- inspection ------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._state != _PENDING
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once processed)."""
+        return self._state == _SUCCEEDED
+
+    @property
+    def value(self) -> Any:
+        if self._state == _PENDING:
+            raise SimulationError("event value is not yet available")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully; callbacks run at the current time."""
+        if self._state != _PENDING:
+            raise SimulationError("event already triggered")
+        self._state = _SUCCEEDED
+        self._value = value
+        self.sim._schedule(0.0, self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if self._state != _PENDING:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._state = _FAILED
+        self._value = exception
+        self.sim._schedule(0.0, self)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._state = _SUCCEEDED
+        self._value = value
+        sim._schedule(delay, self)
+
+
+class Process(Event):
+    """A running generator; also an event that fires on generator return."""
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: Generator):
+        super().__init__(sim)
+        self._generator = generator
+        # Bootstrap: resume once at the current time.  The boot event is
+        # tracked in _waiting_on so interrupt() can cancel it like any
+        # other pending wait.
+        boot = Event(sim)
+        self._waiting_on: Optional[Event] = boot
+        boot.callbacks.append(self._resume)
+        boot.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return self._state == _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Used by the fault-injection harness to model worker daemons being
+        killed mid-job (paper §V.A.3).  Interrupting a finished process is
+        a no-op so fault schedules may outlive their targets.
+        """
+        if not self.is_alive:
+            return
+        event = Event(self.sim)
+        event.fail(Interrupt(cause))
+        # Jump the interrupt ahead of whatever the process was waiting on.
+        target = self._waiting_on
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        event.callbacks.append(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        gen = self._generator
+        while True:
+            try:
+                if event._state == _FAILED:
+                    exc = event._value
+                    target = gen.throw(exc)
+                else:
+                    target = gen.send(event._value)
+            except StopIteration as stop:
+                if self._state == _PENDING:
+                    self._state = _SUCCEEDED
+                    self._value = stop.value
+                    self.sim._schedule(0.0, self)
+                return
+            except Interrupt:
+                # Interrupt escaped the generator: treat as termination.
+                if self._state == _PENDING:
+                    self._state = _SUCCEEDED
+                    self._value = None
+                    self.sim._schedule(0.0, self)
+                return
+            except BaseException as exc:  # propagate failure to waiters
+                if self._state == _PENDING:
+                    self._state = _FAILED
+                    self._value = exc
+                    self.sim._schedule(0.0, self)
+                    return
+                raise
+            if not isinstance(target, Event):
+                raise SimulationError(
+                    f"process yielded {target!r}; processes must yield Event"
+                )
+            if target.callbacks is None:
+                # Already processed: loop and resume immediately.
+                event = target
+                continue
+            self._waiting_on = target
+            target.callbacks.append(self._resume)
+            return
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("_events", "_pending")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        self._pending = 0
+        for ev in self._events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                self._pending += 1
+                ev.callbacks.append(self._check)
+        if self._state == _PENDING:
+            self._finalize_empty()
+
+    def _finalize_empty(self) -> None:
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every component event has fired; value is their values."""
+
+    __slots__ = ()
+
+    def _finalize_empty(self) -> None:
+        if self._pending == 0:
+            self.succeed([ev._value for ev in self._events])
+
+    def _check(self, event: Event) -> None:
+        if self._state != _PENDING:
+            return
+        if event._state == _FAILED:
+            self.fail(event._value)
+            return
+        self._pending -= 1
+        if self._pending <= 0:
+            self.succeed([ev._value for ev in self._events])
+
+
+class AnyOf(_Condition):
+    """Fires when the first component event fires; value is that value."""
+
+    __slots__ = ()
+
+    def _finalize_empty(self) -> None:
+        if not self._events:
+            self.succeed([])
+        elif any(ev.callbacks is None for ev in self._events):
+            first = next(ev for ev in self._events if ev.callbacks is None)
+            if first._state == _FAILED:
+                self.fail(first._value)
+            else:
+                self.succeed(first._value)
+
+    def _check(self, event: Event) -> None:
+        if self._state != _PENDING:
+            return
+        if event._state == _FAILED:
+            self.fail(event._value)
+        else:
+            self.succeed(event._value)
+
+
+class Simulator:
+    """The event loop.
+
+    Time is a float in seconds.  Determinism: events scheduled for the
+    same time fire in scheduling order (a global sequence number breaks
+    ties), so repeated runs with the same seed are bit-identical.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list = []
+        self._seq: int = 0
+
+    # -- scheduling ------------------------------------------------------
+    def _schedule(self, delay: float, event: Event) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    def schedule_call(
+        self, delay: float, func: Callable[..., Any], *args: Any
+    ) -> Event:
+        """Run ``func(*args)`` after ``delay``; returns the trigger event."""
+        event = Timeout(self, delay)
+        event.callbacks.append(lambda ev: func(*args))
+        return event
+
+    # -- factories -------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- execution -------------------------------------------------------
+    def step(self) -> None:
+        """Process one event from the agenda."""
+        time, _seq, event = heapq.heappop(self._heap)
+        self.now = time
+        callbacks = event.callbacks
+        event.callbacks = None  # marks the event as processed
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the agenda is empty or ``until`` is reached.
+
+        Returns the simulation time at exit.
+        """
+        heap = self._heap
+        if until is None:
+            while heap:
+                self.step()
+        else:
+            if until < self.now:
+                raise ValueError(f"until={until} is in the past (now={self.now})")
+            while heap and heap[0][0] <= until:
+                self.step()
+            if self.now < until:
+                self.now = until
+        return self.now
+
+    def run_until(self, event: Event) -> float:
+        """Run until ``event`` has been processed (not merely triggered).
+
+        Engines use this to stop at ensemble completion even though
+        service processes (worker pull loops, timeout checkers) still
+        have events on the agenda.
+        """
+        heap = self._heap
+        while event.callbacks is not None:
+            if not heap:
+                raise SimulationError(
+                    "agenda exhausted before the awaited event triggered"
+                )
+            self.step()
+        return self.now
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")

@@ -1,0 +1,329 @@
+"""Shared resources for the cluster simulator.
+
+Three resource kinds cover everything the workflow engines need:
+
+* :class:`CorePool` — a counting resource with a FIFO wait queue, used for
+  vCPU cores (one slot per core, matching the worker daemon's "at most one
+  thread per CPU" rule from paper §III.D).
+* :class:`FairShareLink` — an exact processor-sharing (PS) bandwidth
+  resource, used for disk read/write channels and network links.  PS models
+  the kernel's fair I/O scheduling among concurrent streams: each of the
+  ``n`` active transfers progresses at ``capacity / n``.
+* :class:`FifoStore` — an unbounded FIFO hand-off queue, used by the
+  simulated message broker.
+
+The PS link uses the standard virtual-time trick: because every active
+stream receives the *same* service rate, per-stream progress is a single
+shared scalar ``v`` (bytes served per stream).  A transfer of ``S`` bytes
+admitted at virtual time ``v0`` completes when ``v`` reaches ``v0 + S``,
+so completions are managed with one heap and one pending wake-up event —
+O(log n) per transfer regardless of how often the active set changes.
+
+Each resource keeps a :class:`SegmentLog` of its utilisation so the
+monitoring layer can reconstruct mpstat/iostat-style time series (paper
+§IV.A) without per-sample instrumentation overhead in the hot loop.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Deque, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.engine import Event, SimulationError, Simulator
+
+__all__ = ["SegmentLog", "CorePool", "FairShareLink", "FifoStore"]
+
+_EPS = 1e-9
+
+
+class SegmentLog:
+    """A right-continuous step function recorded as change points.
+
+    ``record(t, value)`` appends a change point; queries integrate or
+    resample the step function.  Used for busy-core counts and link
+    throughput.
+    """
+
+    __slots__ = ("times", "values")
+
+    def __init__(self, t0: float = 0.0, v0: float = 0.0):
+        self.times: List[float] = [t0]
+        self.values: List[float] = [v0]
+
+    def record(self, t: float, value: float) -> None:
+        """Append a change point at ``t`` (must be non-decreasing)."""
+        if value == self.values[-1]:
+            return
+        if t == self.times[-1]:
+            # Same-instant update: overwrite instead of storing a
+            # zero-length segment.
+            self.values[-1] = value
+            if len(self.times) >= 2 and self.values[-2] == value:
+                self.times.pop()
+                self.values.pop()
+            return
+        if t < self.times[-1]:
+            raise ValueError(f"time went backwards: {t} < {self.times[-1]}")
+        self.times.append(t)
+        self.values.append(value)
+
+    @property
+    def current(self) -> float:
+        return self.values[-1]
+
+    def integrate(self, t_end: float) -> float:
+        """Integral of the step function from its start to ``t_end``."""
+        times = np.asarray(self.times, dtype=np.float64)
+        values = np.asarray(self.values, dtype=np.float64)
+        if t_end <= times[0]:
+            return 0.0
+        edges = np.minimum(np.append(times, max(t_end, times[-1])), t_end)
+        widths = np.diff(edges)  # zero for segments entirely past t_end
+        return float(np.dot(widths, values))
+
+    def sample(
+        self, t_end: float, dt: float, t_start: float = 0.0
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Time-weighted average of the step function per ``dt`` bucket.
+
+        Mirrors the paper's 3-second mpstat/iostat sampling.  Returns
+        ``(bucket_start_times, bucket_means)``.
+        """
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if t_end <= t_start:
+            return np.empty(0), np.empty(0)
+        edges = np.arange(t_start, t_end, dt)
+        edges = np.append(edges, t_end)  # final bucket may be partial
+        times = np.asarray(self.times, dtype=np.float64)
+        values = np.asarray(self.values, dtype=np.float64)
+        # Cumulative integral at every change point.
+        seg_widths = np.diff(times)
+        cum = np.concatenate(([0.0], np.cumsum(seg_widths * values[:-1])))
+
+        def integral_at(t: np.ndarray) -> np.ndarray:
+            idx = np.searchsorted(times, t, side="right") - 1
+            idx = np.clip(idx, 0, len(times) - 1)
+            return cum[idx] + np.clip(t - times[idx], 0.0, None) * values[idx]
+
+        area = np.diff(integral_at(edges))
+        widths = np.diff(edges)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            means = np.where(widths > 0, area / widths, 0.0)
+        return edges[:-1], means
+
+
+class CorePool:
+    """Counting resource with FIFO queueing (vCPU slots on a node)."""
+
+    __slots__ = ("sim", "capacity", "busy", "log", "_queue", "_cancelled")
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "cores"):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = int(capacity)
+        self.busy = 0
+        self.log = SegmentLog(sim.now, 0.0)
+        self._queue: Deque[Event] = deque()
+        self._cancelled: set = set()
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.busy
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue) - len(self._cancelled)
+
+    def acquire(self) -> Event:
+        """Request one core; the returned event fires when it is granted."""
+        event = Event(self.sim)
+        if self.busy < self.capacity and not self._queue:
+            self.busy += 1
+            self.log.record(self.sim.now, self.busy)
+            event.succeed()
+        else:
+            self._queue.append(event)
+        return event
+
+    def cancel(self, event: Event) -> bool:
+        """Withdraw a queued acquire (worker daemon shut down while waiting)."""
+        if event.triggered:
+            return False
+        self._cancelled.add(id(event))
+        return True
+
+    def release(self) -> None:
+        """Return one core, handing it to the oldest live waiter if any."""
+        if self.busy <= 0:
+            raise SimulationError("release() without a matching acquire()")
+        queue = self._queue
+        while queue:
+            waiter = queue.popleft()
+            if id(waiter) in self._cancelled:
+                self._cancelled.discard(id(waiter))
+                continue
+            waiter.succeed()  # core stays busy, ownership transfers
+            return
+        self.busy -= 1
+        self.log.record(self.sim.now, self.busy)
+
+
+class FairShareLink:
+    """Exact processor-sharing bandwidth resource (disk channel / NIC).
+
+    ``transfer(nbytes)`` returns an event that fires when the stream has
+    received ``nbytes`` of service under equal sharing of ``capacity``
+    (bytes/second) among all concurrent streams.
+    """
+
+    __slots__ = (
+        "sim",
+        "capacity",
+        "name",
+        "log",
+        "_v",
+        "_last",
+        "_n",
+        "_heap",
+        "_seq",
+        "_wake_token",
+        "bytes_total",
+    )
+
+    def __init__(self, sim: Simulator, capacity: float, name: str = "link"):
+        if capacity <= 0:
+            raise ValueError(f"link capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = float(capacity)
+        self.name = name
+        self.log = SegmentLog(sim.now, 0.0)  # aggregate throughput (B/s)
+        self._v = 0.0  # virtual per-stream service (bytes)
+        self._last = sim.now
+        self._n = 0
+        self._heap: list = []  # (v_target, seq, event)
+        self._seq = 0
+        self._wake_token = 0
+        self.bytes_total = 0.0
+
+    @property
+    def active(self) -> int:
+        return self._n
+
+    def _advance(self) -> None:
+        now = self.sim.now
+        if self._n > 0 and now > self._last:
+            delta = (now - self._last) * self.capacity / self._n
+            self._v += delta
+            self.bytes_total += delta * self._n
+        self._last = now
+
+    def _reschedule(self) -> None:
+        self._wake_token += 1
+        if self._n == 0:
+            return
+        token = self._wake_token
+        v_next = self._heap[0][0]
+        dt = max(0.0, (v_next - self._v) * self._n / self.capacity)
+        self.sim.schedule_call(dt, self._wake, token)
+
+    def _wake(self, token: int) -> None:
+        if token != self._wake_token:
+            return  # superseded by a later arrival/departure
+        self._advance()
+        heap = self._heap
+        fired = 0
+        # Tolerance must scale with the magnitudes of both clocks.  The
+        # virtual-byte clock: once v reaches ~1e9, double rounding leaves
+        # residues far above any fixed epsilon.  The time clock: when the
+        # remaining service converts to a dt below the float resolution of
+        # `now`, the wake-up cannot advance time at all — so anything
+        # within one clock quantum's worth of bytes counts as delivered.
+        quantum = 1e-9 * max(1.0, self.sim.now)
+        tol = (
+            _EPS
+            + 1e-9 * abs(self._v)
+            + self.capacity * quantum / max(self._n, 1)
+        )
+        while heap and heap[0][0] <= self._v + tol:
+            _v_target, _seq, event = heapq.heappop(heap)
+            event.succeed()
+            fired += 1
+        self._n -= fired
+        if self._n == 0:
+            self.log.record(self.sim.now, 0.0)
+            self._v = 0.0  # rebase the virtual clock between busy periods
+        self._reschedule()
+
+    def transfer(self, nbytes: float) -> Event:
+        """Start a stream of ``nbytes``; returns its completion event."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        event = Event(self.sim)
+        if nbytes == 0:
+            return event.succeed()
+        self._advance()
+        if self._n == 0:
+            self.log.record(self.sim.now, self.capacity)
+        self._seq += 1
+        heapq.heappush(self._heap, (self._v + nbytes, self._seq, event))
+        self._n += 1
+        self._reschedule()
+        return event
+
+
+class FifoStore:
+    """Unbounded FIFO queue with event-based ``get`` (simulated broker)."""
+
+    __slots__ = ("sim", "_items", "_getters")
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit an item, waking the oldest waiting getter if any."""
+        getters = self._getters
+        while getters:
+            getter = getters.popleft()
+            if getter.triggered:
+                continue  # cancelled getter
+            getter.succeed(item)
+            return
+        self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next available item."""
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def take(self, predicate) -> Any:
+        """Synchronously remove and return the first queued item matching
+        ``predicate``, or ``None`` if no current item matches (never
+        blocks).  Used by schedulers that want to pick a *specific*
+        resource token instead of the FIFO head."""
+        items = self._items
+        for index, item in enumerate(items):
+            if predicate(item):
+                del items[index]
+                return item
+        return None
+
+    def cancel(self, event: Event) -> bool:
+        """Abandon a pending get (the event is failed so waiters wake up)."""
+        if event.triggered:
+            return False
+        event.succeed(None)
+        return True

@@ -1,0 +1,179 @@
+"""Shared file system: routing file I/O over disks and NICs.
+
+Every worker node mounts one POSIX namespace (paper §III.B); a *placement
+policy* maps each file to the node whose RAID-0 array physically holds it.
+Reads from a remote home traverse the home's disk-read channel, its NIC
+egress, and the reader's NIC ingress in parallel (pipelined streaming);
+writes are absorbed by the writer's write-back cache and flushed through
+the corresponding route.
+
+The file system also maintains the *active data set* used by the
+read-miss model (see :mod:`repro.storage.cache`): inputs staged before the
+run plus every intermediate written during it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence
+
+from repro.sim import AllOf, Event, Simulator
+from repro.storage.cache import read_miss_ratio
+from repro.workflow.dag import DataFile, Workflow
+
+__all__ = ["SharedFileSystem", "local_placement"]
+
+#: A placement policy: (file_name, n_nodes) -> home node index.
+PlacementPolicy = Callable[[str, int], int]
+
+
+def local_placement(file_name: str, n_nodes: int) -> int:
+    """Everything on node 0 (single-node clusters, central NFS server)."""
+    return 0
+
+
+class SharedFileSystem:
+    """One shared namespace over a cluster's nodes.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    nodes:
+        Sequence of :class:`~repro.cloud.node.SimNode`.
+    placement:
+        Maps ``(file_name, n_nodes)`` to the index of the home node.
+    name:
+        Label used in reports ("nfs", "moosefs", ...).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nodes: Sequence,
+        placement: PlacementPolicy = local_placement,
+        name: str = "sharedfs",
+        precise_cache: bool = True,
+    ):
+        if not nodes:
+            raise ValueError("a shared file system needs at least one node")
+        self.sim = sim
+        self.nodes = list(nodes)
+        self.placement = placement
+        self.name = name
+        self.precise_cache = precise_cache
+        self.active_bytes = 0.0
+        self.bytes_read = 0.0       # effective device reads (after cache)
+        self.bytes_written = 0.0    # logical writes
+        self.remote_reads = 0
+        self.local_reads = 0
+        # LRU stack-distance cache model: `write_clock` counts every byte
+        # that entered the namespace; a file read hits the page cache iff
+        # fewer bytes than the node's cache arrived since the file was
+        # last touched.  This is what makes producer->consumer reads (a
+        # mDiffFit reading projections written seconds earlier) free while
+        # stage 3 re-reads of stage-1 outputs go to disk once the working
+        # set outgrows memory (Fig 4's i2 < r3 < c3 stage-3 ordering).
+        self.write_clock = 0.0
+        self._last_touch: dict = {}
+
+    # -- data-set accounting ----------------------------------------------
+    def stage_inputs(self, workflows: Iterable[Workflow]) -> None:
+        """Account for pre-staged input files (paper: "the required input
+        files are copied to the shared file system before the experiments",
+        §V.B).  Every ensemble member has its own copy of its inputs (the
+        paper's 200-workflow ensemble has 288,800 input files — 200 x
+        1,444), so staging is counted per workflow even when relabelled
+        members share DataFile objects."""
+        for wf in workflows:
+            for f in wf.files().values():
+                if f.kind == "input":
+                    self.active_bytes += f.size
+                    self.write_clock += f.size
+                    self._last_touch[(wf.name, f.name)] = self.write_clock
+
+    def home_of(self, f: DataFile):
+        return self.nodes[self.placement(f.name, len(self.nodes))]
+
+    def _read_bytes_of(self, node, f: DataFile, owner: str) -> float:
+        """Device bytes a read of ``f`` costs on ``node`` (cache model).
+
+        Linear-decay LRU: the page cache holds ``node.page_cache_bytes``;
+        a page's survival probability decays linearly with the bytes that
+        entered the cache since it was last touched (competing traffic
+        evicts pages long before the strict LRU depth is reached —
+        readahead, metadata, uneven access).  Miss fraction =
+        ``min(1, stack_distance / cache_bytes)``; never-seen files miss
+        entirely.
+        """
+        if not self.precise_cache:
+            return f.size * read_miss_ratio(node.page_cache_bytes, self.active_bytes)
+        key = (owner, f.name)
+        last = self._last_touch.get(key)
+        self._last_touch[key] = self.write_clock  # LRU touch
+        if last is None:
+            return f.size
+        distance = self.write_clock - last
+        return f.size * min(1.0, distance / node.page_cache_bytes)
+
+    # -- I/O ----------------------------------------------------------------
+    def read(self, node, files: Sequence[DataFile], owner: str = "") -> Event:
+        """Read ``files`` from ``node``; fires when all bytes arrived.
+
+        ``owner`` is the reading workflow's name — relabelled ensemble
+        members share :class:`DataFile` objects but own distinct physical
+        files, so cache state is keyed per owner.
+        """
+        local = 0.0
+        remote: dict = {}
+        for f in files:
+            nbytes = self._read_bytes_of(node, f, owner)
+            if nbytes == 0.0:
+                continue
+            home = self.home_of(f)
+            if home is node:
+                local += nbytes
+                self.local_reads += 1
+            else:
+                remote[home] = remote.get(home, 0.0) + nbytes
+                self.remote_reads += 1
+        events: List[Event] = []
+        if local > 0:
+            self.bytes_read += local
+            events.append(node.disk.read.transfer(local))
+        for home, nbytes in remote.items():
+            self.bytes_read += nbytes
+            events.append(home.disk.read.transfer(nbytes))
+            events.append(home.nic_out.transfer(nbytes))
+            events.append(node.nic_in.transfer(nbytes))
+        if not events:
+            return Event(self.sim).succeed()
+        if len(events) == 1:
+            return events[0]
+        return AllOf(self.sim, events)
+
+    def write(self, node, files: Sequence[DataFile], owner: str = "") -> Event:
+        """Write ``files`` from ``node``; fires when buffered (write-back)."""
+        events: List[Event] = []
+        for f in files:
+            if f.size == 0:
+                continue
+            self.active_bytes += f.size
+            self.bytes_written += f.size
+            if self.precise_cache:
+                self.write_clock += f.size
+                self._last_touch[(owner, f.name)] = self.write_clock
+            home = self.home_of(f)
+            if home is node:
+                links = (node.disk.write,)
+            else:
+                links = (node.nic_out, home.nic_in, home.disk.write)
+            events.append(node.write_cache.write(f.size, links))
+        if not events:
+            return Event(self.sim).succeed()
+        if len(events) == 1:
+            return events[0]
+        return AllOf(self.sim, events)
+
+    def drained(self) -> Event:
+        """Fires when every node's write-back cache is empty."""
+        return AllOf(self.sim, [n.write_cache.drained() for n in self.nodes])

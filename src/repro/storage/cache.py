@@ -1,0 +1,154 @@
+"""Page-cache models: write-back buffering and read-miss ratio.
+
+**Write-back** (paper §IV.A): "The operating system caches the disk writes
+and flushes them to the disk in batches, resulting in the intermittent
+disk writes at full capacity."  Jobs therefore complete as soon as their
+output bytes are absorbed by the cache; a background flusher drains dirty
+bytes through the disk/NIC links at device speed.  Because of this, stage
+1 of Montage takes the same time on all three instance types despite their
+very different write throughput — unless the dirty set outgrows the cache,
+in which case writers throttle (exactly the kernel's dirty-page limit).
+
+**Read-miss** model: the shared file system tracks the *active* data set
+(bytes of inputs plus intermediates written so far).  A node's chance of
+finding a byte in its page cache is ``cache_bytes / active_bytes``; the
+remainder goes to the device.  With one 6.0-degree workflow (~39 GB
+working set) a 244 GB r3/i2 node serves stage 3 mostly from memory, while
+ten workflows (~390 GB, §IV.A) overwhelm every node and stage 3 becomes
+disk-bound in exactly the i2 < r3 < c3 order of Fig 4c.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Tuple
+
+from repro.sim import AllOf, Event, FairShareLink, Simulator
+
+__all__ = ["WriteBackCache", "read_miss_ratio"]
+
+#: Reads never hit 100% in cache: metadata, readahead misses, first-touch
+#: of cold files.  Calibrated so single-workflow runs stay compute-bound.
+MIN_MISS_RATIO = 0.05
+
+
+def read_miss_ratio(cache_bytes: float, active_bytes: float) -> float:
+    """Fraction of read bytes that must come from the device."""
+    if cache_bytes < 0 or active_bytes < 0:
+        raise ValueError("cache_bytes and active_bytes must be >= 0")
+    if active_bytes <= 0:
+        return MIN_MISS_RATIO
+    miss = 1.0 - cache_bytes / active_bytes
+    return min(1.0, max(MIN_MISS_RATIO, miss))
+
+
+class WriteBackCache:
+    """Per-node dirty-page buffer with a background flusher process.
+
+    ``write(nbytes, links)`` returns an event that fires once the bytes
+    are buffered (immediately while below the dirty limit).  The flusher
+    drains entries FIFO, pushing chunks through every link of the entry's
+    route in parallel (local disk write, or NIC + remote disk for files
+    homed on another node).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity_bytes: float,
+        chunk_bytes: float = 64e6,
+        flush_interval: float = 5.0,
+        name: str = "wbcache",
+    ):
+        if capacity_bytes <= 0:
+            raise ValueError(f"cache capacity must be positive, got {capacity_bytes}")
+        if chunk_bytes <= 0:
+            raise ValueError(f"chunk size must be positive, got {chunk_bytes}")
+        if flush_interval < 0:
+            raise ValueError(f"flush interval must be >= 0, got {flush_interval}")
+        self.sim = sim
+        self.capacity = float(capacity_bytes)
+        self.chunk = float(chunk_bytes)
+        #: Pause between flush batches, mirroring the kernel's periodic
+        #: write-back (dirty_writeback_centisecs).  This is what produces
+        #: the paper's "intermittent disk writes at full capacity" (§IV.A):
+        #: dirty pages accumulate during the pause and then drain in one
+        #: burst at device speed.
+        self.flush_interval = float(flush_interval)
+        self.name = name
+        self.dirty = 0.0
+        self.bytes_written = 0.0
+        self._queue: Deque[Tuple[float, Tuple[FairShareLink, ...]]] = deque()
+        self._stalled: Deque[Tuple[Event, float, Tuple[FairShareLink, ...]]] = deque()
+        self._flusher_running = False
+        self._drained: List[Event] = []
+
+    def write(self, nbytes: float, links: Tuple[FairShareLink, ...]) -> Event:
+        """Buffer ``nbytes`` destined for ``links``; event fires on buffer."""
+        if nbytes < 0:
+            raise ValueError(f"negative write size: {nbytes}")
+        event = Event(self.sim)
+        if nbytes == 0:
+            return event.succeed()
+        self.bytes_written += nbytes
+        if self._stalled or self.dirty + nbytes > self.capacity:
+            # Dirty limit reached: the writer throttles until the flusher
+            # frees space (kernel dirty_ratio behaviour).
+            self._stalled.append((event, nbytes, links))
+        else:
+            self.dirty += nbytes
+            self._queue.append((nbytes, links))
+            event.succeed()
+        self._ensure_flusher()
+        return event
+
+    def drained(self) -> Event:
+        """Event that fires when every buffered byte has hit the device."""
+        event = Event(self.sim)
+        if self.dirty == 0 and not self._stalled:
+            return event.succeed()
+        self._drained.append(event)
+        return event
+
+    # -- internals ---------------------------------------------------------
+    def _ensure_flusher(self) -> None:
+        if not self._flusher_running and (self._queue or self._stalled):
+            self._flusher_running = True
+            self.sim.process(self._flush_loop())
+
+    def _admit_stalled(self) -> None:
+        while self._stalled:
+            event, nbytes, links = self._stalled[0]
+            if self.dirty + nbytes > self.capacity and self.dirty > 0:
+                break
+            self._stalled.popleft()
+            self.dirty += nbytes
+            self._queue.append((nbytes, links))
+            event.succeed()
+
+    def _flush_loop(self):
+        sim = self.sim
+        first_batch = True
+        while self._queue or self._stalled:
+            if not first_batch and self.flush_interval > 0:
+                # Let dirty pages accumulate, then drain in one burst.
+                yield sim.timeout(self.flush_interval)
+            first_batch = False
+            self._admit_stalled()
+            while self._queue:
+                nbytes, links = self._queue.popleft()
+                remaining = nbytes
+                while remaining > 0:
+                    burst = min(self.chunk, remaining)
+                    if len(links) == 1:
+                        yield links[0].transfer(burst)
+                    else:
+                        yield AllOf(sim, [link.transfer(burst) for link in links])
+                    remaining -= burst
+                    self.dirty -= burst
+                    self._admit_stalled()
+        self._flusher_running = False
+        if self.dirty <= 1e-6 and not self._stalled:
+            drained, self._drained = self._drained, []
+            for event in drained:
+                event.succeed()

@@ -1,0 +1,30 @@
+"""MooseFS placement policy (paper §V.B).
+
+In the large-scale experiments "all the worker nodes are configured to be
+a MooseFS [chunk] server" and each file is stored with a single copy.
+MooseFS splits files into 64 MB chunks; the paper's Montage files are a
+few MB, so each file lands wholly on one chunk server chosen by the
+master — statistically uniform over the cluster ("it is safe to assume
+that statistically all worker nodes have equal access to the underlying
+shared file system").  A per-file hash reproduces that uniform placement
+deterministically.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.sim import Simulator
+from repro.storage.base import SharedFileSystem
+
+__all__ = ["moosefs_placement", "make_moosefs"]
+
+
+def moosefs_placement(file_name: str, n_nodes: int) -> int:
+    """Uniform per-file chunk-server placement."""
+    return zlib.crc32(file_name.encode()) % n_nodes
+
+
+def make_moosefs(sim: Simulator, nodes) -> SharedFileSystem:
+    """MooseFS-style shared file system over every node."""
+    return SharedFileSystem(sim, nodes, placement=moosefs_placement, name="moosefs")

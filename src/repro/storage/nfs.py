@@ -1,0 +1,42 @@
+"""NFS placement policies (paper §IV.A and §V.B).
+
+Two deployments from the paper:
+
+* **Central NFS** — one node (or NAS head) exports storage to everyone;
+  every remote node's I/O funnels through the server's disk and NIC.
+* **N-to-N NFS** — "each and every worker node [shares] its local storage
+  via NFS, and mount[s] the NFS shares from other nodes" (§V.B).  A
+  workflow's folder lives on one export, so all files of one workflow
+  share a home node — which is exactly the "unbalanced utilization" the
+  paper observed as clusters grow, and why the large-scale runs switched
+  to MooseFS.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.sim import Simulator
+from repro.storage.base import SharedFileSystem, local_placement
+
+__all__ = ["nton_placement", "make_central_nfs", "make_nton_nfs"]
+
+
+def nton_placement(file_name: str, n_nodes: int) -> int:
+    """Home node of a file under N-to-N NFS: hash of its workflow folder.
+
+    File names are ``"<workflow>/<file>"`` (workflows are encapsulated in
+    a folder on the shared file system, paper §III.B).
+    """
+    folder = file_name.split("/", 1)[0]
+    return zlib.crc32(folder.encode()) % n_nodes
+
+
+def make_central_nfs(sim: Simulator, nodes) -> SharedFileSystem:
+    """Central NFS: node 0 is the storage server."""
+    return SharedFileSystem(sim, nodes, placement=local_placement, name="nfs-central")
+
+
+def make_nton_nfs(sim: Simulator, nodes) -> SharedFileSystem:
+    """N-to-N NFS: one export per node, keyed by workflow folder."""
+    return SharedFileSystem(sim, nodes, placement=nton_placement, name="nfs-nton")

@@ -1,0 +1,244 @@
+"""Core workflow data structures.
+
+A :class:`Workflow` is a DAG of :class:`Job` vertices; edges are precedence
+constraints (paper Fig 1).  Jobs carry a cost model (CPU seconds, input and
+output :class:`DataFile` objects) used by the cluster simulator, and an
+optional ``action`` callable used by the real threaded engine.
+
+Ensembles of hundreds of workflows hold millions of job/file objects
+(200 x 6.0-degree Montage = 1,717,200 jobs, paper §V.B), so both classes
+use ``__slots__`` and plain lists to keep per-object overhead small.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+__all__ = ["DataFile", "Job", "Workflow"]
+
+
+class DataFile:
+    """A logical file flowing between jobs via the shared file system.
+
+    ``kind`` is one of ``"input"`` (staged in before execution),
+    ``"intermediate"`` (produced and consumed within the workflow) or
+    ``"output"`` (a final product, e.g. the mosaic JPEG).
+    """
+
+    __slots__ = ("name", "size", "kind")
+
+    def __init__(self, name: str, size: float, kind: str = "intermediate"):
+        if size < 0:
+            raise ValueError(f"file size must be >= 0, got {size}")
+        if kind not in ("input", "intermediate", "output"):
+            raise ValueError(f"unknown file kind: {kind!r}")
+        self.name = name
+        self.size = float(size)
+        self.kind = kind
+
+    def __repr__(self) -> str:
+        return f"DataFile({self.name!r}, {self.size:.0f}B, {self.kind})"
+
+
+class Job:
+    """One vertex of the workflow DAG.
+
+    Attributes
+    ----------
+    id:
+        Unique within the workflow (e.g. ``"mDiffFit_000123"``).
+    task_type:
+        The transformation name (e.g. ``"mProjectPP"``); many scientific
+        workflows consist of a large number of nearly identical tasks of a
+        few types — the homogeneity DEWE v2 exploits (paper §I).
+    runtime:
+        CPU seconds on one reference core.
+    threads:
+        How many cores the job can exploit (``1`` for ordinary jobs; the
+        blocking jobs may be parallel implementations, paper §III.D).
+    inputs / outputs:
+        :class:`DataFile` lists; drive the simulator's I/O model.
+    timeout:
+        Per-job timeout override for the master daemon's resubmission
+        mechanism (``None`` uses the system-wide default, paper §III.B).
+    action:
+        Optional callable executed by the real threaded engine.
+    """
+
+    __slots__ = (
+        "id",
+        "task_type",
+        "runtime",
+        "threads",
+        "inputs",
+        "outputs",
+        "parents",
+        "children",
+        "timeout",
+        "action",
+    )
+
+    def __init__(
+        self,
+        id: str,
+        task_type: str,
+        runtime: float = 0.0,
+        threads: int = 1,
+        inputs: Optional[Iterable[DataFile]] = None,
+        outputs: Optional[Iterable[DataFile]] = None,
+        timeout: Optional[float] = None,
+        action: Optional[Callable[..., Any]] = None,
+    ):
+        if runtime < 0:
+            raise ValueError(f"job runtime must be >= 0, got {runtime}")
+        if threads < 1:
+            raise ValueError(f"job threads must be >= 1, got {threads}")
+        self.id = id
+        self.task_type = task_type
+        self.runtime = float(runtime)
+        self.threads = int(threads)
+        self.inputs: List[DataFile] = list(inputs) if inputs else []
+        self.outputs: List[DataFile] = list(outputs) if outputs else []
+        self.parents: List[str] = []
+        self.children: List[str] = []
+        self.timeout = timeout
+        self.action = action
+
+    @property
+    def input_bytes(self) -> float:
+        return sum(f.size for f in self.inputs)
+
+    @property
+    def output_bytes(self) -> float:
+        return sum(f.size for f in self.outputs)
+
+    def __repr__(self) -> str:
+        return f"Job({self.id!r}, {self.task_type}, {self.runtime:.2f}s)"
+
+
+class Workflow:
+    """A named DAG of jobs.
+
+    The structure is append-only: jobs are added, then dependencies.  The
+    engines never mutate a workflow; per-run state (pending counts, job
+    status) lives in the engine's own bookkeeping so the same workflow
+    object can appear in several ensemble submissions.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.jobs: Dict[str, Job] = {}
+
+    # -- construction ----------------------------------------------------
+    def add_job(self, job: Job) -> Job:
+        if job.id in self.jobs:
+            raise ValueError(f"duplicate job id: {job.id!r}")
+        self.jobs[job.id] = job
+        return job
+
+    def new_job(self, id: str, task_type: str, **kwargs: Any) -> Job:
+        """Create and add a job in one step."""
+        return self.add_job(Job(id, task_type, **kwargs))
+
+    def add_dependency(self, parent_id: str, child_id: str) -> None:
+        """Declare that ``child`` cannot start before ``parent`` completes."""
+        if parent_id == child_id:
+            raise ValueError(f"self-dependency on {parent_id!r}")
+        parent = self.jobs.get(parent_id)
+        child = self.jobs.get(child_id)
+        if parent is None:
+            raise KeyError(f"unknown parent job: {parent_id!r}")
+        if child is None:
+            raise KeyError(f"unknown child job: {child_id!r}")
+        if child_id not in parent.children:
+            parent.children.append(child_id)
+            child.parents.append(parent_id)
+
+    # -- queries ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self.jobs.values())
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self.jobs
+
+    def job(self, job_id: str) -> Job:
+        return self.jobs[job_id]
+
+    def roots(self) -> List[Job]:
+        """Jobs with no pending precedence requirements (eligible at t=0)."""
+        return [job for job in self.jobs.values() if not job.parents]
+
+    def leaves(self) -> List[Job]:
+        return [job for job in self.jobs.values() if not job.children]
+
+    def edges(self) -> Iterator[Tuple[str, str]]:
+        for job in self.jobs.values():
+            for child in job.children:
+                yield (job.id, child)
+
+    def n_edges(self) -> int:
+        return sum(len(job.children) for job in self.jobs.values())
+
+    def topological_order(self) -> List[Job]:
+        """Kahn's algorithm; raises ``ValueError`` on cycles."""
+        indegree = {job.id: len(job.parents) for job in self.jobs.values()}
+        frontier = [job_id for job_id, deg in indegree.items() if deg == 0]
+        order: List[Job] = []
+        jobs = self.jobs
+        head = 0
+        while head < len(frontier):
+            job_id = frontier[head]
+            head += 1
+            job = jobs[job_id]
+            order.append(job)
+            for child_id in job.children:
+                indegree[child_id] -= 1
+                if indegree[child_id] == 0:
+                    frontier.append(child_id)
+        if len(order) != len(jobs):
+            raise ValueError(f"workflow {self.name!r} contains a cycle")
+        return order
+
+    # -- aggregate statistics ---------------------------------------------
+    def total_runtime(self) -> float:
+        """Sum of job CPU seconds (the serial work in the workflow)."""
+        return sum(job.runtime for job in self.jobs.values())
+
+    def files(self) -> Dict[str, DataFile]:
+        """All distinct files referenced by the workflow, keyed by name."""
+        out: Dict[str, DataFile] = {}
+        for job in self.jobs.values():
+            for f in job.inputs:
+                out.setdefault(f.name, f)
+            for f in job.outputs:
+                out.setdefault(f.name, f)
+        return out
+
+    def bytes_by_kind(self) -> Dict[str, float]:
+        """Total bytes of distinct files per kind (input/intermediate/output)."""
+        totals = {"input": 0.0, "intermediate": 0.0, "output": 0.0}
+        for f in self.files().values():
+            totals[f.kind] += f.size
+        return totals
+
+    def count_by_type(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for job in self.jobs.values():
+            counts[job.task_type] = counts.get(job.task_type, 0) + 1
+        return counts
+
+    def relabel(self, new_name: str) -> "Workflow":
+        """A cheap structural copy under a new name (for ensemble members).
+
+        Job and file objects are shared (they are immutable during runs);
+        only the workflow identity changes.
+        """
+        clone = Workflow(new_name)
+        clone.jobs = self.jobs
+        return clone
+
+    def __repr__(self) -> str:
+        return f"Workflow({self.name!r}, jobs={len(self.jobs)})"

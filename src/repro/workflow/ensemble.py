@@ -1,0 +1,123 @@
+"""Workflow ensembles and submission plans.
+
+A *workflow ensemble* is "a set of interrelated but independent workflow
+applications" that together form one scientific analysis (paper §I).  The
+ensemble object pairs the member workflows with a **submission plan** — the
+times at which the submission application hands each workflow to the master
+daemon.
+
+Two plans from the paper (§V.A.2):
+
+* **batch** — all workflows at t=0 (interval 0);
+* **incremental** — one workflow every ``interval`` seconds, which shapes
+  the cluster's resource-utilisation pattern so that different workflows
+  demand different resources at the same time (Fig 8 shows a ~34 % speed-up
+  at a 100 s interval for five 6.0-degree Montage workflows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.workflow.dag import Workflow
+
+__all__ = ["SubmissionPlan", "Ensemble"]
+
+
+@dataclass(frozen=True)
+class SubmissionPlan:
+    """Submission times, one per ensemble member, non-decreasing."""
+
+    times: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if any(t < 0 for t in self.times):
+            raise ValueError("submission times must be >= 0")
+        if any(b < a for a, b in zip(self.times, self.times[1:])):
+            raise ValueError("submission times must be non-decreasing")
+
+    @classmethod
+    def batch(cls, n: int) -> "SubmissionPlan":
+        """All ``n`` workflows submitted together at t=0."""
+        return cls(times=(0.0,) * n)
+
+    @classmethod
+    def incremental(cls, n: int, interval: float) -> "SubmissionPlan":
+        """One workflow every ``interval`` seconds starting at t=0.
+
+        ``interval=0`` degenerates to batch submission (the paper treats
+        batch as the special case of incremental submission with a zero
+        interval).
+        """
+        if interval < 0:
+            raise ValueError(f"interval must be >= 0, got {interval}")
+        return cls(times=tuple(i * interval for i in range(n)))
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+
+class Ensemble:
+    """Member workflows plus their submission plan."""
+
+    def __init__(
+        self,
+        workflows: Sequence[Workflow],
+        plan: SubmissionPlan | None = None,
+        name: str = "ensemble",
+    ):
+        if not workflows:
+            raise ValueError("an ensemble needs at least one workflow")
+        names = [wf.name for wf in workflows]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate workflow names in ensemble: {names}")
+        if plan is None:
+            plan = SubmissionPlan.batch(len(workflows))
+        if len(plan) != len(workflows):
+            raise ValueError(
+                f"plan has {len(plan)} entries for {len(workflows)} workflows"
+            )
+        self.name = name
+        self.workflows: List[Workflow] = list(workflows)
+        self.plan = plan
+
+    @classmethod
+    def replicated(
+        cls,
+        template: Workflow,
+        count: int,
+        interval: float = 0.0,
+        name: str = "ensemble",
+    ) -> "Ensemble":
+        """An ensemble of ``count`` copies of ``template``.
+
+        Copies share the underlying job objects (see
+        :meth:`~repro.workflow.dag.Workflow.relabel`), which keeps a
+        200-member 6.0-degree Montage ensemble (1.7 M jobs) affordable.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        members = [template.relabel(f"{template.name}#{i}") for i in range(count)]
+        return cls(members, SubmissionPlan.incremental(count, interval), name=name)
+
+    def __len__(self) -> int:
+        return len(self.workflows)
+
+    def __iter__(self) -> Iterator[Tuple[float, Workflow]]:
+        """Iterate ``(submit_time, workflow)`` in submission order."""
+        return iter(zip(self.plan.times, self.workflows))
+
+    @property
+    def total_jobs(self) -> int:
+        return sum(len(wf) for wf in self.workflows)
+
+    def makespan_horizon(self) -> float:
+        """Last submission time (the earliest the ensemble can be done)."""
+        return self.plan.times[-1]
+
+    def __repr__(self) -> str:
+        return (
+            f"Ensemble({self.name!r}, workflows={len(self.workflows)}, "
+            f"jobs={self.total_jobs})"
+        )

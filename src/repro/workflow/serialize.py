@@ -1,0 +1,186 @@
+"""Workflow serialization.
+
+Two on-disk formats:
+
+* **JSON** — the native format; complete round-trip of the cost model.
+* **DAX-like XML** — a subset of Pegasus's abstract DAG format (``<adag>``
+  with ``<job>``/``<uses>``/``<child>`` elements), so workflows can be
+  exchanged with Pegasus-style tooling.  The paper's workflows are
+  encapsulated in a folder containing "the DAG file, the executable
+  binaries, as well as the input and output files" (§III.B); the DAG file
+  here is either of these formats.
+"""
+
+from __future__ import annotations
+
+import json
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.workflow.dag import DataFile, Job, Workflow
+
+__all__ = [
+    "workflow_to_dict",
+    "workflow_from_dict",
+    "save_json",
+    "load_json",
+    "save_dax",
+    "load_dax",
+]
+
+_PathLike = Union[str, Path]
+
+
+def workflow_to_dict(workflow: Workflow) -> Dict[str, Any]:
+    """Plain-dict representation (JSON-serialisable)."""
+    jobs = []
+    for job in workflow.jobs.values():
+        jobs.append(
+            {
+                "id": job.id,
+                "task_type": job.task_type,
+                "runtime": job.runtime,
+                "threads": job.threads,
+                "timeout": job.timeout,
+                "inputs": [
+                    {"name": f.name, "size": f.size, "kind": f.kind}
+                    for f in job.inputs
+                ],
+                "outputs": [
+                    {"name": f.name, "size": f.size, "kind": f.kind}
+                    for f in job.outputs
+                ],
+                "parents": list(job.parents),
+            }
+        )
+    return {"name": workflow.name, "jobs": jobs}
+
+
+def workflow_from_dict(data: Dict[str, Any]) -> Workflow:
+    """Inverse of :func:`workflow_to_dict`.
+
+    File identity is restored by name so that a file shared between a
+    producer and its consumers is a single :class:`DataFile` object.
+    """
+    workflow = Workflow(data["name"])
+    files: Dict[str, DataFile] = {}
+
+    def intern_file(spec: Dict[str, Any]) -> DataFile:
+        f = files.get(spec["name"])
+        if f is None:
+            f = DataFile(spec["name"], spec["size"], spec.get("kind", "intermediate"))
+            files[spec["name"]] = f
+        return f
+
+    for spec in data["jobs"]:
+        workflow.add_job(
+            Job(
+                spec["id"],
+                spec["task_type"],
+                runtime=spec.get("runtime", 0.0),
+                threads=spec.get("threads", 1),
+                timeout=spec.get("timeout"),
+                inputs=[intern_file(s) for s in spec.get("inputs", [])],
+                outputs=[intern_file(s) for s in spec.get("outputs", [])],
+            )
+        )
+    for spec in data["jobs"]:
+        for parent in spec.get("parents", []):
+            workflow.add_dependency(parent, spec["id"])
+    return workflow
+
+
+def save_json(workflow: Workflow, path: _PathLike) -> None:
+    Path(path).write_text(json.dumps(workflow_to_dict(workflow)))
+
+
+def load_json(path: _PathLike) -> Workflow:
+    return workflow_from_dict(json.loads(Path(path).read_text()))
+
+
+# ---------------------------------------------------------------------------
+# DAX-like XML
+# ---------------------------------------------------------------------------
+
+
+def save_dax(workflow: Workflow, path: _PathLike) -> None:
+    """Write a Pegasus-DAX-style XML file."""
+    root = ET.Element("adag", {"name": workflow.name, "jobCount": str(len(workflow))})
+    for job in workflow.jobs.values():
+        el = ET.SubElement(
+            root,
+            "job",
+            {
+                "id": job.id,
+                "name": job.task_type,
+                "runtime": repr(job.runtime),
+                "threads": str(job.threads),
+            },
+        )
+        if job.timeout is not None:
+            el.set("timeout", repr(job.timeout))
+        for f in job.inputs:
+            ET.SubElement(
+                el,
+                "uses",
+                {"file": f.name, "link": "input", "size": repr(f.size), "kind": f.kind},
+            )
+        for f in job.outputs:
+            ET.SubElement(
+                el,
+                "uses",
+                {"file": f.name, "link": "output", "size": repr(f.size), "kind": f.kind},
+            )
+    for job in workflow.jobs.values():
+        if job.parents:
+            child = ET.SubElement(root, "child", {"ref": job.id})
+            for parent in job.parents:
+                ET.SubElement(child, "parent", {"ref": parent})
+    ET.ElementTree(root).write(path, encoding="unicode", xml_declaration=True)
+
+
+def load_dax(path: _PathLike) -> Workflow:
+    """Parse a DAX-style XML file written by :func:`save_dax`."""
+    root = ET.parse(path).getroot()
+    if root.tag != "adag":
+        raise ValueError(f"not a DAX file: root element is <{root.tag}>")
+    workflow = Workflow(root.get("name", "unnamed"))
+    files: Dict[str, DataFile] = {}
+
+    def intern_file(el: ET.Element) -> DataFile:
+        name = el.get("file")
+        f = files.get(name)
+        if f is None:
+            f = DataFile(
+                name, float(el.get("size", "0")), el.get("kind", "intermediate")
+            )
+            files[name] = f
+        return f
+
+    for el in root.findall("job"):
+        timeout = el.get("timeout")
+        workflow.add_job(
+            Job(
+                el.get("id"),
+                el.get("name", "task"),
+                runtime=float(el.get("runtime", "0")),
+                threads=int(el.get("threads", "1")),
+                timeout=float(timeout) if timeout is not None else None,
+                inputs=[
+                    intern_file(u)
+                    for u in el.findall("uses")
+                    if u.get("link") == "input"
+                ],
+                outputs=[
+                    intern_file(u)
+                    for u in el.findall("uses")
+                    if u.get("link") == "output"
+                ],
+            )
+        )
+    for child in root.findall("child"):
+        child_id = child.get("ref")
+        for parent in child.findall("parent"):
+            workflow.add_dependency(parent.get("ref"), child_id)
+    return workflow

@@ -1,0 +1,98 @@
+"""Job-trace statistics: quantifying workload homogeneity.
+
+DEWE v2's whole design rests on one empirical property: "many scientific
+workflows feature a large number of nearly identical tasks in terms of
+their computation and data requirements" (paper §I).  This module turns
+an executed run (or a raw workflow) into per-task-type statistics so that
+the premise can be *measured* instead of assumed:
+
+* :func:`task_type_stats` — count, runtime mean/CV, I/O bytes mean/CV per
+  task type;
+* :func:`homogeneity_index` — the fraction of total work contributed by
+  task types whose runtime coefficient of variation is below a threshold
+  (1.0 means: all the work is in near-identical tasks — pulling is safe).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.workflow.dag import Workflow
+
+__all__ = ["TaskTypeStats", "task_type_stats", "homogeneity_index"]
+
+
+@dataclass(frozen=True)
+class TaskTypeStats:
+    """Distribution summary for one task type."""
+
+    task_type: str
+    count: int
+    runtime_mean: float
+    runtime_cv: float
+    input_bytes_mean: float
+    output_bytes_mean: float
+    total_runtime: float
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """Near-identical resource consumption (CV below 10%)."""
+        return self.runtime_cv < 0.10
+
+
+def _cv(values: np.ndarray) -> float:
+    mean = float(values.mean())
+    if mean == 0:
+        return 0.0
+    return float(values.std() / mean)
+
+
+def task_type_stats(workflow: Workflow) -> Dict[str, TaskTypeStats]:
+    """Per-task-type statistics of a workflow's cost model."""
+    groups: Dict[str, List] = {}
+    for job in workflow:
+        groups.setdefault(job.task_type, []).append(job)
+    out: Dict[str, TaskTypeStats] = {}
+    for task_type, jobs in groups.items():
+        runtimes = np.array([j.runtime for j in jobs])
+        in_bytes = np.array([j.input_bytes for j in jobs])
+        out_bytes = np.array([j.output_bytes for j in jobs])
+        out[task_type] = TaskTypeStats(
+            task_type=task_type,
+            count=len(jobs),
+            runtime_mean=float(runtimes.mean()),
+            runtime_cv=_cv(runtimes),
+            input_bytes_mean=float(in_bytes.mean()),
+            output_bytes_mean=float(out_bytes.mean()),
+            total_runtime=float(runtimes.sum()),
+        )
+    return out
+
+
+def homogeneity_index(
+    workflow: Workflow,
+    cv_threshold: float = 0.10,
+    min_count: int = 10,
+) -> float:
+    """Fraction of total CPU work in large, near-identical task families.
+
+    A task type contributes if it has at least ``min_count`` members and
+    a runtime CV below ``cv_threshold``.  Montage scores high (the
+    mProjectPP/mDiffFit/mBackground armies dominate); a workflow of
+    bespoke tasks scores near zero — and would benefit from scheduling.
+    """
+    if cv_threshold < 0:
+        raise ValueError(f"cv_threshold must be >= 0, got {cv_threshold}")
+    stats = task_type_stats(workflow)
+    total = sum(s.total_runtime for s in stats.values())
+    if total == 0:
+        return 0.0
+    homogeneous = sum(
+        s.total_runtime
+        for s in stats.values()
+        if s.count >= min_count and s.runtime_cv <= cv_threshold
+    )
+    return homogeneous / total

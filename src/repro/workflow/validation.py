@@ -1,0 +1,96 @@
+"""Structural validation for workflows.
+
+The master daemon validates a workflow at submission time (the DAG file is
+parsed and stored in a data structure, paper §III.C); malformed DAGs are
+rejected with a :class:`ValidationError` listing every problem found.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workflow.dag import Workflow
+
+__all__ = ["ValidationError", "validate_workflow"]
+
+
+class ValidationError(ValueError):
+    """Raised when a workflow is structurally invalid.
+
+    ``problems`` holds one message per independent defect.
+    """
+
+    def __init__(self, workflow_name: str, problems: List[str]):
+        self.workflow_name = workflow_name
+        self.problems = problems
+        summary = "; ".join(problems[:5])
+        if len(problems) > 5:
+            summary += f"; ... ({len(problems)} problems total)"
+        super().__init__(f"workflow {workflow_name!r} is invalid: {summary}")
+
+
+def find_problems(workflow: Workflow) -> List[str]:
+    """Return a list of structural defects (empty when valid)."""
+    problems: List[str] = []
+    jobs = workflow.jobs
+
+    if not jobs:
+        problems.append("workflow has no jobs")
+        return problems
+
+    # Referential integrity and symmetry of the edge lists.
+    for job in jobs.values():
+        for parent_id in job.parents:
+            parent = jobs.get(parent_id)
+            if parent is None:
+                problems.append(f"{job.id}: unknown parent {parent_id!r}")
+            elif job.id not in parent.children:
+                problems.append(
+                    f"{job.id}: parent link to {parent_id!r} is not mirrored"
+                )
+        for child_id in job.children:
+            child = jobs.get(child_id)
+            if child is None:
+                problems.append(f"{job.id}: unknown child {child_id!r}")
+            elif job.id not in child.parents:
+                problems.append(
+                    f"{job.id}: child link to {child_id!r} is not mirrored"
+                )
+        if len(set(job.parents)) != len(job.parents):
+            problems.append(f"{job.id}: duplicate parent entries")
+        if len(set(job.children)) != len(job.children):
+            problems.append(f"{job.id}: duplicate child entries")
+
+    # Acyclicity.
+    try:
+        workflow.topological_order()
+    except ValueError:
+        problems.append("dependency graph contains a cycle")
+
+    # Data-flow sanity: a file must not have two distinct producers, and a
+    # file consumed before the workflow starts must be an input.
+    producers: dict = {}
+    for job in jobs.values():
+        for f in job.outputs:
+            prior = producers.get(f.name)
+            if prior is not None and prior is not job:
+                problems.append(
+                    f"file {f.name!r} produced by both {prior.id} and {job.id}"
+                )
+            producers[f.name] = job
+    for job in jobs.values():
+        for f in job.inputs:
+            if f.kind != "input" and f.name not in producers:
+                problems.append(
+                    f"{job.id}: consumes {f.name!r} ({f.kind}) with no producer"
+                )
+
+    return problems
+
+
+def validate_workflow(workflow: Workflow) -> Workflow:
+    """Validate ``workflow``; returns it unchanged or raises ValidationError."""
+    problems = find_problems(workflow)
+    if problems:
+        raise ValidationError(workflow.name, problems)
+    return workflow

@@ -1,0 +1,134 @@
+"""Tests for the scheduling (Pegasus-like) and DEWE v1 engines."""
+
+import pytest
+
+from repro.cloud import ClusterSpec
+from repro.engines import DeweV1Engine, PullEngine, SchedulingEngine
+from repro.generators import montage_workflow
+from repro.workflow import Ensemble
+
+
+def spec1(fs="local", nodes=1):
+    return ClusterSpec("c3.8xlarge", nodes, filesystem=fs)
+
+
+def test_scheduling_engine_completes_everything():
+    template = montage_workflow(degree=0.5)
+    result = SchedulingEngine(spec1()).run(Ensemble([template]))
+    assert result.jobs_executed == len(template)
+    assert result.makespan > 0
+
+
+def test_scheduling_respects_precedence():
+    template = montage_workflow(degree=0.5)
+    result = SchedulingEngine(spec1()).run(Ensemble([template]))
+    ends = {r.job_id: r.end for r in result.records}
+    starts = {r.job_id: r.start for r in result.records}
+    for job in template:
+        for parent in job.parents:
+            assert ends[parent] <= starts[job.id] + 1e-6
+
+
+def test_pull_beats_scheduling_on_makespan():
+    """The paper's core claim (Fig 6): pulling removes scheduling
+    overhead, so DEWE v2 finishes well ahead of Pegasus on the same
+    cluster and workload."""
+    template = montage_workflow(degree=1.0)
+    ensemble = Ensemble([template])
+    pull = PullEngine(spec1()).run(ensemble)
+    sched = SchedulingEngine(spec1()).run(ensemble)
+    assert sched.makespan > pull.makespan * 1.5
+
+
+def test_scheduling_concurrency_capped_at_20():
+    """Fig 6a: Pegasus never exceeds 20 concurrent threads on the
+    32-vCPU node."""
+    template = montage_workflow(degree=1.0)
+    result = SchedulingEngine(spec1()).run(Ensemble([template]))
+    for log in result.thread_logs:
+        assert max(log.values) <= 20
+
+
+def test_scheduling_writes_more(capfd):
+    """Fig 6c/7c: Pegasus's staging and logs amplify disk writes."""
+    template = montage_workflow(degree=0.5)
+    ensemble = Ensemble([template])
+    pull = PullEngine(spec1()).run(ensemble)
+    sched = SchedulingEngine(spec1()).run(ensemble)
+    assert sched.total_disk_write_bytes() > pull.total_disk_write_bytes() * 1.5
+
+
+def test_scheduling_burns_more_cpu():
+    """Fig 7b: wrapper overhead shows up as extra CPU time."""
+    template = montage_workflow(degree=0.5)
+    ensemble = Ensemble([template])
+    pull = PullEngine(spec1()).run(ensemble)
+    sched = SchedulingEngine(spec1()).run(ensemble)
+    assert sched.total_cpu_seconds() > pull.total_cpu_seconds() * 1.2
+
+
+def test_scheduling_overhead_time_recorded():
+    template = montage_workflow(degree=0.5)
+    result = SchedulingEngine(spec1()).run(Ensemble([template]))
+    assert any(r.overhead_time > 0 for r in result.records)
+
+
+def test_scheduling_knobs_reduce_to_fast_engine():
+    """With every overhead zeroed the scheduling engine approaches the
+    pull engine's makespan (ablation sanity)."""
+    template = montage_workflow(degree=0.5)
+    ensemble = Ensemble([template])
+    pull = PullEngine(spec1()).run(ensemble)
+    neutral = SchedulingEngine(
+        spec1(),
+        max_slots_per_node=None,
+        submit_overhead=0.0,
+        dispatch_latency=0.0,
+        wrapper_cpu=0.0,
+        read_miss=None,
+        output_copy_factor=0.0,
+        log_bytes_per_job=0.0,
+    ).run(ensemble)
+    assert neutral.makespan == pytest.approx(pull.makespan, rel=0.15)
+
+
+# ---------------------------------------------------------------------------
+# DEWE v1
+# ---------------------------------------------------------------------------
+
+
+def test_dewe_v1_completes():
+    template = montage_workflow(degree=0.5)
+    result = DeweV1Engine(spec1()).run(Ensemble([template]))
+    assert result.jobs_executed == len(template)
+
+
+def test_dewe_v1_runs_workflows_sequentially():
+    """DEWE v1 'is only capable of running a single workflow at a time'
+    (paper §I): workflow k+1 starts only after workflow k finishes."""
+    template = montage_workflow(degree=0.5)
+    ensemble = Ensemble.replicated(template, 3)
+    result = DeweV1Engine(spec1()).run(ensemble)
+    spans = sorted(result.workflow_spans.values())
+    for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+        assert s2 >= e1 - 1e-6
+
+
+def test_dewe_v2_beats_v1_on_ensembles():
+    """Parallel multi-workflow execution is DEWE v2's advantage."""
+    template = montage_workflow(degree=0.5)
+    ensemble = Ensemble.replicated(template, 4)
+    v1 = DeweV1Engine(spec1()).run(ensemble)
+    v2 = PullEngine(spec1()).run(ensemble)
+    assert v2.makespan < v1.makespan
+
+
+def test_dewe_v1_staging_shows_as_io_time():
+    """Fig 2's communication gaps: staging makes read time visible."""
+    template = montage_workflow(degree=0.5)
+    v1 = DeweV1Engine(ClusterSpec("m3.2xlarge", 4, filesystem="nfs-nton")).run(
+        Ensemble([template])
+    )
+    read_heavy = [r for r in v1.records if r.task_type == "mDiffFit"]
+    assert read_heavy
+    assert all(r.read_time > 0 for r in read_heavy)

@@ -1,0 +1,92 @@
+"""Unit tests for executors, node assembly and small leftovers."""
+
+import time
+
+import pytest
+
+from repro.cloud import get_instance_type
+from repro.cloud.instances import DiskProfile
+from repro.cloud.node import DIRTY_FRACTION, PAGE_CACHE_FRACTION, SimNode
+from repro.dewe.executors import CallableExecutor, NullExecutor, SubprocessExecutor
+from repro.sim import Simulator
+from repro.workflow import Job
+
+# ---------------------------------------------------------------------------
+# Executors
+# ---------------------------------------------------------------------------
+
+
+def test_callable_executor_runs_action():
+    calls = []
+    job = Job("j", "t", action=lambda: calls.append(1))
+    CallableExecutor().run(job)
+    assert calls == [1]
+
+
+def test_callable_executor_no_action_is_noop():
+    CallableExecutor().run(Job("j", "t"))  # must not raise
+
+
+def test_null_executor_scales_sleep():
+    job = Job("j", "t", runtime=20.0)
+    t0 = time.monotonic()
+    NullExecutor(time_scale=0.005).run(job)  # 0.1 s
+    elapsed = time.monotonic() - t0
+    assert elapsed >= 0.08
+
+
+def test_null_executor_zero_scale_instant():
+    job = Job("j", "t", runtime=1e9)
+    t0 = time.monotonic()
+    NullExecutor().run(job)
+    assert time.monotonic() - t0 < 0.05
+
+
+def test_null_executor_validation():
+    with pytest.raises(ValueError):
+        NullExecutor(time_scale=-1.0)
+
+
+def test_subprocess_executor_rejects_callable():
+    job = Job("j", "t", action=lambda: None)
+    with pytest.raises(TypeError, match="argv list"):
+        SubprocessExecutor().run(job)
+
+
+def test_subprocess_executor_none_action_noop():
+    SubprocessExecutor().run(Job("j", "t"))
+
+
+def test_subprocess_executor_nonzero_exit_raises():
+    import subprocess
+
+    job = Job("j", "t", action=["false"])
+    with pytest.raises(subprocess.CalledProcessError):
+        SubprocessExecutor().run(job)
+
+
+# ---------------------------------------------------------------------------
+# SimNode assembly
+# ---------------------------------------------------------------------------
+
+
+def test_sim_node_resources_match_instance_type():
+    sim = Simulator()
+    itype = get_instance_type("i2.8xlarge")
+    node = SimNode(sim, 3, itype)
+    assert node.name == "i2.8xlarge-003"
+    assert node.cores.capacity == 32
+    assert node.disk.read.capacity == itype.disk.rand_read
+    assert node.disk.write.capacity == itype.disk.seq_write
+    assert node.nic_in.capacity == pytest.approx(1.25e9)
+    assert node.page_cache_bytes == pytest.approx(
+        PAGE_CACHE_FRACTION * itype.memory_bytes
+    )
+    assert node.write_cache.capacity == pytest.approx(
+        DIRTY_FRACTION * node.page_cache_bytes
+    )
+
+
+def test_disk_profile_validation():
+    with pytest.raises(ValueError):
+        DiskProfile(seq_read=0.0, seq_write=1.0, rand_read=1.0, rand_write=1.0)

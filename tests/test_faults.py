@@ -1,0 +1,93 @@
+"""Unit tests for the fault-injection schedules."""
+
+import pytest
+
+from repro.faults import FaultAction, FaultSchedule, kill_restart_cycle
+from repro.sim import Simulator
+
+
+def test_fault_action_validation():
+    with pytest.raises(ValueError):
+        FaultAction(-1.0, 0, "kill")
+    with pytest.raises(ValueError):
+        FaultAction(1.0, -1, "kill")
+    with pytest.raises(ValueError):
+        FaultAction(1.0, 0, "reboot")
+
+
+def test_schedule_sorts_actions():
+    schedule = FaultSchedule(
+        [FaultAction(10.0, 0, "kill"), FaultAction(5.0, 1, "restart")]
+    )
+    assert [a.time for a in schedule.actions] == [5.0, 10.0]
+    assert len(schedule) == 2
+
+
+def test_install_fires_actions_in_order():
+    sim = Simulator()
+    log = []
+    schedule = FaultSchedule(
+        [
+            FaultAction(2.0, 0, "kill"),
+            FaultAction(7.0, 0, "restart"),
+            FaultAction(9.0, 1, "kill"),
+        ]
+    )
+    schedule.install(
+        sim,
+        start_worker=lambda n: log.append(("start", n, sim.now)),
+        kill_worker=lambda n: log.append(("kill", n, sim.now)),
+    )
+    sim.run()
+    assert log == [("kill", 0, 2.0), ("start", 0, 7.0), ("kill", 1, 9.0)]
+
+
+def test_kill_restart_cycle_same_node():
+    schedule = kill_restart_cycle([10.0, 50.0], downtime=5.0)
+    assert [(a.time, a.node, a.action) for a in schedule.actions] == [
+        (10.0, 0, "kill"),
+        (15.0, 0, "restart"),
+        (50.0, 0, "kill"),
+        (55.0, 0, "restart"),
+    ]
+    assert schedule.initially_down == ()
+
+
+def test_kill_restart_cycle_failover_alternates():
+    """The paper's two-node test: kill on one node, restart on the other,
+    alternating, with the second node initially down."""
+    schedule = kill_restart_cycle([10.0, 50.0], downtime=5.0, kill_node=0,
+                                  restart_node=1)
+    assert [(a.time, a.node, a.action) for a in schedule.actions] == [
+        (10.0, 0, "kill"),
+        (15.0, 1, "restart"),
+        (50.0, 1, "kill"),
+        (55.0, 0, "restart"),
+    ]
+    assert schedule.initially_down == (1,)
+
+
+def test_kill_restart_cycle_validation():
+    with pytest.raises(ValueError):
+        kill_restart_cycle([1.0], downtime=-1.0)
+
+
+def test_repeated_interruptions_still_complete():
+    """Multiple kill/restart cycles: 'DEWE v2 is capable of completing the
+    execution of the workflow, regardless of number of interruptions'."""
+    from repro.cloud import ClusterSpec
+    from repro.engines import PullEngine, RunConfig
+    from repro.generators import montage_workflow
+    from repro.workflow import Ensemble
+
+    template = montage_workflow(degree=0.5)
+    spec = ClusterSpec("c3.8xlarge", 1, filesystem="local")
+    base = PullEngine(spec).run(Ensemble([template]))
+    kill_times = [base.makespan * f for f in (0.2, 0.5, 0.8)]
+    schedule = kill_restart_cycle(kill_times, downtime=2.0)
+    cfg = RunConfig(default_timeout=20.0, timeout_check_interval=0.5)
+    result = PullEngine(spec, config=cfg, fault_schedule=schedule).run(
+        Ensemble([template])
+    )
+    assert result.jobs_executed >= len(template)
+    assert len(result.workflow_spans) == 1

@@ -1,0 +1,123 @@
+"""Tests for the Epigenomics and SIPHT generators, plus cross-family
+engine runs and homogeneity contrasts."""
+
+import pytest
+
+from repro.cloud import ClusterSpec
+from repro.engines import PullEngine
+from repro.generators import (
+    epigenomics_workflow,
+    montage_workflow,
+    sipht_workflow,
+)
+from repro.workflow import Ensemble, validate_workflow
+from repro.workflow.analysis import critical_path, topological_levels
+from repro.workflow.traces import homogeneity_index
+
+# ---------------------------------------------------------------------------
+# Epigenomics
+# ---------------------------------------------------------------------------
+
+
+def test_epigenomics_valid_and_counted():
+    wf = epigenomics_workflow(lanes=3, chunks=4)
+    validate_workflow(wf)
+    counts = wf.count_by_type()
+    assert counts["fastqSplit"] == 3
+    assert counts["map"] == 12
+    assert counts["mapMerge"] == 3
+    assert counts["mapMergeGlobal"] == 1
+    assert counts["pileup"] == 1
+    # 3 splits + 3*4*4 chain jobs + 3 merges + 3 tail jobs
+    assert len(wf) == 3 + 48 + 3 + 3
+
+
+def test_epigenomics_chains_are_deep():
+    """Each chunk is a 4-step chain: the DAG has >= 7 levels."""
+    wf = epigenomics_workflow(lanes=2, chunks=2)
+    levels = topological_levels(wf)
+    assert max(levels.values()) >= 7
+
+
+def test_epigenomics_critical_path_is_chain_plus_tail():
+    wf = epigenomics_workflow(lanes=1, chunks=1)
+    length, path = critical_path(wf)
+    assert path[0] == "fastqSplit_00"
+    assert path[-1] == "pileup"
+    assert length == pytest.approx(wf.total_runtime())  # single chain
+
+
+def test_epigenomics_validation():
+    with pytest.raises(ValueError):
+        epigenomics_workflow(lanes=0)
+    with pytest.raises(ValueError):
+        epigenomics_workflow(lanes=1, chunks=1, jitter=-1.0)
+
+
+def test_epigenomics_runs_on_pull_engine():
+    wf = epigenomics_workflow(lanes=2, chunks=3)
+    result = PullEngine(ClusterSpec("c3.8xlarge", 1, filesystem="local")).run(
+        Ensemble([wf])
+    )
+    assert result.jobs_executed == len(wf)
+
+
+# ---------------------------------------------------------------------------
+# SIPHT
+# ---------------------------------------------------------------------------
+
+
+def test_sipht_valid_and_counted():
+    wf = sipht_workflow(patsers=10)
+    validate_workflow(wf)
+    counts = wf.count_by_type()
+    assert counts["Patser"] == 10
+    assert counts["SRNA"] == 1
+    assert counts["Blast"] == 1
+    assert counts["SRNAAnnotate"] == 1
+    assert len(wf) == 10 + 1 + 4 + 1 + 1 + 4 + 1
+
+
+def test_sipht_srna_joins_all_bands():
+    wf = sipht_workflow(patsers=6)
+    srna = wf.job("SRNA")
+    assert "PatserConcat" in srna.parents
+    for analysis in ("TransTerm", "FindTerm", "RNAMotif", "Blast"):
+        assert analysis in srna.parents
+
+
+def test_sipht_validation():
+    with pytest.raises(ValueError):
+        sipht_workflow(patsers=0)
+
+
+def test_sipht_runs_on_pull_engine():
+    wf = sipht_workflow(patsers=12)
+    result = PullEngine(ClusterSpec("c3.8xlarge", 1, filesystem="local")).run(
+        Ensemble([wf])
+    )
+    assert result.jobs_executed == len(wf)
+
+
+# ---------------------------------------------------------------------------
+# Homogeneity contrast (paper §I premise, measured)
+# ---------------------------------------------------------------------------
+
+
+def test_montage_more_homogeneous_than_sipht():
+    """Montage's work lives in huge near-identical families; SIPHT's
+    lives in a handful of heterogeneous analysis codes — exactly the
+    contrast that decides whether pulling or scheduling fits."""
+    montage = montage_workflow(degree=2.0)
+    sipht = sipht_workflow(patsers=24)
+    assert homogeneity_index(montage) > homogeneity_index(sipht)
+    assert homogeneity_index(sipht) < 0.4
+
+
+def test_deterministic_generators():
+    a = epigenomics_workflow(lanes=2, chunks=2)
+    b = epigenomics_workflow(lanes=2, chunks=2)
+    assert [j.runtime for j in a] == [j.runtime for j in b]
+    c = sipht_workflow(patsers=5, jitter=0.2, seed=3)
+    d = sipht_workflow(patsers=5, jitter=0.2, seed=3)
+    assert [j.runtime for j in c] == [j.runtime for j in d]

@@ -1,0 +1,157 @@
+"""Tests for the threaded broker and the simulated broker."""
+
+import threading
+
+import pytest
+
+from repro.mq import Broker, SimBroker
+from repro.sim import Simulator
+
+
+def test_publish_consume_fifo():
+    broker = Broker()
+    for i in range(5):
+        broker.publish("t", i)
+    assert [broker.consume("t") for _ in range(5)] == [0, 1, 2, 3, 4]
+
+
+def test_consume_empty_returns_none():
+    broker = Broker()
+    assert broker.consume("t") is None
+    assert broker.consume("t", timeout=0.01) is None
+
+
+def test_consumed_message_invisible_to_others():
+    """Work-queue semantics: one consumer checks a message out, the other
+    finds the queue empty (paper §III.C: 'the job is no longer visible to
+    other worker nodes')."""
+    broker = Broker()
+    broker.publish("jobs", "only-job")
+    assert broker.consume("jobs") == "only-job"
+    assert broker.consume("jobs") is None
+
+
+def test_topics_are_independent():
+    broker = Broker()
+    broker.publish("a", 1)
+    broker.publish("b", 2)
+    assert broker.consume("b") == 2
+    assert broker.consume("a") == 1
+
+
+def test_depth_and_stats():
+    broker = Broker()
+    broker.publish("t", "x")
+    broker.publish("t", "y")
+    assert broker.depth("t") == 2
+    broker.consume("t")
+    stats = broker.stats()
+    assert stats["t"]["published"] == 2
+    assert stats["t"]["consumed"] == 1
+    assert stats["t"]["depth"] == 1
+
+
+def test_concurrent_consumers_each_message_once():
+    broker = Broker()
+    n = 500
+    for i in range(n):
+        broker.publish("jobs", i)
+    got = []
+    lock = threading.Lock()
+
+    def consumer():
+        while True:
+            msg = broker.consume("jobs")
+            if msg is None:
+                return
+            with lock:
+                got.append(msg)
+
+    threads = [threading.Thread(target=consumer) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert sorted(got) == list(range(n))
+
+
+def test_blocking_consume_wakes_on_publish():
+    broker = Broker()
+    result = []
+
+    def consumer():
+        result.append(broker.consume("t", timeout=5.0))
+
+    t = threading.Thread(target=consumer)
+    t.start()
+    broker.publish("t", "hello")
+    t.join(timeout=5.0)
+    assert result == ["hello"]
+
+
+# ---------------------------------------------------------------------------
+# SimBroker
+# ---------------------------------------------------------------------------
+
+
+def test_simbroker_delivery_latency():
+    sim = Simulator()
+    broker = SimBroker(sim, latency=0.5)
+    got = []
+
+    def consumer():
+        msg = yield broker.consume("t")
+        got.append((msg, sim.now))
+
+    sim.process(consumer())
+    broker.publish("t", "m")
+    sim.run()
+    assert got == [("m", 0.5)]
+
+
+def test_simbroker_zero_latency():
+    sim = Simulator()
+    broker = SimBroker(sim, latency=0.0)
+    broker.publish("t", 1)
+    got = []
+
+    def consumer():
+        msg = yield broker.consume("t")
+        got.append((msg, sim.now))
+
+    sim.process(consumer())
+    sim.run()
+    assert got == [(1, 0.0)]
+
+
+def test_simbroker_fifo_per_topic():
+    sim = Simulator()
+    broker = SimBroker(sim, latency=0.0)
+    for i in range(4):
+        broker.publish("t", i)
+    got = []
+
+    def consumer():
+        for _ in range(4):
+            msg = yield broker.consume("t")
+            got.append(msg)
+
+    sim.process(consumer())
+    sim.run()
+    assert got == [0, 1, 2, 3]
+
+
+def test_simbroker_cancel_consume():
+    sim = Simulator()
+    broker = SimBroker(sim, latency=0.0)
+    pending = broker.consume("t")
+    assert broker.cancel("t", pending)
+    broker.publish("t", "x")
+    sim.run()
+    assert broker.depth("t") == 1  # the cancelled getter did not take it
+
+
+def test_simbroker_negative_latency_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        SimBroker(sim, latency=-1.0)

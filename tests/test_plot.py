@@ -1,0 +1,88 @@
+"""Tests for the SVG figure rendering."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.cloud import ClusterSpec
+from repro.engines import PullEngine
+from repro.generators import montage_workflow
+from repro.monitor.plot import PALETTE, svg_gantt, svg_line_chart
+from repro.workflow import Ensemble
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+@pytest.fixture(scope="module")
+def result():
+    template = montage_workflow(degree=0.5)
+    return PullEngine(ClusterSpec("c3.8xlarge", 1, filesystem="local")).run(
+        Ensemble([template])
+    )
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+def test_line_chart_is_valid_svg(tmp_path):
+    path = tmp_path / "chart.svg"
+    svg = svg_line_chart(
+        {"c3": ([1, 2, 3], [10.0, 20.0, 30.0]), "i2": ([1, 2, 3], [8.0, 15.0, 22.0])},
+        title="Fig 5a",
+        xlabel="workflows",
+        ylabel="seconds",
+        path=path,
+    )
+    root = parse(svg)
+    assert root.tag == f"{SVG_NS}svg"
+    polylines = root.findall(f"{SVG_NS}polyline")
+    assert len(polylines) == 2
+    texts = [t.text for t in root.findall(f"{SVG_NS}text")]
+    assert "Fig 5a" in texts
+    assert "c3" in texts and "i2" in texts
+    assert path.exists()
+
+
+def test_line_chart_markers_match_points():
+    svg = svg_line_chart({"s": ([0, 1, 2, 3], [1.0, 2.0, 1.5, 3.0])})
+    root = parse(svg)
+    assert len(root.findall(f"{SVG_NS}circle")) == 4
+
+
+def test_line_chart_handles_constant_series():
+    svg = svg_line_chart({"flat": ([0, 1], [5.0, 5.0])})
+    assert "polyline" in svg
+
+
+def test_line_chart_validation():
+    with pytest.raises(ValueError):
+        svg_line_chart({})
+    with pytest.raises(ValueError):
+        svg_line_chart({"empty": ([], [])})
+
+
+def test_gantt_is_valid_svg(result, tmp_path):
+    path = tmp_path / "gantt.svg"
+    svg = svg_gantt(result, path=path)
+    root = parse(svg)
+    rects = root.findall(f"{SVG_NS}rect")
+    # Background + at least one bar per record (I/O split adds more).
+    assert len(rects) >= len(result.records)
+    assert path.exists()
+
+
+def test_gantt_colors_task_types(result):
+    svg = svg_gantt(result)
+    used_colors = {c for c in PALETTE if c in svg}
+    n_types = len({r.task_type for r in result.records})
+    assert len(used_colors) >= min(n_types, len(PALETTE)) - 1
+
+
+def test_gantt_bars_within_canvas(result):
+    svg = svg_gantt(result, width=500)
+    root = parse(svg)
+    for rect in root.findall(f"{SVG_NS}rect"):
+        x = float(rect.get("x", "0"))
+        w = float(rect.get("width", "0"))
+        assert x + w <= 500 + 1e-6

@@ -1,0 +1,340 @@
+"""Unit tests for the DES kernel event loop and process model."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        yield sim.timeout(5.0)
+        log.append(sim.now)
+        yield sim.timeout(2.5)
+        log.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert log == [5.0, 7.5]
+
+
+def test_timeout_value_passthrough():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        value = yield sim.timeout(1.0, value="tick")
+        seen.append(value)
+
+    sim.process(proc())
+    sim.run()
+    assert seen == ["tick"]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_event_succeed_wakes_waiter():
+    sim = Simulator()
+    gate = sim.event()
+    seen = []
+
+    def waiter():
+        value = yield gate
+        seen.append((sim.now, value))
+
+    def opener():
+        yield sim.timeout(3.0)
+        gate.succeed("open")
+
+    sim.process(waiter())
+    sim.process(opener())
+    sim.run()
+    assert seen == [(3.0, "open")]
+
+
+def test_event_double_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+
+
+def test_event_fail_throws_into_process():
+    sim = Simulator()
+    gate = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield gate
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    sim.process(waiter())
+    gate.fail(RuntimeError("boom"))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_fail_requires_exception_instance():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.event().fail("not an exception")
+
+
+def test_process_return_value_propagates():
+    sim = Simulator()
+    results = []
+
+    def child():
+        yield sim.timeout(2.0)
+        return 42
+
+    def parent():
+        value = yield sim.process(child())
+        results.append(value)
+
+    sim.process(parent())
+    sim.run()
+    assert results == [42]
+
+
+def test_process_exception_propagates_to_waiter():
+    sim = Simulator()
+    caught = []
+
+    def child():
+        yield sim.timeout(1.0)
+        raise ValueError("child failed")
+
+    def parent():
+        try:
+            yield sim.process(child())
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.process(parent())
+    sim.run()
+    assert caught == ["child failed"]
+
+
+def test_yield_on_already_fired_event_resumes_immediately():
+    sim = Simulator()
+    ticks = []
+
+    def proc():
+        done = sim.timeout(0.0)
+        yield sim.timeout(1.0)
+        # `done` fired at t=0; yielding it must not block.
+        yield done
+        ticks.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert ticks == [1.0]
+
+
+def test_deterministic_fifo_ordering_same_time():
+    sim = Simulator()
+    order = []
+
+    def proc(name):
+        yield sim.timeout(1.0)
+        order.append(name)
+
+    for name in "abcde":
+        sim.process(proc(name))
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+
+    def proc():
+        while True:
+            yield sim.timeout(10.0)
+
+    sim.process(proc())
+    end = sim.run(until=35.0)
+    assert end == 35.0
+    assert sim.now == 35.0
+
+
+def test_run_until_past_raises():
+    sim = Simulator()
+    sim.run(until=5.0)
+    with pytest.raises(ValueError):
+        sim.run(until=1.0)
+
+
+def test_interrupt_waiting_process():
+    sim = Simulator()
+    log = []
+
+    def victim():
+        try:
+            yield sim.timeout(100.0)
+            log.append("finished")
+        except Interrupt as intr:
+            log.append(("interrupted", sim.now, intr.cause))
+
+    def killer(proc):
+        yield sim.timeout(7.0)
+        proc.interrupt("node failure")
+
+    proc = sim.process(victim())
+    sim.process(killer(proc))
+    sim.run()
+    assert log == [("interrupted", 7.0, "node failure")]
+
+
+def test_interrupt_dead_process_is_noop():
+    sim = Simulator()
+
+    def victim():
+        yield sim.timeout(1.0)
+
+    proc = sim.process(victim())
+    sim.run()
+    assert not proc.is_alive
+    proc.interrupt("too late")  # must not raise
+    sim.run()
+
+
+def test_interrupted_wait_does_not_resume_twice():
+    sim = Simulator()
+    log = []
+
+    def victim():
+        try:
+            yield sim.timeout(10.0)
+        except Interrupt:
+            log.append("interrupted")
+        yield sim.timeout(50.0)
+        log.append("second wait done at %g" % sim.now)
+
+    proc = sim.process(victim())
+
+    def killer():
+        yield sim.timeout(4.0)
+        proc.interrupt()
+
+    sim.process(killer())
+    sim.run()
+    # The abandoned 10 s timeout must not resume the process at t=10.
+    assert log == ["interrupted", "second wait done at 54"]
+
+
+def test_uncaught_interrupt_terminates_process():
+    sim = Simulator()
+
+    def victim():
+        yield sim.timeout(10.0)
+
+    proc = sim.process(victim())
+
+    def killer():
+        yield sim.timeout(1.0)
+        proc.interrupt()
+
+    sim.process(killer())
+    sim.run()
+    assert not proc.is_alive
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        events = [sim.timeout(t, value=t) for t in (3.0, 1.0, 2.0)]
+        values = yield AllOf(sim, events)
+        seen.append((sim.now, values))
+
+    sim.process(proc())
+    sim.run()
+    assert seen == [(3.0, [3.0, 1.0, 2.0])]
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        events = [sim.timeout(t, value=t) for t in (3.0, 1.0, 2.0)]
+        value = yield AnyOf(sim, events)
+        seen.append((sim.now, value))
+
+    sim.process(proc())
+    sim.run()
+    assert seen == [(1.0, 1.0)]
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        values = yield AllOf(sim, [])
+        seen.append((sim.now, values))
+
+    sim.process(proc())
+    sim.run()
+    assert seen == [(0.0, [])]
+
+
+def test_schedule_call_runs_function():
+    sim = Simulator()
+    calls = []
+    sim.schedule_call(4.0, calls.append, "x")
+    sim.run()
+    assert calls == ["x"]
+    assert sim.now == 4.0
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+    sim.timeout(9.0)
+    assert sim.peek() == 9.0
+
+
+def test_yielding_non_event_raises():
+    sim = Simulator()
+
+    def proc():
+        yield 17  # not an Event
+
+    sim.process(proc())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_nested_processes_chain():
+    sim = Simulator()
+    trace = []
+
+    def level(depth):
+        if depth > 0:
+            yield sim.process(level(depth - 1))
+        yield sim.timeout(1.0)
+        trace.append((depth, sim.now))
+
+    sim.process(level(3))
+    sim.run()
+    assert trace == [(0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0)]

@@ -1,0 +1,203 @@
+"""Property-based tests (hypothesis) for the DES kernel invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import CorePool, FairShareLink, SegmentLog, Simulator
+
+# ---------------------------------------------------------------------------
+# FairShareLink invariants
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def transfer_plans(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    sizes = draw(
+        st.lists(
+            st.floats(min_value=0.5, max_value=1e4, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    starts = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    capacity = draw(st.floats(min_value=1.0, max_value=1e3, allow_nan=False))
+    return capacity, list(zip(starts, sizes))
+
+
+@given(transfer_plans())
+@settings(max_examples=60, deadline=None)
+def test_link_work_conservation(plan):
+    """Total delivered bytes equal total requested bytes."""
+    capacity, transfers = plan
+    sim = Simulator()
+    link = FairShareLink(sim, capacity=capacity)
+    finished = []
+
+    def proc(start, size):
+        yield sim.timeout(start)
+        yield link.transfer(size)
+        finished.append(size)
+
+    for start, size in transfers:
+        sim.process(proc(start, size))
+    sim.run()
+    assert len(finished) == len(transfers)
+    total = sum(size for _, size in transfers)
+    assert link.log.integrate(sim.now) == pytest.approx(total, rel=1e-6)
+
+
+@given(transfer_plans())
+@settings(max_examples=60, deadline=None)
+def test_link_no_transfer_beats_dedicated_rate(plan):
+    """No stream finishes faster than running alone at full capacity."""
+    capacity, transfers = plan
+    sim = Simulator()
+    link = FairShareLink(sim, capacity=capacity)
+    records = []
+
+    def proc(start, size):
+        yield sim.timeout(start)
+        t0 = sim.now
+        yield link.transfer(size)
+        records.append((size, sim.now - t0))
+
+    for start, size in transfers:
+        sim.process(proc(start, size))
+    sim.run()
+    for size, elapsed in records:
+        assert elapsed >= size / capacity - 1e-6
+
+
+@given(transfer_plans())
+@settings(max_examples=40, deadline=None)
+def test_link_makespan_at_least_serial_bound(plan):
+    """The last completion cannot beat total_bytes / capacity from t=0."""
+    capacity, transfers = plan
+    sim = Simulator()
+    link = FairShareLink(sim, capacity=capacity)
+
+    def proc(start, size):
+        yield sim.timeout(start)
+        yield link.transfer(size)
+
+    for start, size in transfers:
+        sim.process(proc(start, size))
+    end = sim.run()
+    total = sum(size for _, size in transfers)
+    earliest = min(start for start, _ in transfers)
+    assert end >= earliest + total / capacity - 1e-6
+
+
+# ---------------------------------------------------------------------------
+# CorePool invariants
+# ---------------------------------------------------------------------------
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    holds=st.lists(
+        st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_core_pool_never_exceeds_capacity(capacity, holds):
+    sim = Simulator()
+    pool = CorePool(sim, capacity)
+    peak = [0]
+
+    def proc(hold):
+        yield pool.acquire()
+        peak[0] = max(peak[0], pool.busy)
+        yield sim.timeout(hold)
+        pool.release()
+
+    for hold in holds:
+        sim.process(proc(hold))
+    sim.run()
+    assert peak[0] <= capacity
+    assert pool.busy == 0
+    # Busy-time integral equals the sum of hold times (full utilisation
+    # accounting, no lost or double-counted core-seconds).
+    assert pool.log.integrate(sim.now) == pytest.approx(sum(holds), rel=1e-9)
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=4),
+    n_jobs=st.integers(min_value=1, max_value=25),
+)
+@settings(max_examples=40, deadline=None)
+def test_core_pool_equal_jobs_finish_in_fifo_batches(capacity, n_jobs):
+    sim = Simulator()
+    pool = CorePool(sim, capacity)
+    order = []
+
+    def proc(i):
+        yield pool.acquire()
+        yield sim.timeout(1.0)
+        pool.release()
+        order.append(i)
+
+    for i in range(n_jobs):
+        sim.process(proc(i))
+    sim.run()
+    assert order == sorted(order)
+    assert sim.now == pytest.approx(np.ceil(n_jobs / capacity))
+
+
+# ---------------------------------------------------------------------------
+# SegmentLog invariants
+# ---------------------------------------------------------------------------
+
+
+@given(
+    points=st.lists(
+        st.tuples(
+            st.floats(min_value=0.001, max_value=5.0, allow_nan=False),
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=30,
+    ),
+    dt=st.floats(min_value=0.1, max_value=3.0, allow_nan=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_segment_log_sample_is_consistent_with_integrate(points, dt):
+    """Sum of bucket_mean * bucket_width equals the integral."""
+    log = SegmentLog(0.0, 0.0)
+    t = 0.0
+    for gap, value in points:
+        t += gap
+        log.record(t, value)
+    t_end = t + 1.0
+    times, means = log.sample(t_end, dt)
+    widths = np.diff(np.append(times, t_end))
+    assert float(np.dot(means, widths)) == pytest.approx(
+        log.integrate(t_end), rel=1e-9, abs=1e-9
+    )
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_segment_log_monotone_times(values):
+    log = SegmentLog(0.0, 0.0)
+    for i, value in enumerate(values):
+        log.record(float(i + 1), value)
+    assert all(a < b for a, b in zip(log.times, log.times[1:]))
+    assert len(log.times) == len(log.values)

@@ -1,0 +1,407 @@
+"""Unit tests for CorePool, FairShareLink, FifoStore and SegmentLog."""
+
+import numpy as np
+import pytest
+
+from repro.sim import CorePool, FairShareLink, FifoStore, SegmentLog, Simulator
+from repro.sim.engine import SimulationError
+
+# ---------------------------------------------------------------------------
+# SegmentLog
+# ---------------------------------------------------------------------------
+
+
+def test_segment_log_integrate_simple():
+    log = SegmentLog(0.0, 0.0)
+    log.record(1.0, 2.0)
+    log.record(3.0, 0.0)
+    # 0 on [0,1), 2 on [1,3), 0 after
+    assert log.integrate(4.0) == pytest.approx(4.0)
+    assert log.integrate(2.0) == pytest.approx(2.0)
+    assert log.integrate(0.5) == pytest.approx(0.0)
+
+
+def test_segment_log_dedupes_equal_values():
+    log = SegmentLog(0.0, 1.0)
+    log.record(2.0, 1.0)
+    assert len(log.times) == 1
+
+
+def test_segment_log_same_instant_overwrite():
+    log = SegmentLog(0.0, 0.0)
+    log.record(1.0, 5.0)
+    log.record(1.0, 7.0)
+    assert log.times == [0.0, 1.0]
+    assert log.values == [0.0, 7.0]
+
+
+def test_segment_log_same_instant_collapse_back():
+    log = SegmentLog(0.0, 3.0)
+    log.record(1.0, 5.0)
+    log.record(1.0, 3.0)  # back to previous value: change point vanishes
+    assert log.times == [0.0]
+    assert log.values == [3.0]
+
+
+def test_segment_log_time_backwards_raises():
+    log = SegmentLog(0.0, 0.0)
+    log.record(5.0, 1.0)
+    with pytest.raises(ValueError):
+        log.record(4.0, 2.0)
+
+
+def test_segment_log_sample_bucket_means():
+    log = SegmentLog(0.0, 0.0)
+    log.record(1.0, 4.0)
+    log.record(2.0, 0.0)
+    times, means = log.sample(t_end=4.0, dt=2.0)
+    assert times.tolist() == [0.0, 2.0]
+    # Bucket [0,2): half at 0, half at 4 -> mean 2.  Bucket [2,4): 0.
+    assert means == pytest.approx([2.0, 0.0])
+
+
+def test_segment_log_sample_partial_last_bucket():
+    log = SegmentLog(0.0, 6.0)
+    times, means = log.sample(t_end=5.0, dt=2.0)
+    assert len(times) == 3
+    assert means == pytest.approx([6.0, 6.0, 6.0])
+
+
+def test_segment_log_sample_empty_range():
+    log = SegmentLog(0.0, 1.0)
+    times, means = log.sample(t_end=0.0, dt=1.0)
+    assert times.size == 0 and means.size == 0
+
+
+# ---------------------------------------------------------------------------
+# CorePool
+# ---------------------------------------------------------------------------
+
+
+def test_core_pool_grants_up_to_capacity():
+    sim = Simulator()
+    pool = CorePool(sim, 2)
+    grants = []
+
+    def proc(name, hold):
+        yield pool.acquire()
+        grants.append((name, sim.now))
+        yield sim.timeout(hold)
+        pool.release()
+
+    sim.process(proc("a", 5.0))
+    sim.process(proc("b", 5.0))
+    sim.process(proc("c", 1.0))
+    sim.run()
+    assert grants == [("a", 0.0), ("b", 0.0), ("c", 5.0)]
+
+
+def test_core_pool_fifo_order():
+    sim = Simulator()
+    pool = CorePool(sim, 1)
+    order = []
+
+    def proc(name):
+        yield pool.acquire()
+        order.append(name)
+        yield sim.timeout(1.0)
+        pool.release()
+
+    for name in "abcd":
+        sim.process(proc(name))
+    sim.run()
+    assert order == list("abcd")
+
+
+def test_core_pool_busy_log_tracks_utilisation():
+    sim = Simulator()
+    pool = CorePool(sim, 4)
+
+    def proc():
+        yield pool.acquire()
+        yield sim.timeout(10.0)
+        pool.release()
+
+    sim.process(proc())
+    sim.process(proc())
+    sim.run()
+    # 2 cores busy for 10 s -> 20 core-seconds
+    assert pool.log.integrate(sim.now) == pytest.approx(20.0)
+    assert pool.busy == 0
+
+
+def test_core_pool_release_without_acquire_raises():
+    sim = Simulator()
+    pool = CorePool(sim, 1)
+    with pytest.raises(SimulationError):
+        pool.release()
+
+
+def test_core_pool_cancel_queued_acquire():
+    sim = Simulator()
+    pool = CorePool(sim, 1)
+    granted = []
+
+    def holder():
+        yield pool.acquire()
+        yield sim.timeout(10.0)
+        pool.release()
+
+    sim.process(holder())
+    sim.run(until=1.0)
+    req = pool.acquire()  # queued behind holder
+    assert pool.cancel(req)
+
+    def late():
+        yield pool.acquire()
+        granted.append(sim.now)
+        pool.release()
+
+    sim.process(late())
+    sim.run()
+    # The cancelled request must be skipped; `late` gets the core at t=10.
+    assert granted == [10.0]
+
+
+def test_core_pool_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        CorePool(sim, 0)
+
+
+# ---------------------------------------------------------------------------
+# FairShareLink
+# ---------------------------------------------------------------------------
+
+
+def test_link_single_transfer_rate():
+    sim = Simulator()
+    link = FairShareLink(sim, capacity=100.0)
+    done = []
+
+    def proc():
+        yield link.transfer(500.0)
+        done.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert done == [pytest.approx(5.0)]
+
+
+def test_link_equal_sharing_two_streams():
+    sim = Simulator()
+    link = FairShareLink(sim, capacity=100.0)
+    done = {}
+
+    def proc(name, nbytes):
+        yield link.transfer(nbytes)
+        done[name] = sim.now
+
+    sim.process(proc("a", 100.0))
+    sim.process(proc("b", 100.0))
+    sim.run()
+    # Both share 100 B/s -> each runs at 50 B/s -> both finish at t=2.
+    assert done["a"] == pytest.approx(2.0)
+    assert done["b"] == pytest.approx(2.0)
+
+
+def test_link_processor_sharing_unequal_sizes():
+    sim = Simulator()
+    link = FairShareLink(sim, capacity=100.0)
+    done = {}
+
+    def proc(name, nbytes):
+        yield link.transfer(nbytes)
+        done[name] = sim.now
+
+    sim.process(proc("small", 100.0))
+    sim.process(proc("big", 300.0))
+    sim.run()
+    # Shared until small finishes: each got 100 B at t=2.  Then big runs
+    # alone for its remaining 200 B -> finishes at t=4.
+    assert done["small"] == pytest.approx(2.0)
+    assert done["big"] == pytest.approx(4.0)
+
+
+def test_link_late_arrival_shares_remaining():
+    sim = Simulator()
+    link = FairShareLink(sim, capacity=100.0)
+    done = {}
+
+    def proc(name, start, nbytes):
+        yield sim.timeout(start)
+        yield link.transfer(nbytes)
+        done[name] = sim.now
+
+    sim.process(proc("first", 0.0, 300.0))
+    sim.process(proc("second", 1.0, 100.0))
+    sim.run()
+    # first alone [0,1): 100 B done.  Shared at 50 B/s each until second
+    # gets 100 B at t=3 (first now has 200 B).  First finishes remaining
+    # 100 B alone at t=4.
+    assert done["second"] == pytest.approx(3.0)
+    assert done["first"] == pytest.approx(4.0)
+
+
+def test_link_zero_byte_transfer_completes_immediately():
+    sim = Simulator()
+    link = FairShareLink(sim, capacity=10.0)
+    ev = link.transfer(0.0)
+    assert ev.triggered
+
+
+def test_link_negative_transfer_raises():
+    sim = Simulator()
+    link = FairShareLink(sim, capacity=10.0)
+    with pytest.raises(ValueError):
+        link.transfer(-1.0)
+
+
+def test_link_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        FairShareLink(sim, capacity=0.0)
+
+
+def test_link_throughput_log_full_capacity_when_busy():
+    sim = Simulator()
+    link = FairShareLink(sim, capacity=100.0)
+
+    def proc():
+        yield link.transfer(200.0)
+        yield sim.timeout(3.0)  # idle gap
+        yield link.transfer(100.0)
+
+    sim.process(proc())
+    sim.run()
+    # Busy [0,2) and [5,6): total bytes = 300.
+    assert link.log.integrate(sim.now) == pytest.approx(300.0)
+    assert sim.now == pytest.approx(6.0)
+
+
+def test_link_conservation_many_streams():
+    sim = Simulator()
+    link = FairShareLink(sim, capacity=57.0)
+    sizes = [13.0, 99.0, 1.0, 250.0, 40.0, 40.0, 7.5]
+    finish = []
+
+    def proc(nbytes, start):
+        yield sim.timeout(start)
+        yield link.transfer(nbytes)
+        finish.append(sim.now)
+
+    for i, size in enumerate(sizes):
+        sim.process(proc(size, start=i * 0.5))
+    sim.run()
+    # Work conservation: all bytes drained at capacity once saturated.
+    assert link.log.integrate(sim.now) == pytest.approx(sum(sizes), rel=1e-6)
+    assert max(finish) == pytest.approx(sim.now)
+
+
+# ---------------------------------------------------------------------------
+# FifoStore
+# ---------------------------------------------------------------------------
+
+
+def test_fifo_store_put_then_get():
+    sim = Simulator()
+    store = FifoStore(sim)
+    store.put("x")
+    got = []
+
+    def proc():
+        item = yield store.get()
+        got.append(item)
+
+    sim.process(proc())
+    sim.run()
+    assert got == ["x"]
+
+
+def test_fifo_store_get_blocks_until_put():
+    sim = Simulator()
+    store = FifoStore(sim)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((item, sim.now))
+
+    def producer():
+        yield sim.timeout(4.0)
+        store.put("late")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == [("late", 4.0)]
+
+
+def test_fifo_store_order_preserved():
+    sim = Simulator()
+    store = FifoStore(sim)
+    for i in range(5):
+        store.put(i)
+    got = []
+
+    def consumer():
+        for _ in range(5):
+            item = yield store.get()
+            got.append(item)
+
+    sim.process(consumer())
+    sim.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_fifo_store_cancel_pending_get():
+    sim = Simulator()
+    store = FifoStore(sim)
+    results = []
+
+    def consumer():
+        item = yield store.get()
+        results.append(item)
+
+    proc_get = store.get()
+    assert store.cancel(proc_get)
+    sim.process(consumer())
+    store.put("only")
+    sim.run()
+    # The cancelled getter received None and must not steal the item.
+    assert results == ["only"]
+    assert len(store) == 0
+
+
+def test_fifo_store_take_matching():
+    sim = Simulator()
+    store = FifoStore(sim)
+    for item in (3, 5, 8, 5):
+        store.put(item)
+    assert store.take(lambda x: x == 5) == 5
+    assert len(store) == 3
+    # FIFO order of the rest is preserved.
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    sim.process(consumer())
+    sim.run()
+    assert got == [3, 8, 5]
+
+
+def test_fifo_store_take_no_match():
+    sim = Simulator()
+    store = FifoStore(sim)
+    store.put(1)
+    assert store.take(lambda x: x > 10) is None
+    assert len(store) == 1
+
+
+def test_fifo_store_take_empty():
+    sim = Simulator()
+    store = FifoStore(sim)
+    assert store.take(lambda x: True) is None

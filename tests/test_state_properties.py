@@ -1,0 +1,119 @@
+"""Property-based tests for the WorkflowState machine.
+
+The master daemon must keep the DAG state consistent under any
+interleaving of running acks, completion acks (possibly duplicated or
+stale), failures and timeouts — at-least-once delivery guarantees nothing
+about ordering.  Hypothesis drives random event sequences against the
+state machine and checks the safety invariants after every step.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dewe.state import JobStatus, WorkflowState
+from repro.generators import random_layered_workflow
+
+
+def check_invariants(state: WorkflowState) -> None:
+    completed = 0
+    for job_id, status in state.status.items():
+        job = state.workflow.job(job_id)
+        if status is JobStatus.COMPLETED:
+            completed += 1
+        # Pending counts never go negative and match unfinished parents.
+        unfinished = sum(
+            1
+            for p in job.parents
+            if state.status[p] is not JobStatus.COMPLETED
+        )
+        assert state.pending[job_id] == unfinished
+        # A queued/running job never has unfinished parents.
+        if status in (JobStatus.QUEUED, JobStatus.RUNNING):
+            assert unfinished == 0
+    assert state.n_completed == completed
+    assert state.is_complete == (completed == state.n_jobs)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=500),
+    n_jobs=st.integers(min_value=2, max_value=30),
+    script=st.lists(
+        st.tuples(
+            st.sampled_from(["running", "complete", "fail", "timeout", "stale"]),
+            st.integers(min_value=0, max_value=10_000),
+        ),
+        min_size=1,
+        max_size=120,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_state_machine_safe_under_any_event_order(seed, n_jobs, script):
+    wf = random_layered_workflow(n_jobs=n_jobs, n_levels=4, seed=seed)
+    state = WorkflowState(wf, default_timeout=10.0, validate=False)
+    dispatchable = list(state.initial_ready())
+    now = 0.0
+    for action, pick in script:
+        check_invariants(state)
+        if not dispatchable and action in ("running", "complete", "fail", "stale"):
+            continue
+        if action == "timeout":
+            now += 20.0
+            dispatchable.extend(state.expired(now))
+            continue
+        job_id = dispatchable[pick % len(dispatchable)]
+        attempt = state.current_attempt(job_id)
+        if action == "running":
+            state.on_running(job_id, attempt, now)
+        elif action == "complete":
+            newly = state.on_completed(job_id, attempt)
+            dispatchable.extend(newly)
+            if state.status[job_id] is JobStatus.COMPLETED and job_id in dispatchable:
+                dispatchable = [j for j in dispatchable if j != job_id]
+        elif action == "fail":
+            if state.on_failed(job_id, attempt) is not None:
+                pass  # job re-queued under a fresh attempt
+        elif action == "stale":
+            # Acks from a long-dead attempt must all be no-ops.
+            state.on_running(job_id, attempt + 17, now)
+            state.on_failed(job_id, attempt + 17)
+    check_invariants(state)
+
+
+@given(seed=st.integers(min_value=0, max_value=500))
+@settings(max_examples=30, deadline=None)
+def test_driving_to_completion_always_terminates(seed):
+    """Completing every queued job in FIFO order finishes the workflow."""
+    wf = random_layered_workflow(n_jobs=25, n_levels=5, seed=seed)
+    state = WorkflowState(wf, validate=False)
+    queue = list(state.initial_ready())
+    steps = 0
+    while queue:
+        job_id = queue.pop(0)
+        state.on_running(job_id, state.current_attempt(job_id), 0.0)
+        queue.extend(state.on_completed(job_id, state.current_attempt(job_id)))
+        steps += 1
+        assert steps <= len(wf) + 1
+    assert state.is_complete
+    assert state.n_completed == len(wf)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=200),
+    duplicate_every=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=30, deadline=None)
+def test_duplicate_completions_are_idempotent(seed, duplicate_every):
+    wf = random_layered_workflow(n_jobs=20, n_levels=4, seed=seed)
+    state = WorkflowState(wf, validate=False)
+    queue = list(state.initial_ready())
+    i = 0
+    while queue:
+        job_id = queue.pop(0)
+        attempt = state.current_attempt(job_id)
+        queue.extend(state.on_completed(job_id, attempt))
+        i += 1
+        if i % duplicate_every == 0:
+            assert state.on_completed(job_id, attempt) == []
+            assert state.on_completed(job_id, attempt + 3) == []
+    assert state.is_complete
+    assert state.n_completed == len(wf)

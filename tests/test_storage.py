@@ -1,0 +1,316 @@
+"""Tests for the storage substrate: disks, write-back cache, shared FS."""
+
+import pytest
+
+from repro.cloud import ClusterSpec, SimCluster, get_instance_type
+from repro.sim import FairShareLink, Simulator
+from repro.storage import (
+    SharedFileSystem,
+    WriteBackCache,
+    make_moosefs,
+    make_nton_nfs,
+    read_miss_ratio,
+)
+from repro.storage.cache import MIN_MISS_RATIO
+from repro.storage.moosefs import moosefs_placement
+from repro.storage.nfs import nton_placement
+from repro.workflow.dag import DataFile
+
+
+def make_cluster(n_nodes=2, itype="c3.8xlarge", fs="moosefs"):
+    sim = Simulator()
+    cluster = SimCluster(sim, ClusterSpec(itype, n_nodes, filesystem=fs))
+    return sim, cluster
+
+
+# ---------------------------------------------------------------------------
+# Read-miss model
+# ---------------------------------------------------------------------------
+
+
+def test_miss_ratio_small_working_set_is_floor():
+    assert read_miss_ratio(100e9, 10e9) == MIN_MISS_RATIO
+
+
+def test_miss_ratio_large_working_set():
+    assert read_miss_ratio(60e9, 350e9) == pytest.approx(1 - 60 / 350)
+
+
+def test_miss_ratio_zero_active():
+    assert read_miss_ratio(10e9, 0.0) == MIN_MISS_RATIO
+
+
+def test_miss_ratio_never_above_one():
+    assert read_miss_ratio(0.0, 1e9) == 1.0
+
+
+def test_miss_ratio_validation():
+    with pytest.raises(ValueError):
+        read_miss_ratio(-1.0, 1.0)
+
+
+# ---------------------------------------------------------------------------
+# WriteBackCache
+# ---------------------------------------------------------------------------
+
+
+def test_writeback_absorbs_within_capacity():
+    sim = Simulator()
+    slow = FairShareLink(sim, capacity=1.0)  # 1 B/s: flushing takes ages
+    cache = WriteBackCache(sim, capacity_bytes=1000.0)
+    times = []
+
+    def writer():
+        yield cache.write(500.0, (slow,))
+        times.append(sim.now)
+
+    sim.process(writer())
+    sim.run(until=10.0)
+    # Write completed immediately even though the device is glacial.
+    assert times == [0.0]
+    assert cache.dirty > 0
+
+
+def test_writeback_throttles_beyond_capacity():
+    sim = Simulator()
+    link = FairShareLink(sim, capacity=100.0)
+    cache = WriteBackCache(sim, capacity_bytes=100.0, chunk_bytes=50.0)
+    times = []
+
+    def writer(n):
+        yield cache.write(n, (link,))
+        times.append(sim.now)
+
+    sim.process(writer(100.0))
+    sim.process(writer(100.0))  # must wait for flusher to free space
+    sim.run()
+    assert times[0] == 0.0
+    assert times[1] > 0.0
+
+
+def test_writeback_drained_event():
+    sim = Simulator()
+    link = FairShareLink(sim, capacity=100.0)
+    cache = WriteBackCache(sim, capacity_bytes=1e6)
+    done = []
+
+    def writer():
+        yield cache.write(200.0, (link,))
+        drained = cache.drained()
+        yield drained
+        done.append(sim.now)
+
+    sim.process(writer())
+    sim.run()
+    assert done == [pytest.approx(2.0)]
+    assert cache.dirty == pytest.approx(0.0)
+
+
+def test_writeback_oversized_entry_does_not_deadlock():
+    sim = Simulator()
+    link = FairShareLink(sim, capacity=100.0)
+    cache = WriteBackCache(sim, capacity_bytes=50.0, chunk_bytes=25.0)
+    times = []
+
+    def writer():
+        yield cache.write(200.0, (link,))  # 4x the cache size
+        times.append(sim.now)
+
+    sim.process(writer())
+    sim.run()
+    assert times and times[0] >= 0.0
+    assert cache.dirty == pytest.approx(0.0)
+
+
+def test_writeback_zero_write_immediate():
+    sim = Simulator()
+    link = FairShareLink(sim, capacity=100.0)
+    cache = WriteBackCache(sim, capacity_bytes=100.0)
+    assert cache.write(0.0, (link,)).triggered
+
+
+def test_writeback_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        WriteBackCache(sim, capacity_bytes=0.0)
+    cache = WriteBackCache(sim, capacity_bytes=10.0)
+    with pytest.raises(ValueError):
+        cache.write(-1.0, ())
+
+
+# ---------------------------------------------------------------------------
+# Placement policies
+# ---------------------------------------------------------------------------
+
+
+def test_nton_placement_groups_by_workflow_folder():
+    a1 = nton_placement("wf-a/file1.fits", 8)
+    a2 = nton_placement("wf-a/file2.fits", 8)
+    assert a1 == a2  # same folder -> same export
+
+
+def test_moosefs_placement_spreads_files():
+    homes = {moosefs_placement(f"wf/file{i}.fits", 8) for i in range(100)}
+    assert len(homes) == 8  # uniform-ish spread over all chunk servers
+
+
+def test_placement_deterministic():
+    assert moosefs_placement("x/y", 5) == moosefs_placement("x/y", 5)
+
+
+# ---------------------------------------------------------------------------
+# SharedFileSystem routing
+# ---------------------------------------------------------------------------
+
+
+def test_local_read_uses_local_disk_only():
+    sim, cluster = make_cluster(n_nodes=1, fs="local")
+    node = cluster.nodes[0]
+    f = DataFile("wf/x.dat", 1e9)
+    cluster.fs.active_bytes = 1e15  # force full miss ratio
+    done = []
+
+    def reader():
+        yield cluster.fs.read(node, [f])
+        done.append(sim.now)
+
+    sim.process(reader())
+    sim.run()
+    # 1 GB at c3 random-read 400 MB/s -> 2.5 s
+    assert done == [pytest.approx(2.5, rel=1e-3)]
+    assert cluster.fs.remote_reads == 0
+
+
+def test_remote_read_crosses_network():
+    sim, cluster = make_cluster(n_nodes=2, fs="moosefs")
+    fs = cluster.fs
+    fs.active_bytes = 1e15
+    f = DataFile("wf/x.dat", 1e9)
+    home = fs.home_of(f)
+    reader_node = cluster.nodes[1 - home.index]
+    done = []
+
+    def reader():
+        yield fs.read(reader_node, [f])
+        done.append(sim.now)
+
+    sim.process(reader())
+    sim.run()
+    assert fs.remote_reads == 1
+    # Bottleneck is the home's 400 MB/s disk read (NIC is 1250 MB/s).
+    assert done == [pytest.approx(2.5, rel=1e-3)]
+    assert home.nic_out.bytes_total > 0 or home.nic_out.log.integrate(sim.now) > 0
+
+
+def test_recently_written_file_reads_from_cache():
+    """Producer->consumer reads are (nearly) free: a file written moments
+    ago is still resident in the page cache."""
+    sim, cluster = make_cluster(n_nodes=1, fs="local")
+    node = cluster.nodes[0]
+    fs = cluster.fs
+    f = DataFile("wf/x.dat", 1e9)
+    done = []
+
+    def producer_consumer():
+        yield fs.write(node, [f])
+        yield fs.read(node, [f])
+        done.append(sim.now)
+
+    sim.process(producer_consumer())
+    sim.run(until=0.5)
+    # Write is absorbed by the write-back cache and the read hits the page
+    # cache (stack distance 0), so both complete immediately.
+    assert done == [0.0]
+    assert fs.bytes_read == pytest.approx(0.0)
+
+
+def test_read_miss_grows_with_stack_distance():
+    """The linear-decay LRU model: the more bytes written since a file
+    was last touched, the more of it must come from the device."""
+    sim, cluster = make_cluster(n_nodes=1, fs="local")
+    node = cluster.nodes[0]
+    fs = cluster.fs
+    f = DataFile("wf/x.dat", 1e9)
+    fs.write_clock = 0.0
+    fs._last_touch[("", f.name)] = 0.0
+    fs.write_clock = 0.5 * node.page_cache_bytes  # half the cache since
+    assert fs._read_bytes_of(node, f, "") == pytest.approx(0.5e9)
+    # Touch reset the distance: an immediate re-read is free.
+    assert fs._read_bytes_of(node, f, "") == pytest.approx(0.0)
+    # Beyond the cache size: full miss.
+    fs.write_clock += 2 * node.page_cache_bytes
+    assert fs._read_bytes_of(node, f, "") == pytest.approx(1e9)
+
+
+def test_first_touch_is_full_miss():
+    sim, cluster = make_cluster(n_nodes=1, fs="local")
+    node = cluster.nodes[0]
+    fs = cluster.fs
+    f = DataFile("wf/new.dat", 1e6)
+    assert fs._read_bytes_of(node, f, "w") == pytest.approx(1e6)
+
+
+def test_ratio_cache_model_fallback():
+    from repro.sim import Simulator
+    from repro.cloud import SimCluster, ClusterSpec
+
+    sim = Simulator()
+    cluster = SimCluster(sim, ClusterSpec("c3.8xlarge", 1, filesystem="local"))
+    fs = cluster.fs
+    fs.precise_cache = False
+    node = cluster.nodes[0]
+    fs.active_bytes = node.page_cache_bytes  # fully cacheable -> floor miss
+    f = DataFile("wf/x.dat", 1e9)
+    assert fs._read_bytes_of(node, f, "") == pytest.approx(1e9 * MIN_MISS_RATIO)
+
+
+def test_write_updates_active_bytes_and_routes_to_cache():
+    sim, cluster = make_cluster(n_nodes=2, fs="moosefs")
+    fs = cluster.fs
+    node = cluster.nodes[0]
+    files = [DataFile(f"wf/out{i}.dat", 1e6) for i in range(10)]
+    done = []
+
+    def writer():
+        yield fs.write(node, files)
+        done.append(sim.now)
+
+    sim.process(writer())
+    sim.run()
+    assert done == [0.0]  # absorbed by write-back cache instantly
+    assert fs.active_bytes == pytest.approx(10e6)
+    assert fs.bytes_written == pytest.approx(10e6)
+
+
+def test_stage_inputs_counts_every_member():
+    from repro.generators import montage_workflow
+
+    sim, cluster = make_cluster(n_nodes=1, fs="local")
+    wf = montage_workflow(degree=0.5)
+    cluster.fs.stage_inputs([wf, wf.relabel("copy")])
+    # Every ensemble member owns its own physical input files (the paper's
+    # 200-workflow ensemble has 288,800 input files), so staging counts
+    # each member even when relabelled copies share DataFile objects.
+    assert cluster.fs.active_bytes == pytest.approx(2 * wf.bytes_by_kind()["input"])
+
+
+def test_nton_fs_concentrates_workflow_io():
+    sim, cluster = make_cluster(n_nodes=4, fs="nfs-nton")
+    fs = cluster.fs
+    files = [DataFile(f"wf-a/f{i}.dat", 1.0) for i in range(50)]
+    homes = {fs.home_of(f).index for f in files}
+    assert len(homes) == 1  # hot spot: all on the workflow's export
+
+
+def test_moosefs_spreads_workflow_io():
+    sim, cluster = make_cluster(n_nodes=4, fs="moosefs")
+    fs = cluster.fs
+    files = [DataFile(f"wf-a/f{i}.dat", 1.0) for i in range(50)]
+    homes = {fs.home_of(f).index for f in files}
+    assert len(homes) == 4
+
+
+def test_fs_requires_nodes():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        SharedFileSystem(sim, [])

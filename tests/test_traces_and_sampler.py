@@ -1,0 +1,111 @@
+"""Tests for homogeneity statistics and the real-system sampler."""
+
+import threading
+import time
+
+import pytest
+
+from repro.dewe import DeweConfig, MasterDaemon, WorkerDaemon, submit_workflow
+from repro.dewe.sampler import WorkerSampler
+from repro.generators import montage_workflow, random_layered_workflow
+from repro.mq import Broker
+from repro.workflow import Workflow
+from repro.workflow.traces import homogeneity_index, task_type_stats
+
+# ---------------------------------------------------------------------------
+# Homogeneity statistics (paper §I's premise)
+# ---------------------------------------------------------------------------
+
+
+def test_task_type_stats_montage():
+    wf = montage_workflow(degree=1.0)
+    stats = task_type_stats(wf)
+    assert stats["mProjectPP"].count == 36  # 6x6 grid at degree 1.0
+    assert stats["mProjectPP"].runtime_cv == pytest.approx(0.0, abs=1e-12)
+    assert stats["mConcatFit"].count == 1
+    assert stats["mDiffFit"].total_runtime == pytest.approx(
+        stats["mDiffFit"].count * stats["mDiffFit"].runtime_mean
+    )
+
+
+def test_montage_is_homogeneous():
+    """The design premise: the bulk of Montage's work sits in armies of
+    near-identical short jobs."""
+    wf = montage_workflow(degree=2.0, jitter=0.05, seed=1)
+    index = homogeneity_index(wf)
+    assert index > 0.6
+
+
+def test_bespoke_workflow_is_not_homogeneous():
+    wf = Workflow("bespoke")
+    for i in range(8):
+        wf.new_job(f"j{i}", f"unique-type-{i}", runtime=10.0 * (i + 1))
+    assert homogeneity_index(wf) == 0.0
+
+
+def test_homogeneity_respects_cv_threshold():
+    wf = random_layered_workflow(n_jobs=100, n_levels=2, seed=0)
+    # Exponential runtimes per level: CV ~ 1 >> 0.1 -> nothing qualifies.
+    assert homogeneity_index(wf, cv_threshold=0.10) == 0.0
+    # With a huge threshold everything (with count >= 10) qualifies.
+    assert homogeneity_index(wf, cv_threshold=10.0, min_count=1) == pytest.approx(1.0)
+
+
+def test_homogeneity_validation():
+    wf = montage_workflow(degree=0.5)
+    with pytest.raises(ValueError):
+        homogeneity_index(wf, cv_threshold=-1.0)
+
+
+def test_homogeneity_empty_work():
+    wf = Workflow("zero")
+    wf.new_job("a", "t", runtime=0.0)
+    assert homogeneity_index(wf) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# WorkerSampler (real threaded system)
+# ---------------------------------------------------------------------------
+
+
+def test_sampler_records_concurrency():
+    broker = Broker()
+    cfg = DeweConfig(
+        default_timeout=10.0, master_poll_interval=0.002,
+        worker_poll_interval=0.005, max_concurrent_jobs=4,
+    )
+    gate = threading.Event()
+
+    def busy():
+        gate.wait(timeout=2.0)
+
+    wf = Workflow("sampled")
+    for i in range(8):
+        wf.new_job(f"j{i}", "t", action=busy)
+
+    with MasterDaemon(broker, cfg) as master:
+        worker = WorkerDaemon(broker, config=cfg).start()
+        with WorkerSampler([worker], interval=0.01) as sampler:
+            submit_workflow(broker, wf)
+            time.sleep(0.2)
+            gate.set()
+            assert master.wait("sampled", timeout=10.0)
+        worker.stop()
+    assert sampler.peak_concurrency >= 3  # ramped up toward the cap of 4
+    assert sampler.peak_concurrency <= 4
+    times, totals = sampler.series()
+    assert len(times) == len(totals) >= 5
+    assert times == sorted(times)
+
+
+def test_sampler_lifecycle_errors():
+    broker = Broker()
+    worker = WorkerDaemon(broker)
+    with pytest.raises(ValueError):
+        WorkerSampler([])
+    with pytest.raises(ValueError):
+        WorkerSampler([worker], interval=0.0)
+    sampler = WorkerSampler([worker], interval=0.01).start()
+    with pytest.raises(RuntimeError):
+        sampler.start()
+    sampler.stop()

@@ -1,0 +1,189 @@
+"""Unit tests for the workflow DAG model and validation."""
+
+import pytest
+
+from repro.workflow import DataFile, Job, ValidationError, Workflow, validate_workflow
+from repro.workflow.validation import find_problems
+
+
+def diamond() -> Workflow:
+    """a -> (b, c) -> d with data files along the edges."""
+    wf = Workflow("diamond")
+    fa = DataFile("a.out", 100.0)
+    fb = DataFile("b.out", 100.0)
+    fc = DataFile("c.out", 100.0)
+    wf.new_job("a", "src", runtime=1.0, inputs=[DataFile("in", 10.0, "input")], outputs=[fa])
+    wf.new_job("b", "mid", runtime=2.0, inputs=[fa], outputs=[fb])
+    wf.new_job("c", "mid", runtime=3.0, inputs=[fa], outputs=[fc])
+    wf.new_job("d", "sink", runtime=1.0, inputs=[fb, fc],
+               outputs=[DataFile("final", 50.0, "output")])
+    wf.add_dependency("a", "b")
+    wf.add_dependency("a", "c")
+    wf.add_dependency("b", "d")
+    wf.add_dependency("c", "d")
+    return wf
+
+
+def test_roots_and_leaves():
+    wf = diamond()
+    assert [j.id for j in wf.roots()] == ["a"]
+    assert [j.id for j in wf.leaves()] == ["d"]
+
+
+def test_topological_order_respects_dependencies():
+    wf = diamond()
+    order = [j.id for j in wf.topological_order()]
+    assert order.index("a") < order.index("b") < order.index("d")
+    assert order.index("a") < order.index("c") < order.index("d")
+
+
+def test_cycle_detection():
+    wf = diamond()
+    wf.add_dependency("d", "a")
+    with pytest.raises(ValueError, match="cycle"):
+        wf.topological_order()
+
+
+def test_duplicate_job_id_rejected():
+    wf = Workflow("w")
+    wf.new_job("x", "t")
+    with pytest.raises(ValueError, match="duplicate"):
+        wf.new_job("x", "t")
+
+
+def test_self_dependency_rejected():
+    wf = Workflow("w")
+    wf.new_job("x", "t")
+    with pytest.raises(ValueError, match="self-dependency"):
+        wf.add_dependency("x", "x")
+
+
+def test_unknown_dependency_endpoints_rejected():
+    wf = Workflow("w")
+    wf.new_job("x", "t")
+    with pytest.raises(KeyError):
+        wf.add_dependency("x", "ghost")
+    with pytest.raises(KeyError):
+        wf.add_dependency("ghost", "x")
+
+
+def test_repeated_dependency_is_idempotent():
+    wf = Workflow("w")
+    wf.new_job("a", "t")
+    wf.new_job("b", "t")
+    wf.add_dependency("a", "b")
+    wf.add_dependency("a", "b")
+    assert wf.job("a").children == ["b"]
+    assert wf.job("b").parents == ["a"]
+
+
+def test_edges_and_counts():
+    wf = diamond()
+    assert wf.n_edges() == 4
+    assert set(wf.edges()) == {("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")}
+    assert len(wf) == 4
+    assert "a" in wf and "z" not in wf
+
+
+def test_total_runtime_and_bytes():
+    wf = diamond()
+    assert wf.total_runtime() == pytest.approx(7.0)
+    by_kind = wf.bytes_by_kind()
+    assert by_kind["input"] == pytest.approx(10.0)
+    assert by_kind["intermediate"] == pytest.approx(300.0)
+    assert by_kind["output"] == pytest.approx(50.0)
+
+
+def test_count_by_type():
+    wf = diamond()
+    assert wf.count_by_type() == {"src": 1, "mid": 2, "sink": 1}
+
+
+def test_relabel_shares_structure():
+    wf = diamond()
+    clone = wf.relabel("copy")
+    assert clone.name == "copy"
+    assert clone.jobs is wf.jobs
+
+
+def test_job_validation():
+    with pytest.raises(ValueError):
+        Job("j", "t", runtime=-1.0)
+    with pytest.raises(ValueError):
+        Job("j", "t", threads=0)
+    with pytest.raises(ValueError):
+        DataFile("f", -5.0)
+    with pytest.raises(ValueError):
+        DataFile("f", 5.0, kind="bogus")
+
+
+def test_job_byte_properties():
+    job = Job(
+        "j",
+        "t",
+        inputs=[DataFile("a", 10.0, "input"), DataFile("b", 20.0, "input")],
+        outputs=[DataFile("c", 5.0)],
+    )
+    assert job.input_bytes == pytest.approx(30.0)
+    assert job.output_bytes == pytest.approx(5.0)
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+
+
+def test_validate_accepts_diamond():
+    assert validate_workflow(diamond()) is not None
+
+
+def test_validate_rejects_empty():
+    with pytest.raises(ValidationError, match="no jobs"):
+        validate_workflow(Workflow("empty"))
+
+
+def test_validate_detects_cycle():
+    wf = diamond()
+    wf.add_dependency("d", "a")
+    problems = find_problems(wf)
+    assert any("cycle" in p for p in problems)
+
+
+def test_validate_detects_asymmetric_links():
+    wf = Workflow("w")
+    wf.new_job("a", "t")
+    wf.new_job("b", "t")
+    wf.job("b").parents.append("a")  # bypass add_dependency
+    problems = find_problems(wf)
+    assert any("not mirrored" in p for p in problems)
+
+
+def test_validate_detects_unknown_parent():
+    wf = Workflow("w")
+    wf.new_job("a", "t")
+    wf.job("a").parents.append("ghost")
+    problems = find_problems(wf)
+    assert any("unknown parent" in p for p in problems)
+
+
+def test_validate_detects_double_producer():
+    wf = Workflow("w")
+    shared = DataFile("shared.out", 1.0)
+    wf.new_job("a", "t", outputs=[shared])
+    wf.new_job("b", "t", outputs=[shared])
+    problems = find_problems(wf)
+    assert any("produced by both" in p for p in problems)
+
+
+def test_validate_detects_orphan_intermediate_input():
+    wf = Workflow("w")
+    wf.new_job("a", "t", inputs=[DataFile("nowhere.dat", 1.0, "intermediate")])
+    problems = find_problems(wf)
+    assert any("no producer" in p for p in problems)
+
+
+def test_validation_error_reports_workflow_name():
+    with pytest.raises(ValidationError) as err:
+        validate_workflow(Workflow("broken"))
+    assert err.value.workflow_name == "broken"
+    assert err.value.problems
