@@ -1,0 +1,342 @@
+"""Repo-specific AST lint rules.
+
+Generic linters cannot know that ``repro.sim`` must be bit-deterministic,
+that scheduling tie-breaks must not depend on set iteration order, or that
+the million-object hot classes rely on ``__slots__`` staying airtight.
+These rules encode exactly that:
+
+========  ==================================================================
+rule id   meaning
+========  ==================================================================
+CL001     wall-clock call (``time.time``/``datetime.now``/...) inside
+          deterministic simulation code (``repro/sim``, ``repro/cloud``)
+CL002     nondeterministically seeded RNG call inside deterministic
+          simulation code (module-level ``random.*``, unseeded
+          ``default_rng()``)
+CL003     iteration over a ``set`` in scheduling/provisioning decision code
+          (``repro/sim``, ``repro/cloud``, ``repro/engines``,
+          ``repro/provision``, ``repro/dewe``) — iteration order is
+          nondeterministic across processes; sort first
+CL004     a ``__slots__`` class assigns a ``self`` attribute not declared
+          in its (resolvable) slots chain — raises ``AttributeError`` at
+          runtime, usually on a rarely executed path
+========  ==================================================================
+
+Run via ``repro-lint --code`` or the tier-1 test
+``tests/test_codelint.py::test_repo_is_clean``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Union
+
+__all__ = [
+    "ALL_RULES",
+    "LintFinding",
+    "RULES",
+    "default_rules_for",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]
+
+RULES: Dict[str, str] = {
+    "CL001": "wall-clock call inside deterministic simulation code",
+    "CL002": "nondeterministic RNG call inside deterministic simulation code",
+    "CL003": "iteration over an unordered set in decision code",
+    "CL004": "__slots__ class assigns an attribute not declared in __slots__",
+}
+
+ALL_RULES: FrozenSet[str] = frozenset(RULES)
+
+#: Sub-packages that must be bit-deterministic (CL001/CL002).
+DETERMINISTIC_SUBPACKAGES = frozenset({"sim", "cloud"})
+#: Sub-packages whose decisions must not depend on set order (CL003).
+DECISION_SUBPACKAGES = frozenset({"sim", "cloud", "engines", "provision", "dewe"})
+
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+    }
+)
+_WALL_CLOCK_SUFFIXES = (
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+)
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One code-lint hit, pinned to a file and line."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+def _subpackage_of(path: Union[str, Path]) -> Optional[str]:
+    """The ``repro`` sub-package a file belongs to (``"sim"``, ``"cloud"``,
+    ...), or ``None`` when the path is not inside the ``repro`` package."""
+    parts = Path(path).as_posix().split("/")
+    for i, part in enumerate(parts[:-1]):
+        if part == "repro":
+            nxt = parts[i + 1]
+            return nxt[:-3] if nxt.endswith(".py") else nxt
+    return None
+
+
+def default_rules_for(path: Union[str, Path]) -> FrozenSet[str]:
+    """The rule set that applies to ``path`` by repository convention."""
+    rules: Set[str] = {"CL004"}
+    sub = _subpackage_of(path)
+    if sub in DETERMINISTIC_SUBPACKAGES:
+        rules |= {"CL001", "CL002"}
+    if sub in DECISION_SUBPACKAGES:
+        rules.add("CL003")
+    return frozenset(rules)
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for an attribute chain rooted at a plain name, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_wall_clock(dotted: str) -> bool:
+    return dotted in _WALL_CLOCK_CALLS or dotted.endswith(_WALL_CLOCK_SUFFIXES)
+
+
+def _is_nondeterministic_rng(dotted: str, call: ast.Call) -> bool:
+    parts = dotted.split(".")
+    if parts[0] == "random" and len(parts) > 1:
+        return True  # module-level stdlib RNG: process-global hidden state
+    if "random" in parts[:-1]:  # np.random.*, numpy.random.*
+        if parts[-1] == "default_rng":
+            return not call.args and not call.keywords  # unseeded
+        return True  # legacy global-state numpy RNG
+    return False
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _slot_names(class_def: ast.ClassDef) -> Optional[List[str]]:
+    """Names declared by a literal ``__slots__`` assignment, else None."""
+    for stmt in class_def.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__slots__" for t in stmt.targets
+        ):
+            continue
+        value = stmt.value
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            return [value.value]
+        if isinstance(value, (ast.Tuple, ast.List)):
+            names = []
+            for element in value.elts:
+                if not (
+                    isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                ):
+                    return None  # computed slots: cannot lint statically
+                names.append(element.value)
+            return names
+        return None
+    return None
+
+
+def _resolved_slots(
+    class_def: ast.ClassDef, class_map: Dict[str, ast.ClassDef]
+) -> Optional[Set[str]]:
+    """The union of slots along the base chain, or None when any base is
+    unresolvable in-module or carries no ``__slots__`` (then instances get
+    a ``__dict__`` and arbitrary attributes are legal)."""
+    own = _slot_names(class_def)
+    if own is None:
+        return None
+    names = set(own)
+    stack = list(class_def.bases)
+    seen: Set[str] = {class_def.name}
+    while stack:
+        base = stack.pop()
+        if not isinstance(base, ast.Name) or base.id == "object":
+            if isinstance(base, ast.Name):
+                continue
+            return None  # attribute/subscript base: give up conservatively
+        if base.id in seen:
+            continue
+        seen.add(base.id)
+        base_def = class_map.get(base.id)
+        if base_def is None:
+            return None  # imported base: unknown slots
+        base_slots = _slot_names(base_def)
+        if base_slots is None:
+            return None  # dict-ful ancestor
+        names.update(base_slots)
+        stack.extend(base_def.bases)
+    return names
+
+
+def _self_attribute_targets(
+    function: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+) -> Iterable[ast.Attribute]:
+    """Attribute nodes assigned on the method's ``self`` argument."""
+    if not function.args.args:
+        return
+    self_name = function.args.args[0].arg
+    for node in ast.walk(function):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            queue = [target]
+            while queue:
+                t = queue.pop()
+                if isinstance(t, (ast.Tuple, ast.List)):
+                    queue.extend(t.elts)
+                elif (
+                    isinstance(t, ast.Attribute)
+                    and isinstance(t.value, ast.Name)
+                    and t.value.id == self_name
+                ):
+                    yield t
+
+
+def _lint_slots(tree: ast.Module, path: str) -> List[LintFinding]:
+    findings: List[LintFinding] = []
+    class_map = {
+        node.name: node for node in tree.body if isinstance(node, ast.ClassDef)
+    }
+    for class_def in class_map.values():
+        slots = _resolved_slots(class_def, class_map)
+        if slots is None:
+            continue
+        for stmt in class_def.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            decorators = {
+                d.id for d in stmt.decorator_list if isinstance(d, ast.Name)
+            }
+            if "staticmethod" in decorators or "classmethod" in decorators:
+                continue
+            for attribute in _self_attribute_targets(stmt):
+                if attribute.attr not in slots:
+                    findings.append(
+                        LintFinding(
+                            "CL004",
+                            path,
+                            attribute.lineno,
+                            f"{class_def.name}.{attribute.attr} assigned but "
+                            f"not declared in __slots__",
+                        )
+                    )
+    return findings
+
+
+def lint_source(
+    source: str, path: str = "<string>", rules: Optional[FrozenSet[str]] = None
+) -> List[LintFinding]:
+    """Lint Python ``source``; ``rules`` defaults to every rule."""
+    active = ALL_RULES if rules is None else rules
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            LintFinding("CL000", path, exc.lineno or 0, f"syntax error: {exc.msg}")
+        ]
+    findings: List[LintFinding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and ("CL001" in active or "CL002" in active):
+            dotted = _dotted(node.func)
+            if dotted is not None:
+                if "CL001" in active and _is_wall_clock(dotted):
+                    findings.append(
+                        LintFinding(
+                            "CL001",
+                            path,
+                            node.lineno,
+                            f"wall-clock call {dotted}() breaks simulation "
+                            f"determinism",
+                        )
+                    )
+                if "CL002" in active and _is_nondeterministic_rng(dotted, node):
+                    findings.append(
+                        LintFinding(
+                            "CL002",
+                            path,
+                            node.lineno,
+                            f"{dotted}() draws from hidden/unseeded RNG state",
+                        )
+                    )
+        if "CL003" in active:
+            iters: List[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for iter_expr in iters:
+                if _is_set_expression(iter_expr):
+                    findings.append(
+                        LintFinding(
+                            "CL003",
+                            path,
+                            iter_expr.lineno,
+                            "iterating an unordered set; wrap in sorted() for "
+                            "deterministic order",
+                        )
+                    )
+    if "CL004" in active:
+        findings.extend(_lint_slots(tree, path))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def lint_file(
+    path: Union[str, Path], rules: Optional[FrozenSet[str]] = None
+) -> List[LintFinding]:
+    """Lint one file; ``rules=None`` applies the repository defaults."""
+    path = Path(path)
+    if rules is None:
+        rules = default_rules_for(path)
+    return lint_source(path.read_text(encoding="utf-8"), str(path), rules)
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]], rules: Optional[FrozenSet[str]] = None
+) -> List[LintFinding]:
+    """Lint files and/or directory trees (``*.py`` files, recursively)."""
+    findings: List[LintFinding] = []
+    for entry in paths:
+        entry = Path(entry)
+        files = sorted(entry.rglob("*.py")) if entry.is_dir() else [entry]
+        for file in files:
+            findings.extend(lint_file(file, rules))
+    return findings

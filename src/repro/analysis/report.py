@@ -1,0 +1,146 @@
+"""Structured findings report for the workflow static analyzer.
+
+A :class:`Finding` pins one defect to a rule id, a severity, and a location
+(workflow, job, file).  :class:`AnalysisReport` aggregates findings across
+the templates of an ensemble and renders them for humans (``render``) or
+machines (``to_dict``/``to_json``).
+
+Severities follow the usual lint convention:
+
+* ``ERROR`` — the workflow will misbehave (deadlock, overwrite, unrunnable
+  job); ``repro-run --lint`` refuses to simulate.
+* ``WARNING`` — probably a defect (dead outputs, zero-cost jobs); reported
+  but not blocking.
+* ``INFO`` — advisory notes (shared-FS hotspots); never affects exit codes.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["AnalysisReport", "Finding", "Severity"]
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; comparable (``ERROR > WARNING > INFO``)."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One defect: rule id, severity, and workflow/job/file location."""
+
+    rule: str
+    severity: Severity
+    workflow: str
+    message: str
+    job_id: Optional[str] = None
+    file_name: Optional[str] = None
+
+    @property
+    def location(self) -> str:
+        parts = [self.workflow]
+        if self.job_id is not None:
+            parts.append(f"job {self.job_id}")
+        if self.file_name is not None:
+            parts.append(f"file {self.file_name}")
+        return " / ".join(parts)
+
+    def __str__(self) -> str:
+        return f"{self.severity} {self.rule} [{self.location}] {self.message}"
+
+
+@dataclass
+class AnalysisReport:
+    """Findings over one workflow or one ensemble's distinct templates."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: Distinct workflow templates analyzed (relabelled ensemble members
+    #: share job objects and are analyzed once).
+    workflows_analyzed: int = 0
+    #: Ensemble members covered (>= ``workflows_analyzed``).
+    members_analyzed: int = 0
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    @property
+    def infos(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.INFO]
+
+    @property
+    def problems(self) -> List[Finding]:
+        """Findings at warning severity or above (what gates a run)."""
+        return [f for f in self.findings if f.severity >= Severity.WARNING]
+
+    def ok(self) -> bool:
+        """True when there is nothing at warning severity or above."""
+        return not self.problems
+
+    def by_rule(self) -> Dict[str, List[Finding]]:
+        out: Dict[str, List[Finding]] = {}
+        for finding in self.findings:
+            out.setdefault(finding.rule, []).append(finding)
+        return out
+
+    # -- rendering -------------------------------------------------------
+    def render(self, verbose: bool = False, limit: int = 25) -> str:
+        """Human-readable report; ``verbose`` lifts the line cap."""
+        header = (
+            f"analyzed {self.workflows_analyzed} workflow template(s) "
+            f"({self.members_analyzed} ensemble member(s)): "
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.infos)} note(s)"
+        )
+        ordered = sorted(
+            self.findings, key=lambda f: (-f.severity, f.rule, f.location)
+        )
+        shown = ordered if verbose else ordered[:limit]
+        lines = [header] + [f"  {finding}" for finding in shown]
+        hidden = len(ordered) - len(shown)
+        if hidden > 0:
+            lines.append(f"  ... and {hidden} more (use --verbose to see all)")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        return {
+            "workflows_analyzed": self.workflows_analyzed,
+            "members_analyzed": self.members_analyzed,
+            "counts": {
+                "error": len(self.errors),
+                "warning": len(self.warnings),
+                "info": len(self.infos),
+            },
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "severity": str(f.severity),
+                    "workflow": f.workflow,
+                    "job": f.job_id,
+                    "file": f.file_name,
+                    "message": f.message,
+                }
+                for f in self.findings
+            ],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

@@ -1,0 +1,260 @@
+"""Opt-in runtime invariant sanitizer for the simulation substrate.
+
+The paper's evaluation rests on the simulator's contention accounting being
+conservation-correct: cores never over-committed, fair-share links never
+delivering more than their capacity, the write-back cache flushing exactly
+the bytes that were written, billed hours never undercutting wall time.
+This module is an ASAN/TSAN-style checker for those invariants: hook points
+in :mod:`repro.sim.engine`, :mod:`repro.sim.resources`,
+:mod:`repro.storage.cache` and :mod:`repro.cloud.pricing` call into the
+active :class:`Sanitizer` — or do nothing at all when no sanitizer is
+installed (the disabled path is a single ``is not None`` test).
+
+Usage::
+
+    import repro.analysis.sanitizer as sanitizer
+
+    san = sanitizer.enable(strict=False)   # collect mode
+    ... run simulations ...
+    sanitizer.disable()
+    for violation in san.violations:
+        print(violation)
+
+``strict=True`` raises :class:`InvariantViolation` at the first violation
+(after recording it).  Setting the environment variable ``REPRO_SANITIZER``
+before the first ``repro`` import enables the sanitizer globally: ``1`` or
+``strict`` for strict mode, ``collect`` for collect-only.  The test suite
+enables strict mode for every test via ``tests/conftest.py``.
+
+This module intentionally imports nothing from the rest of ``repro`` so
+that the instrumented modules can import it without cycles; the checks are
+white-box and reach into the instrumented objects' attributes directly.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "ENV_FLAG",
+    "InvariantViolation",
+    "Sanitizer",
+    "Violation",
+    "active",
+    "disable",
+    "enable",
+    "enabled",
+]
+
+#: Environment variable consulted at import time (see :func:`_install_from_env`).
+ENV_FLAG = "REPRO_SANITIZER"
+
+
+class InvariantViolation(RuntimeError):
+    """Raised in strict mode when a simulation invariant is broken."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected invariant violation.
+
+    ``check`` is a stable identifier (e.g. ``"core-conservation"``);
+    ``time`` is the simulation clock when available, else ``None``.
+    """
+
+    check: str
+    message: str
+    time: Optional[float] = None
+
+    def __str__(self) -> str:
+        stamp = f" (t={self.time:g})" if self.time is not None else ""
+        return f"[{self.check}] {self.message}{stamp}"
+
+
+class Sanitizer:
+    """Collected-violation checker with optional fail-fast behaviour."""
+
+    __slots__ = ("strict", "violations", "_billing_hwm")
+
+    def __init__(self, strict: bool = False):
+        self.strict = strict
+        self.violations: List[Violation] = []
+        # Per billing model: the largest rental duration checked so far and
+        # the hours it billed, for the monotonicity sandwich check.
+        self._billing_hwm: Dict[object, Tuple[float, float]] = {}
+
+    def _report(self, check: str, message: str, time: Optional[float] = None) -> None:
+        violation = Violation(check, message, time)
+        self.violations.append(violation)
+        if self.strict:
+            raise InvariantViolation(str(violation))
+
+    # -- event clock (repro.sim.engine) ---------------------------------
+    def check_step(self, now: float, event_time: float) -> None:
+        """The agenda must never pop an event scheduled before ``now``."""
+        if event_time < now:
+            self._report(
+                "clock-monotonicity",
+                f"event scheduled at t={event_time!r} popped after now={now!r}",
+                time=now,
+            )
+
+    def check_schedule(self, now: float, delay: float) -> None:
+        """Scheduling into the past would reorder the event agenda."""
+        if delay < 0:
+            self._report(
+                "clock-monotonicity",
+                f"event scheduled with negative delay {delay!r}",
+                time=now,
+            )
+
+    # -- core pools (repro.sim.resources.CorePool) ----------------------
+    def check_core_pool(self, pool) -> None:
+        """0 <= in-use <= capacity at every acquire/release."""
+        busy = pool.busy
+        if busy < 0 or busy > pool.capacity:
+            self._report(
+                "core-conservation",
+                f"{pool.name}: busy={busy} outside [0, {pool.capacity}]",
+                time=pool.sim.now,
+            )
+        if pool.queued < 0:
+            self._report(
+                "core-queue",
+                f"{pool.name}: queued={pool.queued} is negative",
+                time=pool.sim.now,
+            )
+
+    # -- fair-share links (repro.sim.resources.FairShareLink) -----------
+    def check_link(self, link) -> None:
+        """Active streams must match pending completions; the aggregate
+        throughput of the shares must never exceed the link capacity."""
+        n = link._n
+        if n < 0 or n != len(link._heap):
+            self._report(
+                "link-conservation",
+                f"{link.name}: active={n} but {len(link._heap)} pending "
+                f"completions",
+                time=link.sim.now,
+            )
+        elif link.log.current > link.capacity * (1.0 + 1e-9) + 1e-9:
+            self._report(
+                "link-share",
+                f"{link.name}: aggregate throughput {link.log.current:.6g} B/s "
+                f"exceeds capacity {link.capacity:.6g} B/s",
+                time=link.sim.now,
+            )
+
+    # -- write-back cache (repro.storage.cache.WriteBackCache) ----------
+    @staticmethod
+    def _cache_tol(cache) -> float:
+        return 1e-6 + 1e-9 * cache.bytes_written
+
+    def check_cache(self, cache) -> None:
+        """Dirty bytes never go negative; flushed never exceeds written."""
+        tol = self._cache_tol(cache)
+        if cache.dirty < -tol:
+            self._report(
+                "cache-dirty-negative",
+                f"{cache.name}: dirty={cache.dirty:.6g} B is negative",
+                time=cache.sim.now,
+            )
+        if cache.bytes_flushed > cache.bytes_written + tol:
+            self._report(
+                "cache-overflush",
+                f"{cache.name}: flushed {cache.bytes_flushed:.6g} B of "
+                f"{cache.bytes_written:.6g} B written",
+                time=cache.sim.now,
+            )
+
+    def check_cache_drained(self, cache) -> None:
+        """At drain, every byte written must have been flushed."""
+        if abs(cache.bytes_written - cache.bytes_flushed) > self._cache_tol(cache):
+            self._report(
+                "cache-flush-conservation",
+                f"{cache.name}: drained with {cache.bytes_written:.6g} B "
+                f"written but {cache.bytes_flushed:.6g} B flushed",
+                time=cache.sim.now,
+            )
+
+    # -- billing (repro.cloud.pricing) -----------------------------------
+    def check_billing(self, model, seconds: float, hours: float) -> None:
+        """Billed hours are non-negative, cover the rental, and are
+        monotone non-decreasing in the rental duration."""
+        if hours < 0:
+            self._report(
+                "billing-negative", f"{model}: billed {hours!r} h for {seconds!r} s"
+            )
+        if hours * 3600.0 + 1e-6 < seconds:
+            self._report(
+                "billing-undercharge",
+                f"{model}: {seconds:.6g} s billed as {hours:.6g} h "
+                f"(= {hours * 3600.0:.6g} s)",
+            )
+        hwm = self._billing_hwm.get(model)
+        if hwm is not None:
+            hwm_seconds, hwm_hours = hwm
+            if seconds >= hwm_seconds and hours < hwm_hours - 1e-12:
+                self._report(
+                    "billing-monotonicity",
+                    f"{model}: {seconds:.6g} s billed {hours:.6g} h but "
+                    f"{hwm_seconds:.6g} s billed {hwm_hours:.6g} h",
+                )
+            if seconds <= hwm_seconds and hours > hwm_hours + 1e-12:
+                self._report(
+                    "billing-monotonicity",
+                    f"{model}: {seconds:.6g} s billed {hours:.6g} h but "
+                    f"{hwm_seconds:.6g} s billed {hwm_hours:.6g} h",
+                )
+        if hwm is None or seconds >= hwm[0]:
+            self._billing_hwm[model] = (seconds, hours)
+
+
+#: The installed sanitizer, or ``None`` (the common, zero-cost case).
+#: Instrumented modules read this attribute directly on the hot path.
+_ACTIVE: Optional[Sanitizer] = None
+
+
+def active() -> Optional[Sanitizer]:
+    """The currently installed sanitizer, or ``None`` when disabled."""
+    return _ACTIVE
+
+
+def enable(strict: bool = False) -> Sanitizer:
+    """Install (and return) a fresh sanitizer, replacing any current one."""
+    global _ACTIVE
+    _ACTIVE = Sanitizer(strict=strict)
+    return _ACTIVE
+
+
+def disable() -> Optional[Sanitizer]:
+    """Uninstall the sanitizer; returns it (with collected violations)."""
+    global _ACTIVE
+    previous, _ACTIVE = _ACTIVE, None
+    return previous
+
+
+@contextmanager
+def enabled(strict: bool = False) -> Iterator[Sanitizer]:
+    """Context manager: sanitize the block, restoring the previous state."""
+    global _ACTIVE
+    previous = _ACTIVE
+    san = Sanitizer(strict=strict)
+    _ACTIVE = san
+    try:
+        yield san
+    finally:
+        _ACTIVE = previous
+
+
+def _install_from_env() -> None:
+    value = os.environ.get(ENV_FLAG, "").strip().lower()
+    if value in ("", "0", "off", "false", "no"):
+        return
+    enable(strict=value != "collect")
+
+
+_install_from_env()

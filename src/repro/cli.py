@@ -1,12 +1,16 @@
 """Command-line entry points.
 
-Three commands mirror the system's main user journeys:
+Four commands mirror the system's main user journeys:
 
 * ``repro-run`` — execute a workflow ensemble on a simulated cluster with
-  a chosen engine and print the run summary;
+  a chosen engine and print the run summary (the DAG is validated at
+  submission time, paper §III.C; ``--lint`` adds the full static
+  analyzer as a pre-flight);
 * ``repro-plan`` — size clusters for a workload/deadline (Table III);
 * ``repro-profile`` — run the Fig 5 profiling campaign for an instance
-  type and print the derived node performance index.
+  type and print the derived node performance index;
+* ``repro-lint`` — static analysis: workflow/ensemble data-flow lint, or
+  the repo code lint (``--code``).  See docs/STATIC_ANALYSIS.md.
 """
 
 from __future__ import annotations
@@ -22,13 +26,15 @@ from repro.engines.base import RunConfig
 from repro.generators import cybershake_workflow, ligo_workflow, montage_workflow
 from repro.monitor import run_summary, summary_table
 from repro.provision import ProfilingCampaign, plan_cluster
-from repro.workflow import Ensemble
+from repro.workflow import Ensemble, ValidationError, validate_workflow
 
 ENGINES = {
     "dewe-v2": PullEngine,
     "pegasus": SchedulingEngine,
     "dewe-v1": DeweV1Engine,
 }
+
+WORKFLOW_KINDS = ("montage", "ligo", "cybershake")
 
 
 def _make_workflow(kind: str, size: float):
@@ -39,6 +45,14 @@ def _make_workflow(kind: str, size: float):
     if kind == "cybershake":
         return cybershake_workflow(ruptures=max(1, int(size)))
     raise SystemExit(f"unknown workflow kind {kind!r}")
+
+
+def _load_workflow_file(path: str):
+    from repro.workflow.serialize import load_dax, load_json
+
+    if path.endswith((".xml", ".dax")):
+        return load_dax(path)
+    return load_json(path)
 
 
 def main_run(argv: Optional[List[str]] = None) -> int:
@@ -62,12 +76,35 @@ def main_run(argv: Optional[List[str]] = None) -> int:
                         help="job timeout for the master daemon")
     parser.add_argument("--export-dir", default=None,
                         help="write trace.json / timeline.svg / metrics.csv here")
+    parser.add_argument("--lint", action="store_true",
+                        help="run the full static analyzer as a pre-flight "
+                             "and refuse to simulate on errors")
+    parser.add_argument("--verbose", action="store_true",
+                        help="report every validation/lint problem, not "
+                             "just the first few")
     args = parser.parse_args(argv)
 
     fs = args.filesystem or ("local" if args.nodes == 1 else "moosefs")
     spec = ClusterSpec(args.instance_type, args.nodes, filesystem=fs)
     template = _make_workflow(args.workflow, args.size)
+    # Submission-time validation (paper §III.C): reject malformed DAGs
+    # before burning simulated cluster time on them.
+    try:
+        validate_workflow(template)
+    except ValidationError as exc:
+        print(exc.render(verbose=args.verbose), file=sys.stderr)
+        return 2
     ensemble = Ensemble.replicated(template, args.workflows, interval=args.interval)
+    if args.lint:
+        from repro.analysis.dataflow import analyze_ensemble
+
+        report = analyze_ensemble(ensemble)
+        if report.findings:
+            print(report.render(verbose=args.verbose), file=sys.stderr)
+        if report.errors:
+            print("lint pre-flight failed: refusing to simulate",
+                  file=sys.stderr)
+            return 2
     config = RunConfig(
         default_timeout=args.timeout, record_jobs=args.export_dir is not None
     )
@@ -148,6 +185,88 @@ def main_profile(argv: Optional[List[str]] = None) -> int:
     for n, t, p in zip(multi.node_counts, multi.execution_times, multi.indices):
         print(f"  {n:2d} nodes -> {t:8.1f} s   P = {p:.6f}")
     print(f"converged node performance index: {multi.converged:.6f}")
+    return 0
+
+
+def main_lint(argv: Optional[List[str]] = None) -> int:
+    """Static analysis CLI.
+
+    Default mode analyzes a generated (or loaded) workflow ensemble with
+    the data-flow rules; ``--code`` runs the repo AST lints instead.
+    Exit codes: 0 clean (INFO notes allowed), 1 warnings, 2 errors.
+    """
+    from repro.analysis.dataflow import RULES, AnalyzerConfig, analyze_ensemble
+
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Static analysis for workflows, ensembles and the repo "
+                    "itself (rule catalogue: docs/STATIC_ANALYSIS.md).",
+    )
+    parser.add_argument("--code", nargs="*", metavar="PATH", default=None,
+                        help="run the repo code lint over PATH(s) "
+                             "(default: the installed repro package)")
+    parser.add_argument("--workflow", default="montage", choices=WORKFLOW_KINDS)
+    parser.add_argument("--size", type=float, default=1.0,
+                        help="Montage degree / LIGO blocks / CyberShake ruptures")
+    parser.add_argument("--workflows", type=int, default=1,
+                        help="ensemble size (copies of the workflow)")
+    parser.add_argument("--interval", type=float, default=0.0,
+                        help="incremental submission interval in seconds")
+    parser.add_argument("--file", default=None,
+                        help="analyze a serialized workflow (.json or "
+                             ".xml/.dax) instead of generating one")
+    parser.add_argument("--hotspot-fanout", type=int, default=None,
+                        help="FS001 threshold: files consumed by more jobs "
+                             "than this are flagged (default 256)")
+    parser.add_argument("--ignore", action="append", default=None,
+                        metavar="RULE", help="suppress a rule id (repeatable)")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--verbose", action="store_true",
+                        help="list every finding, not just the first 25")
+    args = parser.parse_args(argv)
+
+    if args.code is not None:
+        from pathlib import Path
+
+        import repro
+        from repro.analysis.codelint import lint_paths
+
+        paths = args.code or [Path(repro.__file__).parent]
+        findings = lint_paths(paths)
+        for finding in findings:
+            print(finding)
+        print(f"code lint: {len(findings)} finding(s)")
+        return 1 if findings else 0
+
+    ignore = frozenset(args.ignore or ())
+    unknown = ignore - set(RULES)
+    if unknown:
+        print(f"unknown rule id(s) in --ignore: {', '.join(sorted(unknown))}; "
+              f"known rules: {', '.join(sorted(RULES))}", file=sys.stderr)
+        return 2
+    if args.file is not None:
+        try:
+            template = _load_workflow_file(args.file)
+        except OSError as exc:
+            print(f"cannot read workflow file: {exc}", file=sys.stderr)
+            return 2
+    else:
+        template = _make_workflow(args.workflow, args.size)
+    ensemble = Ensemble.replicated(
+        template, max(1, args.workflows), interval=args.interval
+    )
+    config_kwargs = {"ignore": ignore}
+    if args.hotspot_fanout is not None:
+        config_kwargs["hotspot_fanout"] = args.hotspot_fanout
+    report = analyze_ensemble(ensemble, AnalyzerConfig(**config_kwargs))
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render(verbose=args.verbose))
+    if report.errors:
+        return 2
+    if report.warnings:
+        return 1
     return 0
 
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 import math
 from enum import Enum
 
+import repro.analysis.sanitizer as _sanitizer
 from repro.cloud.instances import InstanceType
 
 __all__ = ["BillingModel", "billed_hours", "cluster_cost", "price_per_workflow"]
@@ -32,12 +33,17 @@ def billed_hours(seconds: float, model: BillingModel = BillingModel.PER_HOUR) ->
     if seconds < 0:
         raise ValueError(f"rental duration must be >= 0, got {seconds}")
     if seconds == 0:
-        return 0.0
-    if model is BillingModel.PER_HOUR:
-        return float(math.ceil(seconds / 3600.0))
-    if model is BillingModel.PER_MINUTE:
-        return math.ceil(seconds / 60.0) / 60.0
-    return seconds / 3600.0
+        hours = 0.0
+    elif model is BillingModel.PER_HOUR:
+        hours = float(math.ceil(seconds / 3600.0))
+    elif model is BillingModel.PER_MINUTE:
+        hours = math.ceil(seconds / 60.0) / 60.0
+    else:
+        hours = seconds / 3600.0
+    san = _sanitizer._ACTIVE
+    if san is not None:
+        san.check_billing(model, seconds, hours)
+    return hours
 
 
 def cluster_cost(

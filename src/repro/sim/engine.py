@@ -20,6 +20,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
+import repro.analysis.sanitizer as _sanitizer
+
 __all__ = [
     "SimulationError",
     "Interrupt",
@@ -292,6 +294,9 @@ class Simulator:
 
     # -- scheduling ------------------------------------------------------
     def _schedule(self, delay: float, event: Event) -> None:
+        san = _sanitizer._ACTIVE
+        if san is not None:
+            san.check_schedule(self.now, delay)
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, event))
 
@@ -323,6 +328,9 @@ class Simulator:
     def step(self) -> None:
         """Process one event from the agenda."""
         time, _seq, event = heapq.heappop(self._heap)
+        san = _sanitizer._ACTIVE
+        if san is not None:
+            san.check_step(self.now, time)
         self.now = time
         callbacks = event.callbacks
         event.callbacks = None  # marks the event as processed

@@ -32,6 +32,7 @@ from typing import Any, Deque, List, Optional, Tuple
 
 import numpy as np
 
+import repro.analysis.sanitizer as _sanitizer
 from repro.sim.engine import Event, SimulationError, Simulator
 
 __all__ = ["SegmentLog", "CorePool", "FairShareLink", "FifoStore"]
@@ -119,7 +120,7 @@ class SegmentLog:
 class CorePool:
     """Counting resource with FIFO queueing (vCPU slots on a node)."""
 
-    __slots__ = ("sim", "capacity", "busy", "log", "_queue", "_cancelled")
+    __slots__ = ("sim", "capacity", "busy", "name", "log", "_queue", "_cancelled")
 
     def __init__(self, sim: Simulator, capacity: int, name: str = "cores"):
         if capacity < 1:
@@ -127,6 +128,7 @@ class CorePool:
         self.sim = sim
         self.capacity = int(capacity)
         self.busy = 0
+        self.name = name
         self.log = SegmentLog(sim.now, 0.0)
         self._queue: Deque[Event] = deque()
         self._cancelled: set = set()
@@ -148,6 +150,9 @@ class CorePool:
             event.succeed()
         else:
             self._queue.append(event)
+        san = _sanitizer._ACTIVE
+        if san is not None:
+            san.check_core_pool(self)
         return event
 
     def cancel(self, event: Event) -> bool:
@@ -158,9 +163,20 @@ class CorePool:
         return True
 
     def release(self) -> None:
-        """Return one core, handing it to the oldest live waiter if any."""
+        """Return one core, handing it to the oldest live waiter if any.
+
+        Over-releasing (a release with no matching acquire) raises
+        immediately — *before* any state changes — instead of silently
+        corrupting the availability count: a pool that believes it has
+        more cores than the node would let the simulator overcommit CPUs
+        and report impossible makespans.
+        """
         if self.busy <= 0:
-            raise SimulationError("release() without a matching acquire()")
+            raise SimulationError(
+                f"{self.name}: release() without a matching acquire() "
+                f"(busy={self.busy}, capacity={self.capacity}); every "
+                f"release must pair with exactly one granted acquire"
+            )
         queue = self._queue
         while queue:
             waiter = queue.popleft()
@@ -171,6 +187,9 @@ class CorePool:
             return
         self.busy -= 1
         self.log.record(self.sim.now, self.busy)
+        san = _sanitizer._ACTIVE
+        if san is not None:
+            san.check_core_pool(self)
 
 
 class FairShareLink:
@@ -257,6 +276,9 @@ class FairShareLink:
         if self._n == 0:
             self.log.record(self.sim.now, 0.0)
             self._v = 0.0  # rebase the virtual clock between busy periods
+        san = _sanitizer._ACTIVE
+        if san is not None:
+            san.check_link(self)
         self._reschedule()
 
     def transfer(self, nbytes: float) -> Event:
@@ -272,6 +294,9 @@ class FairShareLink:
         self._seq += 1
         heapq.heappush(self._heap, (self._v + nbytes, self._seq, event))
         self._n += 1
+        san = _sanitizer._ACTIVE
+        if san is not None:
+            san.check_link(self)
         self._reschedule()
         return event
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, List, Tuple
 
+import repro.analysis.sanitizer as _sanitizer
 from repro.sim import AllOf, Event, FairShareLink, Simulator
 
 __all__ = ["WriteBackCache", "read_miss_ratio"]
@@ -78,6 +79,7 @@ class WriteBackCache:
         self.name = name
         self.dirty = 0.0
         self.bytes_written = 0.0
+        self.bytes_flushed = 0.0
         self._queue: Deque[Tuple[float, Tuple[FairShareLink, ...]]] = deque()
         self._stalled: Deque[Tuple[Event, float, Tuple[FairShareLink, ...]]] = deque()
         self._flusher_running = False
@@ -99,6 +101,9 @@ class WriteBackCache:
             self.dirty += nbytes
             self._queue.append((nbytes, links))
             event.succeed()
+        san = _sanitizer._ACTIVE
+        if san is not None:
+            san.check_cache(self)
         self._ensure_flusher()
         return event
 
@@ -146,9 +151,16 @@ class WriteBackCache:
                         yield AllOf(sim, [link.transfer(burst) for link in links])
                     remaining -= burst
                     self.dirty -= burst
+                    self.bytes_flushed += burst
+                    san = _sanitizer._ACTIVE
+                    if san is not None:
+                        san.check_cache(self)
                     self._admit_stalled()
         self._flusher_running = False
         if self.dirty <= 1e-6 and not self._stalled:
+            san = _sanitizer._ACTIVE
+            if san is not None:
+                san.check_cache_drained(self)
             drained, self._drained = self._drained, []
             for event in drained:
                 event.succeed()

@@ -16,7 +16,7 @@ the premise can be *measured* instead of assumed:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, List
 
 import numpy as np
 

@@ -3,21 +3,38 @@
 The master daemon validates a workflow at submission time (the DAG file is
 parsed and stored in a data structure, paper §III.C); malformed DAGs are
 rejected with a :class:`ValidationError` listing every problem found.
+
+The checks are split in two layers so the static analyzer
+(:mod:`repro.analysis.dataflow`) can reuse the structural pass without
+duplicating the data-flow findings it supersedes:
+
+* :func:`find_structural_problems` — edge-list integrity, duplicates,
+  acyclicity, non-emptiness;
+* :func:`find_dataflow_problems` — the legacy producer/consumer checks
+  kept for submission-time validation (the analyzer's DF rules are a
+  strict superset).
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.workflow.dag import Workflow
 
-__all__ = ["ValidationError", "validate_workflow"]
+__all__ = [
+    "ValidationError",
+    "find_dataflow_problems",
+    "find_problems",
+    "find_structural_problems",
+    "validate_workflow",
+]
 
 
 class ValidationError(ValueError):
     """Raised when a workflow is structurally invalid.
 
-    ``problems`` holds one message per independent defect.
+    ``problems`` holds one message per independent defect.  The exception
+    text summarises the first few; :meth:`render` lists as many as asked.
     """
 
     def __init__(self, workflow_name: str, problems: List[str]):
@@ -28,9 +45,22 @@ class ValidationError(ValueError):
             summary += f"; ... ({len(problems)} problems total)"
         super().__init__(f"workflow {workflow_name!r} is invalid: {summary}")
 
+    def render(self, verbose: bool = False, limit: int = 5) -> str:
+        """One line per problem; ``verbose`` shows all, not just ``limit``."""
+        shown = self.problems if verbose else self.problems[:limit]
+        lines = [
+            f"workflow {self.workflow_name!r} is invalid "
+            f"({len(self.problems)} problem(s)):"
+        ]
+        lines += [f"  - {problem}" for problem in shown]
+        hidden = len(self.problems) - len(shown)
+        if hidden > 0:
+            lines.append(f"  ... and {hidden} more (use --verbose to see all)")
+        return "\n".join(lines)
 
-def find_problems(workflow: Workflow) -> List[str]:
-    """Return a list of structural defects (empty when valid)."""
+
+def find_structural_problems(workflow: Workflow) -> List[str]:
+    """Structural defects only: integrity, duplicates, cycles, emptiness."""
     problems: List[str] = []
     jobs = workflow.jobs
 
@@ -67,9 +97,15 @@ def find_problems(workflow: Workflow) -> List[str]:
     except ValueError:
         problems.append("dependency graph contains a cycle")
 
-    # Data-flow sanity: a file must not have two distinct producers, and a
-    # file consumed before the workflow starts must be an input.
+    return problems
+
+
+def find_dataflow_problems(workflow: Workflow) -> List[str]:
+    """Data-flow sanity: a file must not have two distinct producers, and a
+    file consumed before the workflow starts must be an input."""
+    problems: List[str] = []
     producers: dict = {}
+    jobs = workflow.jobs
     for job in jobs.values():
         for f in job.outputs:
             prior = producers.get(f.name)
@@ -84,13 +120,27 @@ def find_problems(workflow: Workflow) -> List[str]:
                 problems.append(
                     f"{job.id}: consumes {f.name!r} ({f.kind}) with no producer"
                 )
-
     return problems
 
 
-def validate_workflow(workflow: Workflow) -> Workflow:
-    """Validate ``workflow``; returns it unchanged or raises ValidationError."""
-    problems = find_problems(workflow)
+def find_problems(workflow: Workflow) -> List[str]:
+    """Return a list of structural defects (empty when valid)."""
+    problems = find_structural_problems(workflow)
+    if problems and not workflow.jobs:
+        return problems
+    return problems + find_dataflow_problems(workflow)
+
+
+def validate_workflow(
+    workflow: Workflow, problems: Optional[List[str]] = None
+) -> Workflow:
+    """Validate ``workflow``; returns it unchanged or raises ValidationError.
+
+    ``problems`` allows a caller that already ran :func:`find_problems`
+    to raise without re-checking.
+    """
+    if problems is None:
+        problems = find_problems(workflow)
     if problems:
         raise ValidationError(workflow.name, problems)
     return workflow

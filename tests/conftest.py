@@ -1,0 +1,29 @@
+"""Shared test configuration.
+
+The whole tier-1 suite runs with the simulation invariant sanitizer
+enabled in *strict* mode (docs/STATIC_ANALYSIS.md): every simulator
+step, core acquire/release, fair-share wake-up, cache flush and billing
+computation is cross-checked against its conservation laws.  A clean
+suite therefore certifies not just the observable results but the
+internal bookkeeping of every simulation the tests run.
+"""
+
+import pytest
+
+import repro.analysis.sanitizer as sanitizer
+
+
+@pytest.fixture(autouse=True)
+def _strict_sanitizer():
+    san = sanitizer.enable(strict=True)
+    try:
+        yield san
+    finally:
+        # A test may install its own sanitizer (or disable ours); only
+        # tear down if ours is still the active one.
+        if sanitizer.active() is san:
+            sanitizer.disable()
+    assert not san.violations, (
+        "simulation invariant violations: "
+        + "; ".join(str(v) for v in san.violations)
+    )

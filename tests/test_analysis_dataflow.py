@@ -1,0 +1,251 @@
+"""Seeded-defect corpus for the workflow static analyzer.
+
+Each test plants exactly one class of defect in an otherwise healthy DAG
+and asserts the analyzer reports it with the right rule id *and* the
+right location (job / file).  The clean-workflow tests pin the flip
+side: every paper generator must analyze to zero problems, otherwise
+``repro-run --lint`` would cry wolf on the reproduction's own inputs.
+"""
+
+import pytest
+
+from repro.analysis.dataflow import (
+    RULES,
+    AnalyzerConfig,
+    analyze_ensemble,
+    analyze_workflow,
+)
+from repro.analysis.report import Severity
+from repro.generators import (
+    cybershake_workflow,
+    ligo_workflow,
+    montage_workflow,
+)
+from repro.workflow import DataFile, Ensemble, Workflow
+
+
+def _base_workflow():
+    """A healthy two-job produce/consume chain to seed defects into."""
+    wf = Workflow("seeded")
+    raw = DataFile("raw.dat", 100.0, "input")
+    mid = DataFile("mid.dat", 50.0)
+    out = DataFile("final.dat", 10.0, "output")
+    wf.new_job("producer", "gen", runtime=1.0, inputs=[raw], outputs=[mid])
+    wf.new_job("consumer", "use", runtime=1.0, inputs=[mid], outputs=[out])
+    wf.add_dependency("producer", "consumer")
+    return wf
+
+
+def _rules_hit(report):
+    return {f.rule for f in report.findings}
+
+
+def test_clean_base_workflow_has_no_findings():
+    report = analyze_workflow(_base_workflow())
+    assert report.findings == []
+    assert report.ok()
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda: montage_workflow(degree=1.0),
+        lambda: ligo_workflow(blocks=2),
+        lambda: cybershake_workflow(ruptures=4),
+    ],
+    ids=["montage", "ligo", "cybershake"],
+)
+def test_paper_generators_are_clean(make):
+    report = analyze_workflow(make())
+    assert report.problems == [], [str(f) for f in report.problems]
+
+
+def test_st001_cycle():
+    wf = _base_workflow()
+    wf.add_dependency("consumer", "producer")  # closes a cycle
+    report = analyze_workflow(wf)
+    findings = report.by_rule().get("ST001")
+    assert findings, report.render()
+    assert findings[0].severity is Severity.ERROR
+
+
+def test_df001_no_producer():
+    wf = _base_workflow()
+    ghost = DataFile("ghost.dat", 5.0)  # intermediate nobody writes
+    wf.jobs["consumer"].inputs.append(ghost)
+    report = analyze_workflow(wf)
+    [finding] = report.by_rule()["DF001"]
+    assert finding.severity is Severity.ERROR
+    assert finding.file_name == "ghost.dat"
+    assert finding.job_id == "consumer"
+
+
+def test_df002_double_producer():
+    wf = _base_workflow()
+    clash = DataFile("mid.dat", 50.0)  # same name as producer's output
+    extra = DataFile("extra.dat", 1.0, "output")
+    wf.new_job("rogue", "gen", runtime=1.0, outputs=[clash, extra])
+    report = analyze_workflow(wf)
+    [finding] = report.by_rule()["DF002"]
+    assert finding.severity is Severity.ERROR
+    assert finding.file_name == "mid.dat"
+    assert finding.job_id == "rogue"
+    assert "producer" in finding.message
+
+
+def test_df003_dead_work():
+    wf = _base_workflow()
+    dead = DataFile("scratch.dat", 7.0)
+    wf.new_job("wasted", "gen", runtime=1.0, outputs=[dead])
+    report = analyze_workflow(wf)
+    [finding] = report.by_rule()["DF003"]
+    assert finding.severity is Severity.WARNING
+    assert finding.file_name == "scratch.dat"
+    assert finding.job_id == "wasted"
+
+
+def test_df003_not_raised_for_byproduct_siblings():
+    """An unconsumed intermediate next to a live output is a retained run
+    product (Montage's diff images), not dead work."""
+    wf = _base_workflow()
+    byproduct = DataFile("diag.dat", 3.0)
+    wf.jobs["producer"].outputs.append(byproduct)
+    report = analyze_workflow(wf)
+    assert "DF003" not in _rules_hit(report)
+
+
+def test_df004_consumer_not_descendant():
+    wf = _base_workflow()
+    out2 = DataFile("other.dat", 1.0, "output")
+    # Reads mid.dat but has no dependency path from its producer.
+    wf.new_job(
+        "racer", "use", runtime=1.0,
+        inputs=[wf.jobs["producer"].outputs[0]], outputs=[out2],
+    )
+    report = analyze_workflow(wf)
+    [finding] = report.by_rule()["DF004"]
+    assert finding.severity is Severity.ERROR
+    assert finding.job_id == "racer"
+    assert finding.file_name == "mid.dat"
+
+
+def test_df004_self_consumption():
+    wf = _base_workflow()
+    loop = DataFile("loop.dat", 1.0)
+    job = wf.jobs["producer"]
+    job.inputs.append(loop)
+    job.outputs.append(loop)
+    report = analyze_workflow(wf)
+    [finding] = report.by_rule()["DF004"]
+    assert finding.job_id == "producer"
+    assert "own output" in finding.message
+
+
+def test_df004_transitive_dependency_is_fine():
+    """Reading a grandparent's output is legal (mImgTbl does this)."""
+    wf = _base_workflow()
+    mid = wf.jobs["producer"].outputs[0]
+    final = DataFile("grand.dat", 1.0, "output")
+    wf.new_job("grandchild", "use", runtime=1.0, inputs=[mid], outputs=[final])
+    wf.add_dependency("consumer", "grandchild")
+    report = analyze_workflow(wf)
+    assert "DF004" not in _rules_hit(report)
+
+
+def test_df005_produced_input():
+    wf = _base_workflow()
+    fake_input = DataFile("pre.dat", 1.0, "input")
+    wf.jobs["producer"].outputs.append(fake_input)
+    report = analyze_workflow(wf)
+    [finding] = report.by_rule()["DF005"]
+    assert finding.severity is Severity.WARNING
+    assert finding.file_name == "pre.dat"
+
+
+def test_cm001_nonpositive_runtime():
+    wf = _base_workflow()
+    wf.jobs["consumer"].runtime = 0.0
+    report = analyze_workflow(wf)
+    [finding] = report.by_rule()["CM001"]
+    assert finding.severity is Severity.WARNING
+    assert finding.job_id == "consumer"
+
+
+def test_cm002_threads_exceed_catalogue():
+    wf = _base_workflow()
+    wf.jobs["producer"].threads = 1024
+    report = analyze_workflow(wf)
+    [finding] = report.by_rule()["CM002"]
+    assert finding.severity is Severity.ERROR
+    assert finding.job_id == "producer"
+
+
+def test_cm003_nonpositive_timeout():
+    wf = _base_workflow()
+    wf.jobs["consumer"].timeout = -5.0
+    report = analyze_workflow(wf)
+    [finding] = report.by_rule()["CM003"]
+    assert finding.severity is Severity.ERROR
+    assert finding.job_id == "consumer"
+
+
+def test_fs001_hotspot_is_info():
+    wf = _base_workflow()
+    mid = wf.jobs["producer"].outputs[0]
+    for i in range(3):
+        sink = DataFile(f"sink{i}.dat", 1.0, "output")
+        wf.new_job(f"reader{i}", "use", runtime=1.0, inputs=[mid], outputs=[sink])
+        wf.add_dependency("producer", f"reader{i}")
+    report = analyze_workflow(wf, AnalyzerConfig(hotspot_fanout=2))
+    [finding] = report.by_rule()["FS001"]
+    assert finding.severity is Severity.INFO
+    assert finding.file_name == "mid.dat"
+    # INFO never gates a run.
+    assert report.ok()
+
+
+def test_ignore_config_suppresses_rule():
+    wf = _base_workflow()
+    dead = DataFile("scratch.dat", 7.0)
+    wf.new_job("wasted", "gen", runtime=1.0, outputs=[dead])
+    report = analyze_workflow(wf, AnalyzerConfig(ignore=frozenset({"DF003"})))
+    assert report.findings == []
+
+
+def test_ensemble_dedupes_relabelled_members():
+    ensemble = Ensemble.replicated(montage_workflow(degree=0.25), 5)
+    report = analyze_ensemble(ensemble)
+    assert report.workflows_analyzed == 1
+    assert report.members_analyzed == 5
+    assert report.problems == []
+
+
+def test_ensemble_with_seeded_defect_reports_once():
+    wf = _base_workflow()
+    wf.jobs["consumer"].timeout = -5.0
+    ensemble = Ensemble.replicated(wf, 3)
+    report = analyze_ensemble(ensemble)
+    assert len(report.by_rule()["CM003"]) == 1
+
+
+def test_every_rule_has_severity_and_description():
+    for rule, (severity, description) in RULES.items():
+        assert isinstance(severity, Severity)
+        assert description
+    # The seeded-defect corpus above covers the whole catalogue.
+    covered = {
+        "ST001", "DF001", "DF002", "DF003", "DF004", "DF005",
+        "CM001", "CM002", "CM003", "FS001",
+    }
+    assert covered == set(RULES)
+
+
+def test_report_render_and_json_roundtrip():
+    wf = _base_workflow()
+    wf.jobs["consumer"].timeout = -5.0
+    report = analyze_workflow(wf)
+    text = report.render()
+    assert "CM003" in text and "1 error(s)" in text
+    data = report.to_dict()
+    assert data["counts"]["error"] == 1
+    assert data["findings"][0]["rule"] == "CM003"

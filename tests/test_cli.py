@@ -63,3 +63,97 @@ def test_run_cli_export(tmp_path, capsys):
     assert (out_dir / "timeline.svg").exists()
     assert (out_dir / "metrics.csv").exists()
     assert "exported" in capsys.readouterr().out
+
+
+# -- repro-lint ------------------------------------------------------------
+
+def test_lint_cli_clean_montage(capsys):
+    from repro.cli import main_lint
+
+    rc = main_lint(["--workflow", "montage", "--size", "0.5"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "0 error(s), 0 warning(s)" in out
+
+
+def test_lint_cli_hotspot_is_info_only(capsys):
+    from repro.cli import main_lint
+
+    rc = main_lint(["--workflow", "montage", "--size", "1.0",
+                    "--hotspot-fanout", "1"])
+    assert rc == 0  # INFO notes never fail the lint
+    assert "FS001" in capsys.readouterr().out
+
+
+def test_lint_cli_json_format(capsys):
+    import json
+
+    from repro.cli import main_lint
+
+    rc = main_lint(["--size", "0.5", "--format", "json"])
+    assert rc == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["counts"] == {"error": 0, "warning": 0, "info": 0}
+
+
+def test_lint_cli_rejects_unknown_ignore(capsys):
+    from repro.cli import main_lint
+
+    rc = main_lint(["--ignore", "ZZ999"])
+    assert rc == 2
+    assert "unknown rule id" in capsys.readouterr().err
+
+
+def test_lint_cli_file_with_seeded_defect(tmp_path, capsys):
+    from repro.cli import main_lint
+    from repro.workflow import DataFile, Workflow
+    from repro.workflow.serialize import save_json
+
+    wf = Workflow("broken")
+    ghost = DataFile("ghost.dat", 5.0)
+    out = DataFile("out.dat", 1.0, "output")
+    wf.new_job("user", "use", runtime=1.0, inputs=[ghost], outputs=[out])
+    path = tmp_path / "broken.json"
+    save_json(wf, path)
+
+    rc = main_lint(["--file", str(path)])
+    assert rc == 2  # DF001 is an error
+    assert "DF001" in capsys.readouterr().out
+
+
+def test_lint_cli_code_mode_clean_repo(capsys):
+    from repro.cli import main_lint
+
+    rc = main_lint(["--code"])
+    assert rc == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_lint_cli_code_mode_flags_violation(tmp_path, capsys):
+    from repro.cli import main_lint
+
+    bad = tmp_path / "repro" / "sim" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import time\nstamp = time.time()\n")
+    rc = main_lint(["--code", str(bad)])
+    assert rc == 1
+    assert "CL001" in capsys.readouterr().out
+
+
+def test_run_cli_lint_preflight(capsys):
+    rc = main_run(["--size", "0.5", "--lint"])
+    assert rc == 0
+    assert "makespan_s" in capsys.readouterr().out
+
+
+def test_validation_error_render_verbose():
+    from repro.workflow import ValidationError
+
+    problems = [f"job{i}: unknown parent 'ghost{i}'" for i in range(8)]
+    exc = ValidationError("wf", problems)
+    short = exc.render(verbose=False)
+    assert "8 problem(s)" in short
+    assert "... and 3 more" in short
+    full = exc.render(verbose=True)
+    assert full.count("unknown parent") == 8
+    assert "more (use --verbose" not in full
