@@ -42,14 +42,30 @@ from repro.engines import (
     RunConfig,
     SchedulingEngine,
 )
-from repro.faults import FaultAction, FaultSchedule, kill_restart_cycle
+from repro.faults import (
+    ChaosScenario,
+    DeadLetterEntry,
+    DeadLetterQueue,
+    Degradation,
+    FaultAction,
+    FaultSchedule,
+    FaultTrace,
+    RetryPolicy,
+    SCENARIOS,
+    SpotTerminationModel,
+    StragglerModel,
+    TransientFaultModel,
+    get_scenario,
+    kill_restart_cycle,
+    run_chaos,
+)
 from repro.generators import (
     cybershake_workflow,
     ligo_workflow,
     montage_workflow,
     random_layered_workflow,
 )
-from repro.mq import Broker
+from repro.mq import Broker, MessageChaos
 from repro.provision import (
     ProfilingCampaign,
     node_performance_index,
@@ -64,30 +80,43 @@ __version__ = "1.0.0"
 __all__ = [
     "BillingModel",
     "Broker",
+    "ChaosScenario",
     "ClusterSpec",
     "DataFile",
+    "DeadLetterEntry",
+    "DeadLetterQueue",
+    "Degradation",
     "DeweConfig",
     "DeweV1Engine",
     "Ensemble",
     "EngineResult",
     "FaultAction",
     "FaultSchedule",
+    "FaultTrace",
     "INSTANCE_TYPES",
     "InstanceType",
     "Job",
     "MasterDaemon",
+    "MessageChaos",
     "ProfilingCampaign",
     "PullEngine",
+    "RetryPolicy",
     "RunConfig",
+    "SCENARIOS",
     "SchedulingEngine",
     "SimulatedEC2",
+    "SpotTerminationModel",
+    "StragglerModel",
     "SubmissionPlan",
+    "TransientFaultModel",
     "WorkerDaemon",
     "Workflow",
     "__version__",
     "cybershake_workflow",
     "get_instance_type",
+    "get_scenario",
     "kill_restart_cycle",
+    "run_chaos",
     "ligo_workflow",
     "montage_workflow",
     "node_performance_index",

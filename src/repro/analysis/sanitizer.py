@@ -212,6 +212,72 @@ class Sanitizer:
         if hwm is None or seconds >= hwm[0]:
             self._billing_hwm[model] = (seconds, hours)
 
+    def check_spot_billing(self, model, seconds: float, hours: float) -> None:
+        """Provider-interrupted leases bill *down*: never more than the
+        wall time, and never more than one billing quantum below it."""
+        quantum = {"per-hour": 3600.0, "per-minute": 60.0}.get(
+            getattr(model, "value", None), 0.0
+        )
+        if hours < 0:
+            self._report(
+                "billing-negative", f"{model}: billed {hours!r} h for {seconds!r} s"
+            )
+        billed_seconds = hours * 3600.0
+        if billed_seconds > seconds + 1e-6:
+            self._report(
+                "spot-overcharge",
+                f"{model}: provider-interrupted lease of {seconds:.6g} s "
+                f"billed as {hours:.6g} h (= {billed_seconds:.6g} s)",
+            )
+        if seconds - billed_seconds > quantum + 1e-6:
+            self._report(
+                "spot-undercharge",
+                f"{model}: {seconds:.6g} s billed {hours:.6g} h — more than "
+                f"one free quantum ({quantum:.6g} s) forgiven",
+            )
+
+    # -- leases (repro.engines worker-daemon rentals) ---------------------
+    def check_leases(self, name: str, spans, makespan: float) -> None:
+        """Lease conservation for one node: intervals must be well formed,
+        chronological, non-overlapping and within the run — a mid-lease
+        termination must close the lease, not duplicate or lose it."""
+        last_end = 0.0
+        for start, end in spans:
+            if end < start - 1e-9 or start < -1e-9:
+                self._report(
+                    "lease-conservation",
+                    f"{name}: malformed lease [{start:.6g}, {end:.6g}]",
+                )
+            if start < last_end - 1e-9:
+                self._report(
+                    "lease-conservation",
+                    f"{name}: lease [{start:.6g}, {end:.6g}] overlaps the "
+                    f"previous lease ending at {last_end:.6g}",
+                )
+            if end > makespan + 1e-6:
+                self._report(
+                    "lease-conservation",
+                    f"{name}: lease [{start:.6g}, {end:.6g}] extends past "
+                    f"makespan {makespan:.6g}",
+                )
+            last_end = max(last_end, end)
+
+    # -- chaos recovery (repro.faults.chaos) ------------------------------
+    def check_recovery(self, workflow: str, counts: Dict[str, int]) -> None:
+        """At settlement every job is completed exactly once or
+        dead-lettered — anything still waiting/queued/running is a job
+        the retry machinery stranded."""
+        n_jobs = sum(counts.values())
+        completed = counts.get("completed", 0)
+        dead = counts.get("dead", 0)
+        stranded = n_jobs - completed - dead
+        if stranded != 0:
+            self._report(
+                "recovery-conservation",
+                f"{workflow}: {stranded} job(s) neither completed nor "
+                f"dead-lettered at settlement ({counts})",
+            )
+
 
 #: The installed sanitizer, or ``None`` (the common, zero-cost case).
 #: Instrumented modules read this attribute directly on the hot path.

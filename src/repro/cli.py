@@ -1,6 +1,6 @@
 """Command-line entry points.
 
-Four commands mirror the system's main user journeys:
+Five commands mirror the system's main user journeys:
 
 * ``repro-run`` — execute a workflow ensemble on a simulated cluster with
   a chosen engine and print the run summary (the DAG is validated at
@@ -11,6 +11,8 @@ Four commands mirror the system's main user journeys:
   type and print the derived node performance index;
 * ``repro-lint`` — static analysis: workflow/ensemble data-flow lint, or
   the repo code lint (``--code``).  See docs/STATIC_ANALYSIS.md.
+* ``repro-chaos`` — run an ensemble under a named fault scenario and
+  verify the recovery invariants.  See docs/FAULTS.md.
 """
 
 from __future__ import annotations
@@ -186,6 +188,69 @@ def main_profile(argv: Optional[List[str]] = None) -> int:
         print(f"  {n:2d} nodes -> {t:8.1f} s   P = {p:.6f}")
     print(f"converged node performance index: {multi.converged:.6f}")
     return 0
+
+
+def main_chaos(argv: Optional[List[str]] = None) -> int:
+    """Chaos harness CLI: run named fault scenarios, check recovery.
+
+    Exit codes: 0 all invariants held, 1 a recovery invariant or a
+    simulation invariant (sanitizer) was violated, 2 usage error.
+    """
+    import repro.analysis.sanitizer as sanitizer
+    from repro.faults.chaos import SCENARIOS, run_chaos
+
+    parser = argparse.ArgumentParser(
+        prog="repro-chaos",
+        description="Run a workflow ensemble under a named fault scenario "
+                    "and verify the recovery invariants (docs/FAULTS.md).",
+    )
+    parser.add_argument("--scenario", default="smoke",
+                        choices=sorted(SCENARIOS) + ["all"],
+                        help="built-in scenario name, or 'all'")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the scenario's fault seed")
+    parser.add_argument("--list", action="store_true",
+                        help="list the built-in scenarios and exit")
+    parser.add_argument("--check-determinism", action="store_true",
+                        help="run each scenario twice and require "
+                             "byte-identical fault traces")
+    parser.add_argument("--trace", action="store_true",
+                        help="print the full fault trace after the summary")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in sorted(SCENARIOS):
+            print(f"{name:12s} {SCENARIOS[name].description}")
+        return 0
+
+    names = sorted(SCENARIOS) if args.scenario == "all" else [args.scenario]
+    failures = 0
+    # Collect-mode sanitizer: record every simulation-invariant violation
+    # across all scenarios instead of aborting at the first.
+    with sanitizer.enabled(strict=False) as san:
+        for name in names:
+            scenario = SCENARIOS[name]
+            report = run_chaos(scenario, seed=args.seed)
+            if args.check_determinism:
+                again = run_chaos(scenario, seed=args.seed)
+                if (
+                    again.trace_text != report.trace_text
+                    or again.makespan != report.makespan
+                ):
+                    report.problems.append(
+                        "two runs with the same seed diverged "
+                        "(fault trace or makespan)"
+                    )
+            print(report.summary())
+            if args.trace and report.trace_text:
+                print(report.trace_text)
+            if not report.ok:
+                failures += 1
+    for violation in san.violations:
+        print(f"sanitizer: {violation}", file=sys.stderr)
+    if san.violations:
+        failures += 1
+    return 1 if failures else 0
 
 
 def main_lint(argv: Optional[List[str]] = None) -> int:

@@ -17,7 +17,13 @@ from enum import Enum
 import repro.analysis.sanitizer as _sanitizer
 from repro.cloud.instances import InstanceType
 
-__all__ = ["BillingModel", "billed_hours", "cluster_cost", "price_per_workflow"]
+__all__ = [
+    "BillingModel",
+    "billed_hours",
+    "spot_billed_hours",
+    "cluster_cost",
+    "price_per_workflow",
+]
 
 
 class BillingModel(Enum):
@@ -43,6 +49,31 @@ def billed_hours(seconds: float, model: BillingModel = BillingModel.PER_HOUR) ->
     san = _sanitizer._ACTIVE
     if san is not None:
         san.check_billing(model, seconds, hours)
+    return hours
+
+
+def spot_billed_hours(
+    seconds: float, model: BillingModel = BillingModel.PER_HOUR
+) -> float:
+    """Billable hours when the *provider* reclaims the instance mid-lease.
+
+    EC2's 2015 spot rule is the mirror image of :func:`billed_hours`: "if
+    your Spot instance is interrupted by Amazon EC2, you will not be
+    charged for a partial hour of usage" — the final partial billing
+    quantum is free, so hours round *down*.  Leases the user terminates
+    keep the ordinary round-up rule.
+    """
+    if seconds < 0:
+        raise ValueError(f"rental duration must be >= 0, got {seconds}")
+    if model is BillingModel.PER_HOUR:
+        hours = float(math.floor(seconds / 3600.0))
+    elif model is BillingModel.PER_MINUTE:
+        hours = math.floor(seconds / 60.0) / 60.0
+    else:
+        hours = seconds / 3600.0
+    san = _sanitizer._ACTIVE
+    if san is not None:
+        san.check_spot_billing(model, seconds, hours)
     return hours
 
 

@@ -12,16 +12,25 @@ three topics:
   eligible, which are published immediately (jobs of *different*
   workflows share the one dispatch topic, so ensembles run in parallel);
 * timeouts — periodically republish jobs whose completion ack is overdue.
+
+A :class:`~repro.faults.retry.RetryPolicy` governs re-dispatches: failed
+and timed-out jobs back off exponentially (with deterministic jitter)
+before republication, and a job that exhausts its attempt budget is
+dead-lettered instead of republished forever — the workflow then
+*settles* (every job completed or dead) and waiters are released, so one
+poison job cannot livelock an ensemble.
 """
 
 from __future__ import annotations
 
+import heapq
 import threading
 import time
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.dewe.config import DeweConfig
-from repro.dewe.state import WorkflowState
+from repro.dewe.state import JobStatus, WorkflowState
+from repro.faults.retry import DeadLetterEntry, RetryPolicy
 from repro.mq.broker import Broker
 from repro.mq.messages import (
     TOPIC_ACK,
@@ -39,14 +48,27 @@ __all__ = ["MasterDaemon"]
 class MasterDaemon:
     """Manages workflow progress over the broker; start()/stop() lifecycle."""
 
-    def __init__(self, broker: Broker, config: Optional[DeweConfig] = None):
+    def __init__(
+        self,
+        broker: Broker,
+        config: Optional[DeweConfig] = None,
+        retry: Optional[RetryPolicy] = None,
+    ):
         self.broker = broker
         self.config = config or DeweConfig()
+        self.retry = retry or RetryPolicy()
         self.states: Dict[str, WorkflowState] = {}
         #: Rejected submissions: name -> reason (duplicate, invalid DAG...).
         self.rejected: Dict[str, str] = {}
         self.makespans: Dict[str, float] = {}
+        #: Acks for unknown workflows, dropped on arrival.  A nonzero
+        #: count flags misrouted traffic (a worker pool shared by two
+        #: masters, a submission that raced ahead of its acks...).
+        self.dropped_acks = 0
         self._submit_times: Dict[str, float] = {}
+        #: Backoff queue: (due_time, seq, workflow, job_id, attempt).
+        self._delayed: List[Tuple[float, int, str, str, int]] = []
+        self._delayed_seq = 0
         self._events: Dict[str, threading.Event] = {}
         self._events_lock = threading.Lock()
         self._stop = threading.Event()
@@ -84,15 +106,29 @@ class MasterDaemon:
             return event
 
     def wait(self, workflow_name: str, timeout: Optional[float] = None) -> bool:
-        """Block until ``workflow_name`` completes; True on completion."""
+        """Block until ``workflow_name`` settles; True on settlement.
+
+        Under an unbounded retry policy settlement equals completion;
+        with an attempt budget a workflow may settle with dead letters —
+        check :attr:`dead_letters` afterwards.
+        """
         return self.completion_event(workflow_name).wait(timeout)
 
     def makespan(self, workflow_name: str) -> float:
-        """Seconds from submission to completion (raises if not done)."""
+        """Seconds from submission to settlement (raises if not done)."""
         return self.makespans[workflow_name]
+
+    @property
+    def dead_letters(self) -> List[DeadLetterEntry]:
+        """Dead-lettered jobs across every submitted workflow."""
+        out: List[DeadLetterEntry] = []
+        for state in self.states.values():
+            out.extend(state.dead_letters)
+        return out
 
     # -- internals ----------------------------------------------------------
     def _dispatch(self, state: WorkflowState, job_id: str) -> None:
+        state.mark_dispatched(job_id, time.monotonic())
         self.broker.publish(
             TOPIC_DISPATCH,
             JobDispatch(
@@ -103,41 +139,85 @@ class MasterDaemon:
             ),
         )
 
+    def _republish(self, state: WorkflowState, job_id: str) -> None:
+        """Re-dispatch after the policy's backoff (immediately if none)."""
+        attempts = state.current_attempt(job_id) - 1  # deliveries so far
+        delay = self.retry.backoff(attempts, key=f"{state.name}/{job_id}")
+        if delay <= 0:
+            self._dispatch(state, job_id)
+            return
+        self._delayed_seq += 1
+        heapq.heappush(
+            self._delayed,
+            (
+                time.monotonic() + delay,
+                self._delayed_seq,
+                state.name,
+                job_id,
+                state.current_attempt(job_id),
+            ),
+        )
+
+    def _drain_delayed(self, now: float) -> None:
+        while self._delayed and self._delayed[0][0] <= now:
+            _due, _seq, name, job_id, attempt = heapq.heappop(self._delayed)
+            state = self.states.get(name)
+            if state is None:
+                continue
+            # Only fire if the delivery we backed off is still the
+            # current one (a completion or a newer resubmission wins).
+            if (
+                state.status.get(job_id) is JobStatus.QUEUED
+                and state.current_attempt(job_id) == attempt
+            ):
+                self._dispatch(state, job_id)
+
     def _handle_submission(self, msg: WorkflowSubmission) -> None:
         if msg.workflow.name in self.states:
             raise ValueError(f"workflow {msg.workflow.name!r} already submitted")
-        state = WorkflowState(msg.workflow, self.config.default_timeout)
+        state = WorkflowState(
+            msg.workflow, self.config.default_timeout, retry=self.retry
+        )
         self.states[state.name] = state
         self._submit_times[state.name] = time.monotonic()
         for job_id in state.initial_ready():
             self._dispatch(state, job_id)
-        if state.is_complete:  # degenerate empty-DAG guard
+        if state.is_settled:  # degenerate empty-DAG guard
             self._finish(state)
 
     def _finish(self, state: WorkflowState) -> None:
+        if state.name in self.makespans:
+            return
         self.makespans[state.name] = time.monotonic() - self._submit_times[state.name]
         self.completion_event(state.name).set()
 
     def _handle_ack(self, ack: JobAck) -> None:
         state = self.states.get(ack.workflow_name)
         if state is None:
-            return  # ack for an unknown workflow: drop
+            self.dropped_acks += 1
+            return  # ack for an unknown workflow: drop (but count)
         if ack.kind is AckKind.RUNNING:
             state.on_running(ack.job_id, ack.attempt, time.monotonic())
         elif ack.kind is AckKind.COMPLETED:
             for job_id in state.on_completed(ack.job_id, ack.attempt):
                 self._dispatch(state, job_id)
-            if state.is_complete:
+            if state.is_settled:
                 self._finish(state)
-        else:  # FAILED: immediate resubmission
-            if state.on_failed(ack.job_id, ack.attempt) is not None:
-                self._dispatch(state, ack.job_id)
+        else:  # FAILED: resubmission with backoff, or dead-letter
+            republish = state.on_failed(ack.job_id, ack.attempt, time.monotonic())
+            if republish is not None:
+                self._republish(state, republish)
+            elif state.is_settled:
+                self._finish(state)
 
     def _check_timeouts(self) -> None:
         now = time.monotonic()
         for state in self.states.values():
             for job_id in state.expired(now):
-                self._dispatch(state, job_id)
+                self._republish(state, job_id)
+            if state.is_settled:
+                self._finish(state)
+        self._drain_delayed(now)
 
     def _loop(self) -> None:
         broker = self.broker

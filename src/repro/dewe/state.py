@@ -8,12 +8,19 @@ at-least-once execution discipline:
 * a job becomes **eligible** when its last parent completes and is then
   published (QUEUED);
 * a **running** ack arms the job's timeout ("a job can have a user-defined
-  timeout value or a system-wide default timeout value", §III.B);
+  timeout value or a system-wide default timeout value", §III.B) — with a
+  ``redispatch_lost`` retry policy the deadline is armed already at
+  dispatch, so lost dispatch messages are recovered too;
 * if the completion ack misses the deadline, the job is **resubmitted**
   with an incremented attempt counter;
 * a completion ack from *any* attempt completes the job (the original
   worker may still finish after a resubmission — first ack wins, duplicates
-  are ignored).
+  are ignored and counted in ``duplicate_acks``);
+* a :class:`~repro.faults.retry.RetryPolicy` attempt budget turns a job
+  that keeps failing or timing out into a **dead letter** instead of
+  livelocking the workflow; descendants that can never become eligible are
+  cascaded into the dead-letter list, and the workflow *settles* once
+  every job is completed or dead.
 
 Time is an argument everywhere, so the same class serves wall-clock
 threads and the DES.
@@ -24,6 +31,7 @@ from __future__ import annotations
 from enum import Enum
 from typing import Dict, List, Optional
 
+from repro.faults.retry import DeadLetterEntry, RetryPolicy
 from repro.workflow.dag import Workflow
 from repro.workflow.validation import validate_workflow
 
@@ -35,6 +43,7 @@ class JobStatus(Enum):
     QUEUED = "queued"        # published to the job-dispatching topic
     RUNNING = "running"      # checked out by a worker (running ack seen)
     COMPLETED = "completed"
+    DEAD = "dead"            # dead-lettered: attempt budget exhausted
 
 
 class WorkflowState:
@@ -45,6 +54,7 @@ class WorkflowState:
         workflow: Workflow,
         default_timeout: float = 600.0,
         validate: bool = True,
+        retry: Optional[RetryPolicy] = None,
     ):
         if default_timeout <= 0:
             raise ValueError(f"default_timeout must be positive, got {default_timeout}")
@@ -53,12 +63,18 @@ class WorkflowState:
         self.workflow = workflow
         self.name = workflow.name
         self.default_timeout = default_timeout
+        self.retry = retry or RetryPolicy()
         self.pending: Dict[str, int] = {}
         self.status: Dict[str, JobStatus] = {}
         self.attempt: Dict[str, int] = {}
         self.deadline: Dict[str, float] = {}
         self.resubmissions = 0
+        #: Completion (or running) acks ignored as duplicates/stale —
+        #: nonzero under at-least-once delivery with duplicated messages.
+        self.duplicate_acks = 0
+        self.dead_letters: List[DeadLetterEntry] = []
         self._n_completed = 0
+        self._n_dead = 0
         for job in workflow.jobs.values():
             self.pending[job.id] = len(job.parents)
             self.status[job.id] = JobStatus.WAITING
@@ -74,16 +90,34 @@ class WorkflowState:
                 ready.append(job_id)
         return ready
 
+    def _timeout_of(self, job_id: str) -> float:
+        return self.workflow.job(job_id).timeout or self.default_timeout
+
+    def mark_dispatched(self, job_id: str, now: float) -> None:
+        """Arm the dispatch-loss deadline when the policy asks for it.
+
+        Called by the master/engine right before publishing the job.  A
+        ``redispatch_lost`` policy treats "published but never reported
+        running" exactly like "running but never reported completed", so
+        a dispatch message swallowed by a lossy broker is resubmitted by
+        the ordinary timeout sweep.
+        """
+        if not self.retry.redispatch_lost:
+            return
+        if self.status[job_id] is JobStatus.QUEUED:
+            self.deadline[job_id] = now + self._timeout_of(job_id)
+
     def on_running(self, job_id: str, attempt: int, now: float) -> bool:
         """Handle a running ack; returns False for stale/duplicate acks."""
         status = self.status[job_id]
-        if status is JobStatus.COMPLETED:
+        if status is JobStatus.COMPLETED or status is JobStatus.DEAD:
+            self.duplicate_acks += 1
             return False
         if attempt != self.attempt[job_id]:
+            self.duplicate_acks += 1
             return False  # ack from a superseded delivery
         self.status[job_id] = JobStatus.RUNNING
-        timeout = self.workflow.job(job_id).timeout or self.default_timeout
-        self.deadline[job_id] = now + timeout
+        self.deadline[job_id] = now + self._timeout_of(job_id)
         return True
 
     def on_completed(self, job_id: str, attempt: int) -> List[str]:
@@ -91,8 +125,12 @@ class WorkflowState:
 
         Completion is accepted from any attempt — with at-least-once
         delivery the first finisher wins and later duplicates are no-ops.
+        A completion for a job already dead-lettered is likewise dropped:
+        its descendants have been cascaded and must not be revived.
         """
-        if self.status[job_id] is JobStatus.COMPLETED:
+        status = self.status[job_id]
+        if status is JobStatus.COMPLETED or status is JobStatus.DEAD:
+            self.duplicate_acks += 1
             return []
         self.status[job_id] = JobStatus.COMPLETED
         self.deadline.pop(job_id, None)
@@ -100,20 +138,29 @@ class WorkflowState:
         newly_ready: List[str] = []
         for child_id in self.workflow.job(job_id).children:
             self.pending[child_id] -= 1
-            if self.pending[child_id] == 0:
+            if (
+                self.pending[child_id] == 0
+                and self.status[child_id] is JobStatus.WAITING
+            ):
                 self.status[child_id] = JobStatus.QUEUED
                 self.attempt[child_id] = 1
                 newly_ready.append(child_id)
         return newly_ready
 
-    def on_failed(self, job_id: str, attempt: int) -> Optional[str]:
-        """Handle a failure ack: resubmit immediately (attempt + 1).
+    def on_failed(self, job_id: str, attempt: int, now: float = 0.0) -> Optional[str]:
+        """Handle a failure ack: resubmit (attempt + 1) or dead-letter.
 
-        Returns the job id to republish, or ``None`` for stale acks.
+        Returns the job id to republish, or ``None`` for stale acks and
+        for jobs whose attempt budget is exhausted (the caller should
+        then check :attr:`is_settled`).
         """
-        if self.status[job_id] is JobStatus.COMPLETED:
+        status = self.status[job_id]
+        if status is JobStatus.COMPLETED or status is JobStatus.DEAD:
             return None
         if attempt != self.attempt[job_id]:
+            return None
+        if self.retry.exhausted(self.attempt[job_id]):
+            self._dead_letter(job_id, "failed", now)
             return None
         self.attempt[job_id] += 1
         self.status[job_id] = JobStatus.QUEUED
@@ -123,16 +170,48 @@ class WorkflowState:
 
     def expired(self, now: float) -> List[str]:
         """Jobs whose completion ack missed its deadline; re-QUEUED with a
-        fresh attempt number, ready to be republished."""
+        fresh attempt number, ready to be republished.  Jobs that exhaust
+        their attempt budget are dead-lettered instead (and not returned)."""
         out = []
         for job_id, deadline in list(self.deadline.items()):
-            if now >= deadline and self.status[job_id] is JobStatus.RUNNING:
+            status = self.status[job_id]
+            if now >= deadline and (
+                status is JobStatus.RUNNING or status is JobStatus.QUEUED
+            ):
+                if self.retry.exhausted(self.attempt[job_id]):
+                    self._dead_letter(job_id, "timeout", now)
+                    continue
                 self.attempt[job_id] += 1
                 self.status[job_id] = JobStatus.QUEUED
                 del self.deadline[job_id]
                 self.resubmissions += 1
                 out.append(job_id)
         return out
+
+    def _dead_letter(self, job_id: str, reason: str, now: float) -> None:
+        """Take ``job_id`` out of circulation and cascade to descendants.
+
+        A dead parent never completes, so any WAITING descendant can
+        never become eligible; cascading it keeps the workflow able to
+        *settle* (completed + dead == all jobs) instead of hanging.
+        """
+        self.status[job_id] = JobStatus.DEAD
+        self.deadline.pop(job_id, None)
+        self._n_dead += 1
+        self.dead_letters.append(
+            DeadLetterEntry(self.name, job_id, self.attempt.get(job_id, 0), reason, now)
+        )
+        stack = list(self.workflow.job(job_id).children)
+        while stack:
+            child_id = stack.pop()
+            if self.status[child_id] is not JobStatus.WAITING:
+                continue
+            self.status[child_id] = JobStatus.DEAD
+            self._n_dead += 1
+            self.dead_letters.append(
+                DeadLetterEntry(self.name, child_id, 0, "upstream-dead", now)
+            )
+            stack.extend(self.workflow.job(child_id).children)
 
     # -- inspection ----------------------------------------------------------
     @property
@@ -144,8 +223,26 @@ class WorkflowState:
         return self._n_completed
 
     @property
+    def n_dead(self) -> int:
+        return self._n_dead
+
+    @property
     def is_complete(self) -> bool:
+        """Every job completed (no dead letters)."""
         return self._n_completed == len(self.status)
+
+    @property
+    def is_settled(self) -> bool:
+        """No job will ever change state again: completed or dead-lettered.
+
+        This is the termination condition under a bounded retry policy —
+        a workflow with a poison job never *completes* but must still
+        *settle* so the rest of the ensemble can be accounted for.
+        """
+        return self._n_completed + self._n_dead == len(self.status)
+
+    def dead_jobs(self) -> List[str]:
+        return [e.job_id for e in self.dead_letters]
 
     def current_attempt(self, job_id: str) -> int:
         return self.attempt.get(job_id, 0)

@@ -91,6 +91,23 @@ class EngineResult:
     #: autoscaled run (paper §V.A.3's dynamic provisioning) has shorter
     #: leases that :meth:`elastic_cost` bills individually.
     rental_spans: Dict[int, List[Tuple[float, float]]] = field(default_factory=dict)
+    #: Leases ended by a *provider* spot termination (subset of
+    #: :attr:`rental_spans`); billed with the partial-hour-free spot rule.
+    interrupted_spans: Dict[int, List[Tuple[float, float]]] = field(
+        default_factory=dict
+    )
+    #: Injected fault / recovery events
+    #: (:class:`~repro.faults.models.FaultEvent`), in injection order.
+    fault_events: List = field(default_factory=list)
+    #: Dead-lettered jobs (:class:`~repro.faults.retry.DeadLetterEntry`)
+    #: across the ensemble — poison jobs and their stranded descendants.
+    dead_letters: List = field(default_factory=list)
+    #: Final per-workflow job status counts (pull engine only): each
+    #: value maps :class:`~repro.dewe.state.JobStatus` values to counts.
+    job_counts: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Broker chaos tallies (dropped/duplicated/delayed), when a
+    #: :class:`~repro.mq.chaosbroker.ChaosSimBroker` served the run.
+    mq_chaos_stats: Dict[str, int] = field(default_factory=dict)
 
     # -- aggregate metrics (paper Fig 7) ------------------------------------
     def total_cpu_seconds(self) -> float:
@@ -113,18 +130,26 @@ class EngineResult:
     def elastic_cost(self, model: BillingModel = BillingModel.PER_HOUR) -> float:
         """Bill each node's actual lease intervals (dynamic provisioning).
 
-        Falls back to :meth:`cost` when no rental spans were recorded
-        (engines other than the pull engine do not track leases).
+        Leases ended by a provider spot termination use the
+        partial-hour-free spot rule (:func:`~repro.cloud.pricing.spot_billed_hours`);
+        everything else rounds up as usual.  Falls back to :meth:`cost`
+        when no rental spans were recorded (engines other than the pull
+        engine do not track leases).
         """
         if not self.rental_spans:
             return self.cost(model)
-        from repro.cloud.pricing import cluster_cost
+        from repro.cloud.pricing import cluster_cost, spot_billed_hours
 
         itype = self.spec.itype
         total = 0.0
-        for spans in self.rental_spans.values():
-            for start, end in spans:
-                total += cluster_cost(itype, 1, max(0.0, end - start), model)
+        for node, spans in self.rental_spans.items():
+            interrupted = set(self.interrupted_spans.get(node, ()))
+            for span in spans:
+                seconds = max(0.0, span[1] - span[0])
+                if span in interrupted:
+                    total += itype.price_per_hour * spot_billed_hours(seconds, model)
+                else:
+                    total += cluster_cost(itype, 1, seconds, model)
         return total
 
     def workflow_makespans(self) -> Dict[str, float]:

@@ -8,20 +8,37 @@ its pull loop + bounded thread pool).  Slots across all nodes wait on the
 same topic, so jobs go to whichever slot asked first — first come, first
 served, with zero scheduling decisions.
 
-Fault injection (paper §V.A.3): a :class:`~repro.faults.injection.FaultSchedule`
-kills and restarts per-node worker daemons mid-run; killed slots
-acknowledge nothing, so interrupted jobs are recovered by the master's
-timeout resubmission.
+Fault injection (paper §V.A.3 and the chaos engine beyond it):
+
+* a :class:`~repro.faults.injection.FaultSchedule` scripts worker-daemon
+  kills and restarts; killed slots acknowledge nothing, so interrupted
+  jobs are recovered by the master's timeout resubmission;
+* seeded stochastic models from :mod:`repro.faults.models` drive spot
+  terminations (with drain-on-notice), transient/poison job failures and
+  degraded straggler nodes through a :class:`~repro.faults.models.ChaosAPI`;
+* a :class:`~repro.mq.chaosbroker.MessageChaos` band makes the broker
+  drop, duplicate or delay messages;
+* a :class:`~repro.faults.retry.RetryPolicy` governs recovery: backoff
+  before re-dispatch, attempt budgets, and dead-lettering of poison jobs
+  so the rest of the ensemble still settles.
+
+Every injected fault is recorded on a
+:class:`~repro.faults.models.FaultTrace` and exported with the result,
+so a seeded run's fault history is byte-reproducible.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+import repro.analysis.sanitizer as _sanitizer
 from repro.cloud.cluster import ClusterSpec
-from repro.dewe.state import WorkflowState
+from repro.dewe.state import JobStatus, WorkflowState
 from repro.engines.base import EngineBase, EngineResult, JobRecord, RunConfig, execute_job
+from repro.faults.models import ChaosAPI, FaultTrace, TransientFaultModel
+from repro.faults.retry import DeadLetterEntry, RetryPolicy
+from repro.mq.chaosbroker import ChaosSimBroker, MessageChaos
 from repro.mq.simbroker import SimBroker
 from repro.sim import Interrupt, Process
 from repro.workflow.ensemble import Ensemble
@@ -32,6 +49,7 @@ _DISPATCH = "job-dispatching"
 _ACK = "job-acknowledgment"
 _RUNNING = 0
 _COMPLETED = 1
+_FAILED = 2
 
 
 @dataclass
@@ -85,23 +103,53 @@ class PullEngine(EngineBase):
         fault_schedule=None,
         autoscaler=None,
         initially_down: tuple = (),
+        retry: Optional[RetryPolicy] = None,
+        transient: Optional[TransientFaultModel] = None,
+        chaos_models: Sequence = (),
+        message_chaos: Optional[MessageChaos] = None,
+        fault_trace: Optional[FaultTrace] = None,
     ):
         """``autoscaler`` is an optional controller — a generator function
         taking an :class:`ElasticAPI` — that may start and (gracefully)
         stop per-node worker daemons while the ensemble runs, the dynamic
         resource provisioning the paper sketches in §V.A.3.
         ``initially_down`` lists nodes whose daemon the autoscaler will
-        bring up later (they are provisioned but not leased at t=0)."""
+        bring up later (they are provisioned but not leased at t=0).
+
+        Chaos knobs: ``retry`` is the re-dispatch policy (default:
+        unlimited immediate retries, the paper's behaviour);
+        ``transient`` injects per-attempt job failures; ``chaos_models``
+        are installable models (spot terminations, stragglers) driven
+        through a :class:`~repro.faults.models.ChaosAPI`;
+        ``message_chaos`` wraps the broker in a drop/duplicate/delay
+        band; ``fault_trace`` collects every injected fault (a fresh
+        trace is created when any chaos is configured and none given).
+        """
         super().__init__(spec, config)
         self.broker_latency = broker_latency
         self.fault_schedule = fault_schedule
         self.autoscaler = autoscaler
         self.initially_down = tuple(initially_down)
+        self.retry = retry or RetryPolicy()
+        self.transient = transient
+        self.chaos_models = tuple(chaos_models)
+        self.message_chaos = message_chaos
+        self.fault_trace = fault_trace
 
     def run(self, ensemble: Ensemble) -> EngineResult:
         sim, cluster, thread_logs = self._setup(ensemble)
         cfg = self.config
-        broker = SimBroker(sim, latency=self.broker_latency)
+        retry_policy = self.retry
+        transient = self.transient
+        trace = self.fault_trace
+        if trace is None:
+            trace = FaultTrace()
+        if self.message_chaos is not None:
+            broker = ChaosSimBroker(
+                sim, self.message_chaos, latency=self.broker_latency, trace=trace
+            )
+        else:
+            broker = SimBroker(sim, self.broker_latency)
         fs = cluster.fs
         states: Dict[str, WorkflowState] = {}
         spans: Dict[str, Tuple[float, float]] = {}
@@ -109,22 +157,72 @@ class PullEngine(EngineBase):
         done = sim.event()
         remaining = [len(ensemble)]
         jobs_executed = [0]
+        finished: set = set()
+        dead_letters: List[DeadLetterEntry] = []
+        dead_cursor: Dict[str, int] = {}
         thread_counts = [0] * len(cluster.nodes)
         node_slots: List[List[Process]] = [[] for _ in cluster.nodes]
 
         def dispatch(state: WorkflowState, job_id: str) -> None:
+            state.mark_dispatched(job_id, sim.now)
             broker.publish(_DISPATCH, (state.name, job_id, state.attempt[job_id]))
+
+        def redispatch(state: WorkflowState, job_id: str) -> None:
+            """Re-dispatch after the retry policy's backoff."""
+            delay = retry_policy.backoff(
+                state.attempt[job_id] - 1, key=f"{state.name}/{job_id}"
+            )
+            if delay <= 0:
+                dispatch(state, job_id)
+                return
+            expected = state.attempt[job_id]
+
+            def fire() -> None:
+                # Only if this delivery is still the current one — a
+                # completion or a newer resubmission supersedes it.
+                if (
+                    state.status[job_id] is JobStatus.QUEUED
+                    and state.attempt[job_id] == expected
+                ):
+                    dispatch(state, job_id)
+
+            sim.schedule_call(delay, fire)
+
+        def collect_dead(state: WorkflowState) -> None:
+            seen = dead_cursor.get(state.name, 0)
+            if len(state.dead_letters) > seen:
+                dead_cursor[state.name] = len(state.dead_letters)
+                for entry in state.dead_letters[seen:]:
+                    dead_letters.append(entry)
+                    trace.record(
+                        sim.now,
+                        "dead-letter",
+                        detail=f"{entry.workflow}/{entry.job_id} "
+                        f"({entry.reason}, {entry.attempts} attempts)",
+                    )
+
+        def maybe_finish(state: WorkflowState) -> None:
+            if state.name in finished or not state.is_settled:
+                return
+            finished.add(state.name)
+            spans[state.name] = (spans[state.name][0], sim.now)
+            remaining[0] -= 1
+            if remaining[0] == 0 and not done.triggered:
+                done.succeed()
 
         # -- master daemon ---------------------------------------------------
         def submitter():
             for submit_time, wf in ensemble:
                 if submit_time > sim.now:
                     yield sim.timeout(submit_time - sim.now)
-                state = WorkflowState(wf, cfg.default_timeout, validate=False)
+                state = WorkflowState(
+                    wf, cfg.default_timeout, validate=False, retry=retry_policy
+                )
                 states[wf.name] = state
                 spans[wf.name] = (sim.now, float("nan"))
                 for job_id in state.initial_ready():
                     dispatch(state, job_id)
+                maybe_finish(state)  # degenerate empty-DAG guard
 
         def ack_loop():
             while True:
@@ -133,21 +231,30 @@ class PullEngine(EngineBase):
                 if kind == _RUNNING:
                     state.on_running(job_id, attempt, sim.now)
                     continue
-                for child_id in state.on_completed(job_id, attempt):
-                    dispatch(state, child_id)
-                if state.is_complete:
-                    spans[name] = (spans[name][0], sim.now)
-                    remaining[0] -= 1
-                    if remaining[0] == 0:
-                        done.succeed()
-                        return
+                if kind == _FAILED:
+                    republish = state.on_failed(job_id, attempt, sim.now)
+                    collect_dead(state)
+                    if republish is not None:
+                        redispatch(state, republish)
+                    else:
+                        maybe_finish(state)
+                else:
+                    for child_id in state.on_completed(job_id, attempt):
+                        dispatch(state, child_id)
+                    maybe_finish(state)
+                if done.triggered:
+                    return
 
         def timeout_loop():
             while not done.triggered:
                 yield sim.timeout(cfg.timeout_check_interval)
                 for state in states.values():
+                    if state.name in finished:
+                        continue
                     for job_id in state.expired(sim.now):
-                        dispatch(state, job_id)
+                        redispatch(state, job_id)
+                    collect_dead(state)
+                    maybe_finish(state)
 
         # -- worker daemons ----------------------------------------------------
         # Rental accounting for elastic provisioning: a node's lease runs
@@ -157,6 +264,8 @@ class PullEngine(EngineBase):
         slot_alive = [0] * n_nodes
         draining: set = set()
         idle_waits: List[set] = [set() for _ in range(n_nodes)]
+        cpu_factor = [1.0] * n_nodes
+        spot_interrupted: Dict[int, List[int]] = {}
 
         def _slot_exit(node_index: int) -> None:
             slot_alive[node_index] -= 1
@@ -187,7 +296,12 @@ class PullEngine(EngineBase):
                     log.record(sim.now, thread_counts[node_index])
                     try:
                         phases = yield from execute_job(
-                            sim, node, fs, job, speed=node.itype.cpu_speed, owner=name
+                            sim,
+                            node,
+                            fs,
+                            job,
+                            speed=node.itype.cpu_speed * cpu_factor[node_index],
+                            owner=name,
                         )
                     except Interrupt:
                         # Worker daemon killed mid-job: no completion ack;
@@ -214,7 +328,18 @@ class PullEngine(EngineBase):
                                 attempt=attempt,
                             )
                         )
-                    broker.publish(_ACK, (_COMPLETED, name, job_id, attempt))
+                    if transient is not None and transient.should_fail(
+                        name, job_id, attempt
+                    ):
+                        trace.record(
+                            sim.now,
+                            "transient-failure",
+                            node_index,
+                            f"{name}/{job_id}#{attempt}",
+                        )
+                        broker.publish(_ACK, (_FAILED, name, job_id, attempt))
+                    else:
+                        broker.publish(_ACK, (_COMPLETED, name, job_id, attempt))
             finally:
                 _slot_exit(node_index)
 
@@ -238,11 +363,45 @@ class PullEngine(EngineBase):
 
         def stop_worker(node_index: int) -> None:
             """Graceful scale-in: idle slots leave now, busy slots finish
-            their current job first — nothing is lost, no timeout needed."""
+            their current job first — nothing is lost, no timeout needed.
+            Slot processes stay registered so a later kill (spot notice
+            followed by the termination) still interrupts stragglers."""
             draining.add(node_index)
             for pending in list(idle_waits[node_index]):
                 broker.cancel(_DISPATCH, pending)
-            node_slots[node_index].clear()
+
+        # -- chaos model hooks -------------------------------------------------
+        disk_base = [
+            (node.disk.read.capacity, node.disk.write.capacity)
+            for node in cluster.nodes
+        ]
+
+        def set_disk_factor(node_index: int, factor: float) -> None:
+            node = cluster.nodes[node_index]
+            node.disk.read.set_capacity(disk_base[node_index][0] * factor)
+            node.disk.write.set_capacity(disk_base[node_index][1] * factor)
+
+        def set_cpu_factor(node_index: int, factor: float) -> None:
+            if factor <= 0:
+                raise ValueError(f"cpu factor must be positive, got {factor}")
+            cpu_factor[node_index] = factor
+
+        def mark_spot_terminated(node_index: int) -> None:
+            # The kill has already closed the node's current lease; flag
+            # it for partial-hour-free spot billing.  A later replacement
+            # starts a *new* lease, billed normally.
+            if leases[node_index]:
+                spot_interrupted.setdefault(node_index, []).append(
+                    len(leases[node_index]) - 1
+                )
+
+        def traced_start(node_index: int) -> None:
+            trace.record(sim.now, "restart", node_index)
+            start_worker(node_index)
+
+        def traced_kill(node_index: int) -> None:
+            trace.record(sim.now, "kill", node_index)
+            kill_worker(node_index)
 
         sim.process(submitter())
         sim.process(ack_loop())
@@ -250,7 +409,21 @@ class PullEngine(EngineBase):
         initially_down = set(self.initially_down)
         if self.fault_schedule is not None:
             initially_down |= set(self.fault_schedule.initially_down)
-            self.fault_schedule.install(sim, start_worker, kill_worker)
+            self.fault_schedule.install(sim, traced_start, traced_kill)
+        if self.chaos_models:
+            api = ChaosAPI(
+                sim=sim,
+                n_nodes=n_nodes,
+                start_worker=start_worker,
+                stop_worker=stop_worker,
+                kill_worker=kill_worker,
+                set_disk_factor=set_disk_factor,
+                set_cpu_factor=set_cpu_factor,
+                mark_spot_terminated=mark_spot_terminated,
+                trace=trace,
+            )
+            for model in self.chaos_models:
+                model.install(api)
         for i in range(n_nodes):
             if i not in initially_down:
                 start_worker(i)
@@ -276,6 +449,15 @@ class PullEngine(EngineBase):
             for i in range(n_nodes)
             if leases[i]
         }
+        interrupted_spans = {
+            i: [rental_spans[i][k] for k in indices]
+            for i, indices in spot_interrupted.items()
+            if i in rental_spans
+        }
+        san = _sanitizer._ACTIVE
+        if san is not None:
+            for i, node_spans in rental_spans.items():
+                san.check_leases(cluster.nodes[i].name, node_spans, makespan)
         return EngineResult(
             engine=self.name,
             spec=self.spec,
@@ -288,4 +470,11 @@ class PullEngine(EngineBase):
             jobs_executed=jobs_executed[0],
             thread_logs=thread_logs,
             rental_spans=rental_spans,
+            interrupted_spans=interrupted_spans,
+            fault_events=list(trace),
+            dead_letters=dead_letters,
+            job_counts={name: state.counts() for name, state in states.items()},
+            mq_chaos_stats=(
+                broker.stats() if isinstance(broker, ChaosSimBroker) else {}
+            ),
         )

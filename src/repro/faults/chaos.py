@@ -1,0 +1,421 @@
+"""Chaos harness: run ensembles under named fault scenarios and certify
+the recovery invariants.
+
+A :class:`ChaosScenario` bundles a workload, a cluster, a
+:class:`~repro.faults.retry.RetryPolicy` and a set of seeded fault models
+(spot terminations, transient/poison job failures, stragglers, broker
+message chaos).  :func:`run_chaos` runs the scenario twice — once
+fault-free for the baseline, once under chaos — and checks that the
+recovery machinery actually recovered:
+
+* **completion** — every job either completed exactly once or was
+  dead-lettered (with its unreachable descendants); nothing is stranded
+  queued/running/waiting at settlement;
+* **dead-letter accounting** — jobs only die when the scenario injects a
+  reason for them to (a poison job, a bounded retry budget); a fault-free
+  retry budget must produce zero dead letters;
+* **lease/billing conservation** — worker-daemon leases are well formed
+  under mid-lease termination and the spot billing rule never charges a
+  provider-interrupted partial hour (checked through the sanitizer hooks
+  in :mod:`repro.analysis.sanitizer`);
+* **bounded degradation** — the chaos makespan stays within the
+  scenario's ``max_slowdown`` factor of the fault-free baseline (the
+  paper's §V.A.3 observation: an interruption costs about the downtime,
+  or about the blocked job's timeout — not a livelock).
+
+Determinism contract: a scenario is a pure function of its seed.  Two
+calls of :func:`run_chaos` with the same scenario and seed produce
+byte-identical fault traces and the same makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import repro.analysis.sanitizer as _sanitizer
+from repro.cloud import ClusterSpec
+from repro.engines.base import RunConfig
+from repro.engines.pull import PullEngine
+from repro.faults.models import (
+    FaultTrace,
+    SpotTerminationModel,
+    StragglerModel,
+    TransientFaultModel,
+)
+from repro.faults.retry import RetryPolicy
+from repro.mq.chaosbroker import MessageChaos
+from repro.workflow import Ensemble
+
+__all__ = ["ChaosScenario", "ChaosReport", "SCENARIOS", "get_scenario", "run_chaos"]
+
+#: Seed salts so each fault model draws from an independent stream.
+_SALT_SPOT = 1
+_SALT_TRANSIENT = 2
+_SALT_STRAGGLER = 3
+_SALT_MQ = 4
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One named, seeded fault-injection experiment.
+
+    The fault knobs are all *rates*; the concrete fault events are
+    sampled from ``seed`` (each model with its own salt) when the
+    scenario runs, so the scenario object itself is reusable across
+    seeds via :func:`run_chaos`'s ``seed`` override.
+    """
+
+    name: str
+    description: str = ""
+    # -- workload ---------------------------------------------------------
+    workflow: str = "montage"
+    size: float = 0.3
+    n_workflows: int = 2
+    interval: float = 0.0
+    # -- cluster ----------------------------------------------------------
+    instance_type: str = "c3.8xlarge"
+    n_nodes: int = 2
+    filesystem: Optional[str] = None
+    # -- master daemon ----------------------------------------------------
+    timeout: float = 10.0
+    check_interval: float = 0.5
+    # -- retry policy -----------------------------------------------------
+    max_attempts: int = 4
+    base_delay: float = 0.0
+    backoff_factor: float = 2.0
+    jitter: float = 0.0
+    redispatch_lost: bool = False
+    # -- fault models -----------------------------------------------------
+    seed: int = 0
+    spot_rate_per_hour: float = 0.0
+    spot_notice: float = 120.0
+    spot_replacement_delay: Optional[float] = None
+    spot_protected: Tuple[int, ...] = (0,)
+    p_fail: float = 0.0
+    poison: Tuple[str, ...] = ()
+    p_straggler: float = 0.0
+    straggler_disk: Tuple[float, float] = (0.2, 0.6)
+    straggler_duration: Tuple[float, float] = (5.0, 20.0)
+    p_drop: float = 0.0
+    p_duplicate: float = 0.0
+    p_delay: float = 0.0
+    mq_delay: float = 0.5
+    # -- invariant bounds -------------------------------------------------
+    #: Chaos makespan must stay within ``baseline * max_slowdown +
+    #: slack``; the slack absorbs fixed recovery costs (one timeout, one
+    #: replacement delay) that dominate tiny baselines.
+    max_slowdown: Optional[float] = 3.0
+    slowdown_slack: float = 30.0
+    #: Set for poison scenarios: the exact job ids expected to be
+    #: dead-lettered directly (descendants cascade on top).
+    expect_dead: Tuple[str, ...] = ()
+
+    def retry_policy(self) -> RetryPolicy:
+        return RetryPolicy(
+            max_attempts=self.max_attempts,
+            base_delay=self.base_delay,
+            backoff_factor=self.backoff_factor,
+            jitter=self.jitter,
+            redispatch_lost=self.redispatch_lost or self.p_drop > 0,
+        )
+
+    def spec(self) -> ClusterSpec:
+        fs = self.filesystem or ("local" if self.n_nodes == 1 else "moosefs")
+        return ClusterSpec(self.instance_type, self.n_nodes, filesystem=fs)
+
+    def ensemble(self) -> Ensemble:
+        from repro.generators import (
+            cybershake_workflow,
+            ligo_workflow,
+            montage_workflow,
+        )
+
+        if self.workflow == "montage":
+            template = montage_workflow(degree=self.size)
+        elif self.workflow == "ligo":
+            template = ligo_workflow(blocks=max(1, int(self.size)))
+        elif self.workflow == "cybershake":
+            template = cybershake_workflow(ruptures=max(1, int(self.size)))
+        else:
+            raise ValueError(f"unknown workflow kind {self.workflow!r}")
+        return Ensemble.replicated(template, self.n_workflows, interval=self.interval)
+
+    def run_config(self) -> RunConfig:
+        return RunConfig(
+            default_timeout=self.timeout,
+            timeout_check_interval=self.check_interval,
+            record_jobs=False,
+        )
+
+    def build_engine(self, seed: int, horizon: float) -> PullEngine:
+        """Assemble the chaos-wired pull engine for one seeded run."""
+        models: list = []
+        if self.spot_rate_per_hour > 0:
+            models.append(
+                SpotTerminationModel.sample(
+                    seed + _SALT_SPOT,
+                    self.n_nodes,
+                    horizon,
+                    self.spot_rate_per_hour,
+                    notice=self.spot_notice,
+                    replacement_delay=self.spot_replacement_delay,
+                    protected=self.spot_protected,
+                )
+            )
+        if self.p_straggler > 0:
+            models.append(
+                StragglerModel.sample(
+                    seed + _SALT_STRAGGLER,
+                    self.n_nodes,
+                    horizon,
+                    self.p_straggler,
+                    disk_factor=self.straggler_disk,
+                    duration=self.straggler_duration,
+                )
+            )
+        transient = None
+        if self.p_fail > 0 or self.poison:
+            transient = TransientFaultModel(
+                p_fail=self.p_fail, seed=seed + _SALT_TRANSIENT, poison=self.poison
+            )
+        message_chaos = None
+        if self.p_drop > 0 or self.p_duplicate > 0 or self.p_delay > 0:
+            message_chaos = MessageChaos(
+                p_drop=self.p_drop,
+                p_duplicate=self.p_duplicate,
+                p_delay=self.p_delay,
+                delay=self.mq_delay,
+                seed=seed + _SALT_MQ,
+            )
+        return PullEngine(
+            self.spec(),
+            config=self.run_config(),
+            retry=self.retry_policy(),
+            transient=transient,
+            chaos_models=models,
+            message_chaos=message_chaos,
+            fault_trace=FaultTrace(),
+        )
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one :func:`run_chaos` invocation."""
+
+    scenario: str
+    seed: int
+    makespan: float
+    baseline_makespan: float
+    trace_text: str
+    fault_counts: Dict[str, int]
+    job_counts: Dict[str, Dict[str, int]]
+    dead_letters: List
+    resubmissions: int
+    mq_chaos_stats: Dict[str, int]
+    cost: float
+    elastic_cost: float
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    @property
+    def n_dead(self) -> int:
+        return len(self.dead_letters)
+
+    def summary(self) -> str:
+        lines = [
+            f"scenario {self.scenario!r} seed={self.seed}: "
+            f"{'OK' if self.ok else 'FAILED'}",
+            f"  makespan {self.makespan:.1f} s "
+            f"(baseline {self.baseline_makespan:.1f} s, "
+            f"x{self.makespan / max(self.baseline_makespan, 1e-9):.2f})",
+            f"  resubmissions {self.resubmissions}, "
+            f"dead letters {self.n_dead}, "
+            f"cost ${self.cost:.2f} (elastic ${self.elastic_cost:.2f})",
+        ]
+        if self.fault_counts:
+            injected = ", ".join(
+                f"{kind} x{count}" for kind, count in sorted(self.fault_counts.items())
+            )
+            lines.append(f"  faults: {injected}")
+        if self.mq_chaos_stats:
+            lines.append(
+                "  broker: "
+                + ", ".join(
+                    f"{k} {v}" for k, v in sorted(self.mq_chaos_stats.items())
+                )
+            )
+        for entry in self.dead_letters:
+            lines.append(
+                f"  dead-letter {entry.workflow}/{entry.job_id}: "
+                f"{entry.reason} after {entry.attempts} attempt(s)"
+            )
+        for problem in self.problems:
+            lines.append(f"  INVARIANT VIOLATED: {problem}")
+        return "\n".join(lines)
+
+
+def _check_invariants(
+    scenario: ChaosScenario, result, baseline_makespan: float
+) -> List[str]:
+    problems: List[str] = []
+    san = _sanitizer._ACTIVE
+    # Completion: nothing stranded at settlement.
+    for name in sorted(result.job_counts):
+        counts = result.job_counts[name]
+        if san is not None:
+            san.check_recovery(name, counts)
+        stranded = sum(counts.values()) - counts.get("completed", 0) - counts.get(
+            "dead", 0
+        )
+        if stranded:
+            problems.append(
+                f"{name}: {stranded} job(s) neither completed nor dead-lettered"
+            )
+    # Dead letters must be explainable by the scenario.
+    expected = frozenset(scenario.expect_dead)
+    if not expected:
+        unexpected = [e for e in result.dead_letters if e.reason != "upstream-dead"]
+        if unexpected:
+            first = unexpected[0]
+            problems.append(
+                f"{len(unexpected)} unexpected dead letter(s), first: "
+                f"{first.workflow}/{first.job_id} ({first.reason})"
+            )
+    else:
+        direct = {
+            e.job_id for e in result.dead_letters if e.reason != "upstream-dead"
+        }
+        if direct != expected:
+            problems.append(
+                f"dead-lettered jobs {sorted(direct)} != expected "
+                f"{sorted(expected)}"
+            )
+    # Bounded degradation (skipped when the scenario kills jobs outright:
+    # a dead-lettered workflow settles early, so its makespan is not
+    # comparable to the baseline's).
+    if scenario.max_slowdown is not None and not expected:
+        bound = baseline_makespan * scenario.max_slowdown + scenario.slowdown_slack
+        if result.makespan > bound:
+            problems.append(
+                f"makespan {result.makespan:.1f} s exceeds bound {bound:.1f} s "
+                f"(baseline {baseline_makespan:.1f} s "
+                f"x {scenario.max_slowdown} + {scenario.slowdown_slack} s)"
+            )
+    return problems
+
+
+def run_chaos(scenario: ChaosScenario, seed: Optional[int] = None) -> ChaosReport:
+    """Run ``scenario`` (baseline, then under chaos) and check invariants.
+
+    The costs are computed inside the run so the billing sanitizer hooks
+    fire; lease conservation is checked by the engine at run end.
+    """
+    seed = scenario.seed if seed is None else seed
+    baseline = PullEngine(scenario.spec(), config=scenario.run_config()).run(
+        scenario.ensemble()
+    )
+    # Fault sampling horizon: the baseline tells us how long the run
+    # plausibly is; stretch it so late-run faults still occur under the
+    # slowdown the faults themselves cause.
+    horizon = baseline.makespan * (scenario.max_slowdown or 2.0)
+    engine = scenario.build_engine(seed, horizon)
+    result = engine.run(scenario.ensemble())
+    problems = _check_invariants(scenario, result, baseline.makespan)
+    return ChaosReport(
+        scenario=scenario.name,
+        seed=seed,
+        makespan=result.makespan,
+        baseline_makespan=baseline.makespan,
+        trace_text="\n".join(e.line() for e in result.fault_events),
+        fault_counts={
+            kind: sum(1 for e in result.fault_events if e.kind == kind)
+            for kind in sorted({e.kind for e in result.fault_events})
+        },
+        job_counts=result.job_counts,
+        dead_letters=list(result.dead_letters),
+        resubmissions=result.resubmissions,
+        mq_chaos_stats=dict(result.mq_chaos_stats),
+        cost=result.cost(),
+        elastic_cost=result.elastic_cost(),
+        problems=problems,
+    )
+
+
+#: Built-in scenarios, sized to run in seconds (CI smoke included).
+SCENARIOS: Dict[str, ChaosScenario] = {
+    scenario.name: scenario
+    for scenario in (
+        ChaosScenario(
+            name="smoke",
+            description="CI gate: a little of everything — one spot kill "
+            "with replacement, transient failures, duplicated messages.",
+            n_nodes=2,
+            n_workflows=2,
+            spot_rate_per_hour=120.0,
+            spot_notice=2.0,
+            spot_replacement_delay=5.0,
+            p_fail=0.05,
+            p_duplicate=0.05,
+        ),
+        ChaosScenario(
+            name="spot",
+            description="Spot-market cluster: frequent reclamations with "
+            "the two-minute-notice drain and auto-scaling replacements.",
+            n_nodes=4,
+            n_workflows=6,
+            spot_rate_per_hour=600.0,
+            spot_notice=3.0,
+            spot_replacement_delay=5.0,
+            max_slowdown=4.0,
+        ),
+        ChaosScenario(
+            name="poison",
+            description="A job that fails every attempt: must be "
+            "dead-lettered after the budget, cascading its descendants, "
+            "while every other workflow completes.",
+            n_nodes=2,
+            n_workflows=2,
+            max_attempts=3,
+            poison=("mBgModel",),
+            expect_dead=("mBgModel",),
+        ),
+        ChaosScenario(
+            name="lossy-mq",
+            description="Broker under partition: dropped, duplicated and "
+            "delayed messages; recovery via dispatch-loss deadlines and "
+            "idempotent acks.",
+            n_nodes=2,
+            n_workflows=2,
+            timeout=6.0,
+            p_drop=0.05,
+            p_duplicate=0.05,
+            p_delay=0.10,
+            max_attempts=8,
+            max_slowdown=6.0,
+        ),
+        ChaosScenario(
+            name="stragglers",
+            description="Degraded-disk stragglers: nodes intermittently "
+            "lose most of their disk bandwidth but jobs keep completing.",
+            n_nodes=3,
+            n_workflows=6,
+            interval=0.5,
+            p_straggler=0.8,
+            straggler_disk=(0.1, 0.4),
+            straggler_duration=(2.0, 6.0),
+            max_slowdown=3.0,
+        ),
+    )
+}
+
+
+def get_scenario(name: str) -> ChaosScenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown chaos scenario {name!r}; built-ins: {known}")

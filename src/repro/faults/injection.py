@@ -86,6 +86,13 @@ def kill_restart_cycle(
     """
     if downtime < 0:
         raise ValueError(f"downtime must be >= 0, got {downtime}")
+    if restart_node == kill_node:
+        # Silently identical to the same-node cycle, except it would also
+        # mark the node initially down and deadlock the run — reject it.
+        raise ValueError(
+            f"restart_node must differ from kill_node (both {kill_node}); "
+            f"omit restart_node for a same-node restart cycle"
+        )
     actions = []
     current = kill_node
     for t in kill_times:

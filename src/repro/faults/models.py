@@ -1,0 +1,340 @@
+"""Seeded stochastic fault models (the failure modes of real clouds).
+
+:mod:`repro.faults.injection` scripts the paper's deterministic
+kill/restart cycles; this module adds the failure modes that Juve et
+al.'s EC2 workflow studies show actually dominate in public clouds:
+
+* :class:`SpotTerminationModel` — spot-style instance reclamation, with
+  the two-minute-notice variant (notice drains the worker daemon so
+  in-flight jobs can finish; the termination kills whatever remains);
+* :class:`TransientFaultModel` — per-attempt transient job failure
+  probability plus always-failing *poison* jobs;
+* :class:`StragglerModel` — degraded nodes: disk bandwidth and/or CPU
+  speed scaled by a factor over an interval (the "bad neighbour" /
+  failing-disk straggler).
+
+Every model is driven by an explicit ``random.Random(seed)`` at
+*construction* time: sampling happens once, up front, so the resulting
+event list — and therefore the whole fault trace — is a pure function of
+the seed (codelint CL002 discipline).  Models install themselves against
+a :class:`ChaosAPI`, the narrow set of hooks an engine exposes, so the
+same model drives any engine that provides the hooks.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "FaultEvent",
+    "FaultTrace",
+    "ChaosAPI",
+    "SpotTerminationModel",
+    "TransientFaultModel",
+    "Degradation",
+    "StragglerModel",
+]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault-injection occurrence, for traces and timeline export."""
+
+    time: float
+    kind: str
+    node: Optional[int] = None
+    detail: str = ""
+
+    def line(self) -> str:
+        where = f" node={self.node}" if self.node is not None else ""
+        tail = f" {self.detail}" if self.detail else ""
+        return f"t={self.time:.6f} {self.kind}{where}{tail}"
+
+
+class FaultTrace:
+    """Ordered record of every injected fault and recovery action.
+
+    The rendered form (:meth:`text`) is the determinism contract: two
+    runs of the same seeded scenario must produce byte-identical traces.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[FaultEvent] = []
+
+    def record(
+        self, time: float, kind: str, node: Optional[int] = None, detail: str = ""
+    ) -> FaultEvent:
+        event = FaultEvent(time, kind, node, detail)
+        self.events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def lines(self) -> List[str]:
+        return [event.line() for event in self.events]
+
+    def text(self) -> str:
+        return "\n".join(self.lines())
+
+
+@dataclass
+class ChaosAPI:
+    """Engine hooks a fault model may drive.
+
+    ``sim`` is the engine's :class:`~repro.sim.Simulator`;
+    ``stop_worker`` is a graceful drain (finish in-flight jobs, pull
+    nothing new), ``kill_worker`` the abrupt death.  ``set_disk_factor``
+    / ``set_cpu_factor`` scale a node's disk bandwidth / CPU speed
+    relative to its nominal capacity.  ``mark_spot_terminated`` flags
+    the node's current lease as provider-interrupted for billing.
+    """
+
+    sim: "object"
+    n_nodes: int
+    start_worker: Callable[[int], None]
+    stop_worker: Callable[[int], None]
+    kill_worker: Callable[[int], None]
+    set_disk_factor: Callable[[int, float], None]
+    set_cpu_factor: Callable[[int, float], None]
+    mark_spot_terminated: Callable[[int], None]
+    trace: FaultTrace
+
+
+class SpotTerminationModel:
+    """Spot-style node reclamation, optionally with the two-minute notice.
+
+    ``terminations`` is a sequence of ``(time, node)`` pairs.  With
+    ``notice > 0`` the node is drained ``notice`` seconds before the
+    kill (EC2's two-minute interruption notice: ``notice=120``); with
+    ``notice=0`` the instance just vanishes.  ``replacement_delay``
+    models an auto-scaling group starting a replacement instance that
+    many seconds after the termination.
+    """
+
+    def __init__(
+        self,
+        terminations: Sequence[Tuple[float, int]],
+        notice: float = 120.0,
+        replacement_delay: Optional[float] = None,
+    ):
+        if notice < 0:
+            raise ValueError(f"notice must be >= 0, got {notice}")
+        if replacement_delay is not None and replacement_delay < 0:
+            raise ValueError(
+                f"replacement_delay must be >= 0, got {replacement_delay}"
+            )
+        for t, node in terminations:
+            if t < 0 or node < 0:
+                raise ValueError(f"bad termination ({t}, {node})")
+        self.terminations: Tuple[Tuple[float, int], ...] = tuple(
+            sorted((float(t), int(n)) for t, n in terminations)
+        )
+        self.notice = float(notice)
+        self.replacement_delay = replacement_delay
+
+    @classmethod
+    def sample(
+        cls,
+        seed: int,
+        n_nodes: int,
+        horizon: float,
+        rate_per_hour: float,
+        notice: float = 120.0,
+        replacement_delay: Optional[float] = None,
+        protected: Sequence[int] = (),
+    ) -> "SpotTerminationModel":
+        """Draw at most one reclamation per node from a Poisson process.
+
+        Each non-protected node's time-to-reclamation is exponential
+        with ``rate_per_hour``; draws beyond ``horizon`` mean the node
+        survives the run.  Nodes are visited in index order so the trace
+        is a pure function of the seed.
+        """
+        if rate_per_hour < 0:
+            raise ValueError(f"rate_per_hour must be >= 0, got {rate_per_hour}")
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        rng = random.Random(seed)
+        shielded = frozenset(protected)
+        terminations = []
+        for node in range(n_nodes):
+            if node in shielded or rate_per_hour == 0:
+                continue
+            t = rng.expovariate(rate_per_hour) * 3600.0
+            if t < horizon:
+                terminations.append((t, node))
+        return cls(terminations, notice=notice, replacement_delay=replacement_delay)
+
+    def install(self, api: ChaosAPI) -> None:
+        for t, node in self.terminations:
+            if node >= api.n_nodes:
+                raise ValueError(
+                    f"termination targets node {node} of a {api.n_nodes}-node cluster"
+                )
+            if self.notice > 0:
+                api.sim.schedule_call(
+                    max(0.0, t - self.notice), self._notice, api, node
+                )
+            api.sim.schedule_call(t, self._terminate, api, node)
+
+    def _notice(self, api: ChaosAPI, node: int) -> None:
+        api.trace.record(api.sim.now, "spot-notice", node)
+        api.stop_worker(node)  # drain: in-flight jobs may still finish
+
+    def _terminate(self, api: ChaosAPI, node: int) -> None:
+        api.trace.record(api.sim.now, "spot-termination", node)
+        api.kill_worker(node)
+        api.mark_spot_terminated(node)
+        if self.replacement_delay is not None:
+            api.sim.schedule_call(self.replacement_delay, self._replace, api, node)
+
+    def _replace(self, api: ChaosAPI, node: int) -> None:
+        api.trace.record(api.sim.now, "spot-replacement", node)
+        api.start_worker(node)
+
+
+class TransientFaultModel:
+    """Per-attempt transient job failures and always-failing poison jobs.
+
+    ``should_fail(workflow, job_id, attempt)`` is a pure function of the
+    seed and its arguments (a CRC32 mapped to [0, 1) and compared to
+    ``p_fail``), so the failure pattern does not depend on the order in
+    which the engine asks — retried attempts draw fresh values, so a
+    transiently failing job eventually succeeds.  ``poison`` job ids
+    fail on *every* attempt, in every workflow: the livelock candidates
+    the retry budget exists for.
+    """
+
+    def __init__(
+        self,
+        p_fail: float = 0.0,
+        seed: int = 0,
+        poison: Sequence[str] = (),
+    ):
+        if not 0.0 <= p_fail <= 1.0:
+            raise ValueError(f"p_fail must be in [0, 1], got {p_fail}")
+        self.p_fail = float(p_fail)
+        self.seed = int(seed)
+        self.poison = frozenset(poison)
+
+    def should_fail(self, workflow: str, job_id: str, attempt: int) -> bool:
+        if job_id in self.poison:
+            return True
+        if self.p_fail <= 0.0:
+            return False
+        crc = zlib.crc32(f"{self.seed}|{workflow}|{job_id}|{attempt}".encode())
+        return crc / 0x100000000 < self.p_fail
+
+
+@dataclass(frozen=True)
+class Degradation:
+    """One degraded interval of one node.
+
+    ``disk_factor`` scales both disk channels' bandwidth,
+    ``cpu_factor`` scales the compute speed of jobs *started* during the
+    interval (in-flight compute keeps its admission-time speed — the DES
+    prices compute at job start).
+    """
+
+    node: int
+    start: float
+    duration: float
+    disk_factor: float = 1.0
+    cpu_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError(f"node must be >= 0, got {self.node}")
+        if self.start < 0 or self.duration <= 0:
+            raise ValueError(
+                f"bad degradation window ({self.start}, {self.duration})"
+            )
+        if self.disk_factor <= 0 or self.cpu_factor <= 0:
+            raise ValueError("degradation factors must be positive")
+
+
+class StragglerModel:
+    """Degraded-disk / slow-CPU straggler nodes over explicit intervals."""
+
+    def __init__(self, degradations: Sequence[Degradation]):
+        ordered = sorted(degradations, key=lambda d: (d.node, d.start))
+        for a, b in zip(ordered, ordered[1:]):
+            if a.node == b.node and b.start < a.start + a.duration:
+                raise ValueError(
+                    f"overlapping degradations on node {a.node}: "
+                    f"[{a.start}, {a.start + a.duration}) and [{b.start}, ...)"
+                )
+        self.degradations: Tuple[Degradation, ...] = tuple(ordered)
+
+    @classmethod
+    def sample(
+        cls,
+        seed: int,
+        n_nodes: int,
+        horizon: float,
+        p_straggler: float,
+        disk_factor: Tuple[float, float] = (0.2, 0.6),
+        cpu_factor: Tuple[float, float] = (1.0, 1.0),
+        duration: Tuple[float, float] = (30.0, 120.0),
+    ) -> "StragglerModel":
+        """Each node independently becomes a straggler with ``p_straggler``,
+        for one interval with uniformly drawn start, duration and factors."""
+        if not 0.0 <= p_straggler <= 1.0:
+            raise ValueError(f"p_straggler must be in [0, 1], got {p_straggler}")
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        rng = random.Random(seed)
+        degradations = []
+        for node in range(n_nodes):
+            if rng.random() >= p_straggler:
+                continue
+            dur = rng.uniform(*duration)
+            start = rng.uniform(0.0, max(horizon - dur, 0.0))
+            degradations.append(
+                Degradation(
+                    node=node,
+                    start=start,
+                    duration=dur,
+                    disk_factor=rng.uniform(*disk_factor),
+                    cpu_factor=rng.uniform(*cpu_factor),
+                )
+            )
+        return cls(degradations)
+
+    def install(self, api: ChaosAPI) -> None:
+        for d in self.degradations:
+            if d.node >= api.n_nodes:
+                raise ValueError(
+                    f"degradation targets node {d.node} of a "
+                    f"{api.n_nodes}-node cluster"
+                )
+            api.sim.schedule_call(d.start, self._begin, api, d)
+
+    def _begin(self, api: ChaosAPI, d: Degradation) -> None:
+        api.trace.record(
+            api.sim.now,
+            "degrade-start",
+            d.node,
+            f"disk*{d.disk_factor:g} cpu*{d.cpu_factor:g} for {d.duration:g}s",
+        )
+        api.set_disk_factor(d.node, d.disk_factor)
+        api.set_cpu_factor(d.node, d.cpu_factor)
+        api.sim.schedule_call(d.duration, self._end, api, d)
+
+    def _end(self, api: ChaosAPI, d: Degradation) -> None:
+        api.trace.record(api.sim.now, "degrade-end", d.node)
+        api.set_disk_factor(d.node, 1.0)
+        api.set_cpu_factor(d.node, 1.0)

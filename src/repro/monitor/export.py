@@ -59,6 +59,20 @@ def to_chrome_trace(result: EngineResult, path: Optional[_PathLike] = None) -> d
                 "args": {"name": node.name},
             }
         )
+    # Injected faults as instant events: node-scoped when the fault names
+    # a node (kills, spot notices, degradations), global otherwise
+    # (broker chaos, dead letters).
+    for fault in result.fault_events:
+        event = {
+            "name": fault.kind,
+            "cat": "fault",
+            "ph": "i",
+            "ts": fault.time * 1e6,
+            "s": "g" if fault.node is None else "p",
+            "pid": 0 if fault.node is None else fault.node,
+            "args": {"detail": fault.detail},
+        }
+        events.append(event)
     document = {
         "traceEvents": events,
         "displayTimeUnit": "ms",

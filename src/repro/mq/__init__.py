@@ -11,9 +11,13 @@ RabbitMQ-like work-queue semantics (a consumed message is invisible to
 other consumers; redelivery is the master's timeout responsibility).
 :class:`~repro.mq.simbroker.SimBroker` offers the same topics inside the
 discrete-event simulator, with configurable publish latency.
+:class:`~repro.mq.chaosbroker.ChaosBroker` / ``ChaosSimBroker`` wrap them
+with a seeded :class:`~repro.mq.chaosbroker.MessageChaos` band that
+drops, duplicates or delays published messages.
 """
 
 from repro.mq.broker import Broker, Topic
+from repro.mq.chaosbroker import ChaosBroker, ChaosSimBroker, MessageChaos
 from repro.mq.tcpbroker import BrokerServer, RemoteBroker
 from repro.mq.messages import (
     TOPIC_ACK,
@@ -30,6 +34,9 @@ __all__ = [
     "AckKind",
     "Broker",
     "BrokerServer",
+    "ChaosBroker",
+    "ChaosSimBroker",
+    "MessageChaos",
     "RemoteBroker",
     "JobAck",
     "JobDispatch",

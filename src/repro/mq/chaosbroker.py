@@ -1,0 +1,189 @@
+"""Lossy/duplicating/delaying broker shims (message-level chaos).
+
+The paper assumes a reliable RabbitMQ; real brokers under partition or
+failover lose messages, redeliver them, and reorder them.  These shims
+wrap the two broker implementations with a seeded fault band: each
+published message draws one uniform variate and is *dropped*,
+*duplicated*, *delayed*, or delivered normally.  The draw sequence comes
+from an explicit ``random.Random(seed)``, so a simulated run's message
+chaos is exactly reproducible.
+
+Dropped dispatches are recovered by the master's dispatch-loss deadline
+(``RetryPolicy.redispatch_lost``); dropped acks by the ordinary timeout;
+duplicated messages are absorbed by the idempotent
+:class:`~repro.dewe.state.WorkflowState` transitions.  That closed loop —
+chaos here, recovery there — is what the chaos harness certifies.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.mq.broker import Broker
+from repro.mq.simbroker import SimBroker
+
+__all__ = ["MessageChaos", "ChaosSimBroker", "ChaosBroker"]
+
+
+@dataclass(frozen=True)
+class MessageChaos:
+    """Fault band for published messages.
+
+    One uniform draw per publish selects the outcome:
+    ``[0, p_drop)`` drop, ``[p_drop, p_drop + p_duplicate)`` duplicate,
+    next ``p_delay`` band delay by ``delay`` seconds, rest deliver
+    normally.  ``topics`` restricts the chaos to the named topics
+    (``None`` = all; submission topics are usually worth excluding so
+    the scenario exercises recovery, not workflow loss).
+    """
+
+    p_drop: float = 0.0
+    p_duplicate: float = 0.0
+    p_delay: float = 0.0
+    delay: float = 1.0
+    seed: int = 0
+    topics: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        for name in ("p_drop", "p_duplicate", "p_delay"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if self.p_drop + self.p_duplicate + self.p_delay > 1.0 + 1e-12:
+            raise ValueError("p_drop + p_duplicate + p_delay must be <= 1")
+        if self.delay < 0:
+            raise ValueError(f"delay must be >= 0, got {self.delay}")
+
+    def applies_to(self, topic_name: str) -> bool:
+        return self.topics is None or topic_name in self.topics
+
+
+def _describe(topic_name: str, message: Any) -> str:
+    """Compact, deterministic message label for fault traces."""
+    job_id = getattr(message, "job_id", None)
+    if job_id is not None:
+        return f"{topic_name}:{job_id}"
+    if isinstance(message, tuple):
+        return f"{topic_name}:{message!r}"
+    return f"{topic_name}:{type(message).__name__}"
+
+
+class ChaosSimBroker(SimBroker):
+    """:class:`SimBroker` with a seeded drop/duplicate/delay band."""
+
+    def __init__(
+        self,
+        sim,
+        chaos: MessageChaos,
+        latency: float = 0.002,
+        trace=None,
+    ):
+        super().__init__(sim, latency)
+        self.chaos = chaos
+        self.trace = trace
+        self._rng = random.Random(chaos.seed)
+        self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
+
+    def stats(self) -> dict:
+        return {
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "delayed": self.delayed,
+        }
+
+    def _record(self, kind: str, topic_name: str, message: Any) -> None:
+        if self.trace is not None:
+            self.trace.record(
+                self.sim.now, kind, detail=_describe(topic_name, message)
+            )
+
+    def publish(self, topic_name: str, message: Any) -> None:
+        chaos = self.chaos
+        if not chaos.applies_to(topic_name):
+            super().publish(topic_name, message)
+            return
+        u = self._rng.random()
+        if u < chaos.p_drop:
+            self.dropped += 1
+            self._record("mq-drop", topic_name, message)
+            return
+        if u < chaos.p_drop + chaos.p_duplicate:
+            self.duplicated += 1
+            self._record("mq-duplicate", topic_name, message)
+            super().publish(topic_name, message)
+            super().publish(topic_name, message)
+            return
+        if u < chaos.p_drop + chaos.p_duplicate + chaos.p_delay:
+            self.delayed += 1
+            self._record("mq-delay", topic_name, message)
+            self.published += 1
+            self.sim.schedule_call(
+                self.latency + chaos.delay, self.topic(topic_name).put, message
+            )
+            return
+        super().publish(topic_name, message)
+
+
+class ChaosBroker(Broker):
+    """Thread-safe :class:`Broker` with the same seeded fault band.
+
+    Delayed messages are re-published from a ``threading.Timer``; the
+    draw order is serialized under a lock, so with a single publisher
+    thread (the usual master + one worker topology of the tests) the
+    outcome sequence is reproducible.
+    """
+
+    def __init__(self, chaos: MessageChaos):
+        super().__init__()
+        self.chaos = chaos
+        self._rng = random.Random(chaos.seed)
+        self._rng_lock = threading.Lock()
+        self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
+
+    def chaos_stats(self) -> dict:
+        with self._rng_lock:
+            return {
+                "dropped": self.dropped,
+                "duplicated": self.duplicated,
+                "delayed": self.delayed,
+            }
+
+    def publish(self, topic_name: str, message: Any) -> None:
+        chaos = self.chaos
+        if not chaos.applies_to(topic_name):
+            super().publish(topic_name, message)
+            return
+        with self._rng_lock:
+            u = self._rng.random()
+            if u < chaos.p_drop:
+                self.dropped += 1
+                outcome = "drop"
+            elif u < chaos.p_drop + chaos.p_duplicate:
+                self.duplicated += 1
+                outcome = "duplicate"
+            elif u < chaos.p_drop + chaos.p_duplicate + chaos.p_delay:
+                self.delayed += 1
+                outcome = "delay"
+            else:
+                outcome = "deliver"
+        if outcome == "drop":
+            return
+        if outcome == "duplicate":
+            super().publish(topic_name, message)
+            super().publish(topic_name, message)
+            return
+        if outcome == "delay":
+            timer = threading.Timer(
+                chaos.delay, super().publish, args=(topic_name, message)
+            )
+            timer.daemon = True
+            timer.start()
+            return
+        super().publish(topic_name, message)

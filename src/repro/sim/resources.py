@@ -281,6 +281,24 @@ class FairShareLink:
             san.check_link(self)
         self._reschedule()
 
+    def set_capacity(self, capacity: float) -> None:
+        """Change the link's bandwidth mid-run (degraded-disk faults).
+
+        Service already received is settled at the old rate first, then
+        pending completions are rescheduled at the new rate — active
+        streams simply speed up or slow down from this instant.
+        """
+        if capacity <= 0:
+            raise ValueError(f"link capacity must be positive, got {capacity}")
+        self._advance()
+        self.capacity = float(capacity)
+        if self._n > 0:
+            self.log.record(self.sim.now, self.capacity)
+        san = _sanitizer._ACTIVE
+        if san is not None:
+            san.check_link(self)
+        self._reschedule()
+
     def transfer(self, nbytes: float) -> Event:
         """Start a stream of ``nbytes``; returns its completion event."""
         if nbytes < 0:

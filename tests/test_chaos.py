@@ -1,0 +1,319 @@
+"""Integration tests for the chaos engine: fault models, message chaos,
+retry/dead-letter recovery in both execution paths, and the harness."""
+
+import pytest
+
+from repro.cloud import ClusterSpec
+from repro.dewe import DeweConfig, MasterDaemon, WorkerDaemon, submit_workflow
+from repro.engines import PullEngine, RunConfig
+from repro.faults import RetryPolicy
+from repro.faults.chaos import SCENARIOS, get_scenario, run_chaos
+from repro.faults.models import (
+    Degradation,
+    FaultTrace,
+    SpotTerminationModel,
+    StragglerModel,
+    TransientFaultModel,
+)
+from repro.generators import montage_workflow
+from repro.mq import Broker, ChaosBroker, MessageChaos, TOPIC_ACK
+from repro.mq.messages import AckKind, JobAck
+from repro.workflow import Ensemble, Workflow
+
+
+def small_spec(n_nodes: int = 1) -> ClusterSpec:
+    fs = "local" if n_nodes == 1 else "moosefs"
+    return ClusterSpec("c3.8xlarge", n_nodes, filesystem=fs)
+
+
+def fast_cfg(timeout: float = 6.0) -> RunConfig:
+    return RunConfig(
+        default_timeout=timeout, timeout_check_interval=0.25, record_jobs=False
+    )
+
+
+# -- fault model construction ------------------------------------------------
+def test_spot_model_sampling_is_seed_deterministic():
+    a = SpotTerminationModel.sample(7, 8, 3600.0, rate_per_hour=30.0)
+    b = SpotTerminationModel.sample(7, 8, 3600.0, rate_per_hour=30.0)
+    c = SpotTerminationModel.sample(8, 8, 3600.0, rate_per_hour=30.0)
+    assert a.terminations == b.terminations
+    assert a.terminations != c.terminations
+
+
+def test_spot_model_respects_protection():
+    model = SpotTerminationModel.sample(
+        1, 4, 3600.0, rate_per_hour=10_000.0, protected=(0, 1)
+    )
+    assert {node for _t, node in model.terminations} <= {2, 3}
+
+
+def test_transient_model_poison_and_retry_independence():
+    model = TransientFaultModel(p_fail=0.5, seed=3, poison=("bad",))
+    assert model.should_fail("wf", "bad", 1)
+    assert model.should_fail("wf", "bad", 99)
+    # Fresh draw per attempt: a transiently failing job eventually passes.
+    outcomes = {model.should_fail("wf", "jobX", k) for k in range(1, 20)}
+    assert outcomes == {True, False}
+    # Pure function of the arguments.
+    assert model.should_fail("wf", "jobX", 1) == model.should_fail("wf", "jobX", 1)
+
+
+def test_straggler_model_rejects_overlap():
+    with pytest.raises(ValueError, match="overlap"):
+        StragglerModel(
+            [
+                Degradation(0, 0.0, 10.0, disk_factor=0.5),
+                Degradation(0, 5.0, 10.0, disk_factor=0.5),
+            ]
+        )
+
+
+def test_message_chaos_validation():
+    with pytest.raises(ValueError):
+        MessageChaos(p_drop=1.5)
+    with pytest.raises(ValueError):
+        MessageChaos(p_drop=0.6, p_duplicate=0.6)
+    with pytest.raises(ValueError):
+        MessageChaos(delay=-1.0)
+    assert MessageChaos(topics=("job-acknowledgment",)).applies_to(
+        "job-acknowledgment"
+    )
+    assert not MessageChaos(topics=("job-acknowledgment",)).applies_to("other")
+
+
+# -- poison jobs: no livelock (simulated engine) -----------------------------
+def test_sim_poison_job_dead_letters_and_run_settles():
+    template = montage_workflow(degree=0.3)
+    engine = PullEngine(
+        small_spec(),
+        config=fast_cfg(),
+        retry=RetryPolicy(max_attempts=2),
+        transient=TransientFaultModel(poison=("mBgModel",)),
+    )
+    result = engine.run(Ensemble([template]))
+    counts = next(iter(result.job_counts.values()))
+    assert counts["queued"] == counts["running"] == counts["waiting"] == 0
+    assert counts["dead"] >= 2  # the poison job and its descendants
+    assert counts["completed"] + counts["dead"] == len(template)
+    direct = [e for e in result.dead_letters if e.reason != "upstream-dead"]
+    assert [(e.job_id, e.attempts) for e in direct] == [("mBgModel", 2)]
+    assert {e.kind for e in result.fault_events} >= {
+        "transient-failure",
+        "dead-letter",
+    }
+
+
+# -- poison jobs: no livelock (threaded master) ------------------------------
+def test_threaded_poison_job_dead_letters_and_rest_completes():
+    broker = Broker()
+    config = DeweConfig(default_timeout=5.0)
+    retry = RetryPolicy(max_attempts=2, base_delay=0.01)
+
+    wf = Workflow("poison-wf")
+    wf.new_job("good", "compute")
+    wf.new_job("bad", "compute", action=lambda: 1 / 0)
+    wf.new_job("never", "collect")
+    wf.add_dependency("bad", "never")
+
+    with MasterDaemon(broker, config, retry=retry) as master:
+        with WorkerDaemon(broker, config=config, name="w1"):
+            submit_workflow(broker, wf)
+            assert master.wait("poison-wf", timeout=10.0)  # settles, no livelock
+        state = master.states["poison-wf"]
+        assert state.is_settled and not state.is_complete
+        assert state.status["good"].value == "completed"
+        reasons = {e.job_id: e.reason for e in master.dead_letters}
+        assert reasons == {"bad": "failed", "never": "upstream-dead"}
+        assert state.attempt["bad"] == 2  # budget spent before dead-letter
+
+
+def test_threaded_duplicated_acks_complete_exactly_once():
+    chaos = MessageChaos(p_duplicate=1.0, seed=5, topics=(TOPIC_ACK,))
+    broker = ChaosBroker(chaos)
+    config = DeweConfig(default_timeout=5.0)
+
+    wf = Workflow("dup-wf")
+    wf.new_job("a", "compute")
+    wf.new_job("b", "compute")
+    wf.add_dependency("a", "b")
+
+    with MasterDaemon(broker, config) as master:
+        with WorkerDaemon(broker, config=config, name="w1"):
+            submit_workflow(broker, wf)
+            assert master.wait("dup-wf", timeout=10.0)
+        state = master.states["dup-wf"]
+        assert state.is_complete
+        assert state.n_completed == 2  # not double-counted
+        assert state.duplicate_acks > 0  # duplicates arrived and were dropped
+        assert broker.chaos_stats()["duplicated"] > 0
+
+
+def test_threaded_unknown_workflow_acks_are_counted():
+    broker = Broker()
+    with MasterDaemon(broker) as master:
+        broker.publish(
+            TOPIC_ACK,
+            JobAck(workflow_name="ghost", job_id="x", kind=AckKind.COMPLETED),
+        )
+        import time
+
+        deadline = time.monotonic() + 5.0
+        while master.dropped_acks == 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert master.dropped_acks == 1
+        assert "ghost" not in master.states
+
+
+# -- message chaos in the simulator ------------------------------------------
+def test_sim_duplicated_messages_never_double_complete():
+    template = montage_workflow(degree=0.3)
+    engine = PullEngine(
+        small_spec(),
+        config=fast_cfg(),
+        message_chaos=MessageChaos(p_duplicate=0.5, seed=11),
+    )
+    result = engine.run(Ensemble([template]))
+    counts = next(iter(result.job_counts.values()))
+    assert counts["completed"] == len(template)
+    assert counts["dead"] == 0
+    assert result.mq_chaos_stats["duplicated"] > 0
+
+
+def test_sim_dropped_messages_recovered_by_dispatch_deadline():
+    template = montage_workflow(degree=0.3)
+    engine = PullEngine(
+        small_spec(),
+        config=fast_cfg(timeout=3.0),
+        retry=RetryPolicy(redispatch_lost=True, max_attempts=10),
+        message_chaos=MessageChaos(p_drop=0.15, seed=2),
+    )
+    result = engine.run(Ensemble([template]))
+    counts = next(iter(result.job_counts.values()))
+    assert counts["completed"] == len(template)
+    assert result.mq_chaos_stats["dropped"] > 0
+    assert result.resubmissions > 0  # the recovery path actually fired
+
+
+# -- spot terminations and billing -------------------------------------------
+def test_spot_termination_interrupts_lease_and_bills_spot_rule():
+    template = montage_workflow(degree=0.5)
+    baseline = PullEngine(small_spec(2), config=fast_cfg()).run(
+        Ensemble([template])
+    )
+    t_kill = baseline.makespan * 0.5
+    engine = PullEngine(
+        small_spec(2),
+        config=fast_cfg(),
+        chaos_models=(
+            SpotTerminationModel([(t_kill, 1)], notice=0.5),
+        ),
+        fault_trace=FaultTrace(),
+    )
+    result = engine.run(Ensemble([template]))
+    counts = next(iter(result.job_counts.values()))
+    assert counts["completed"] == len(template)  # node 0 finishes the work
+    assert {e.kind for e in result.fault_events} == {
+        "spot-notice",
+        "spot-termination",
+    }
+    # Node 1's lease ends at the kill and is billed with the
+    # partial-hour-free spot rule: a sub-hour lease costs nothing.
+    assert 1 in result.interrupted_spans
+    (start, end), = result.interrupted_spans[1]
+    # The lease closes between the notice (idle slots drain immediately)
+    # and the termination itself.
+    assert t_kill - 0.5 - 1e-6 <= end <= t_kill + 1e-6
+    assert result.elastic_cost() < result.cost()
+
+
+def test_spot_replacement_restores_capacity():
+    template = montage_workflow(degree=0.5)
+    engine = PullEngine(
+        small_spec(2),
+        config=fast_cfg(),
+        chaos_models=(
+            SpotTerminationModel([(1.0, 1)], notice=0.0, replacement_delay=0.5),
+        ),
+    )
+    result = engine.run(Ensemble([template]))
+    assert len(result.rental_spans[1]) == 2  # original lease + replacement
+    kinds = [e.kind for e in result.fault_events]
+    assert kinds.count("spot-termination") == 1
+    assert kinds.count("spot-replacement") == 1
+
+
+# -- stragglers ---------------------------------------------------------------
+def test_degraded_node_slows_the_run_but_completes():
+    template = montage_workflow(degree=0.5)
+    baseline = PullEngine(small_spec(), config=fast_cfg()).run(
+        Ensemble([template])
+    )
+    degraded = PullEngine(
+        small_spec(),
+        config=fast_cfg(timeout=60.0),
+        chaos_models=(
+            StragglerModel(
+                [
+                    Degradation(
+                        0, 0.0, 10_000.0, disk_factor=0.05, cpu_factor=0.25
+                    )
+                ]
+            ),
+        ),
+    ).run(Ensemble([template]))
+    assert degraded.makespan > baseline.makespan * 2.0
+    counts = next(iter(degraded.job_counts.values()))
+    assert counts["completed"] == len(template)
+    kinds = [e.kind for e in degraded.fault_events]
+    assert kinds.count("degrade-start") == 1
+
+
+# -- the harness --------------------------------------------------------------
+def test_builtin_scenarios_hold_invariants_and_are_deterministic():
+    for name in sorted(SCENARIOS):
+        first = run_chaos(SCENARIOS[name])
+        second = run_chaos(SCENARIOS[name])
+        assert first.ok, f"{name}: {first.problems}"
+        assert first.trace_text == second.trace_text, name
+        assert first.makespan == second.makespan, name
+
+
+def test_scenario_seed_override_changes_the_trace():
+    scenario = get_scenario("smoke")
+    base = run_chaos(scenario)
+    other = run_chaos(scenario, seed=1234)
+    assert base.seed == 0 and other.seed == 1234
+    assert base.trace_text != other.trace_text
+
+
+def test_get_scenario_unknown_name():
+    with pytest.raises(KeyError, match="built-ins"):
+        get_scenario("no-such-scenario")
+
+
+def test_chaos_cli_smoke_and_list():
+    from repro.cli import main_chaos
+
+    assert main_chaos(["--list"]) == 0
+    assert main_chaos(["--scenario", "smoke"]) == 0
+
+
+# -- monitor export ------------------------------------------------------------
+def test_chrome_trace_carries_fault_instants():
+    from repro.monitor import to_chrome_trace
+
+    template = montage_workflow(degree=0.3)
+    engine = PullEngine(
+        small_spec(2),
+        config=RunConfig(
+            default_timeout=6.0, timeout_check_interval=0.25, record_jobs=True
+        ),
+        chaos_models=(SpotTerminationModel([(1.0, 1)], notice=0.2),),
+    )
+    result = engine.run(Ensemble([template]))
+    doc = to_chrome_trace(result)
+    faults = [e for e in doc["traceEvents"] if e.get("cat") == "fault"]
+    assert {e["name"] for e in faults} == {"spot-notice", "spot-termination"}
+    assert all(e["ph"] == "i" for e in faults)
+    assert {e["pid"] for e in faults} == {1}

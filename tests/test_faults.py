@@ -72,6 +72,16 @@ def test_kill_restart_cycle_validation():
         kill_restart_cycle([1.0], downtime=-1.0)
 
 
+def test_kill_restart_cycle_rejects_same_restart_node():
+    """restart_node == kill_node would mark the only restart target
+    initially-down and deadlock the run; must be rejected."""
+    with pytest.raises(ValueError, match="restart_node"):
+        kill_restart_cycle([1.0], kill_node=0, restart_node=0)
+    # The legitimate spellings still work.
+    kill_restart_cycle([1.0], kill_node=0)
+    kill_restart_cycle([1.0], kill_node=0, restart_node=1)
+
+
 def test_repeated_interruptions_still_complete():
     """Multiple kill/restart cycles: 'DEWE v2 is capable of completing the
     execution of the workflow, regardless of number of interruptions'."""
@@ -91,3 +101,44 @@ def test_repeated_interruptions_still_complete():
     )
     assert result.jobs_executed >= len(template)
     assert len(result.workflow_spans) == 1
+
+
+def test_two_node_restart_during_blocking_job_costs_the_timeout():
+    """The paper's two-node failover during the *blocking* stage: nothing
+    else is eligible while mConcatFit/mBgModel runs, so the master only
+    discovers the kill when the job's timeout expires — the interruption
+    costs ~the blocked job's timeout, not just the downtime."""
+    from repro.cloud import ClusterSpec
+    from repro.engines import PullEngine, RunConfig
+    from repro.generators import montage_workflow
+    from repro.monitor.timeline import stage_windows
+    from repro.workflow import Ensemble
+
+    timeout = 8.0
+    downtime = 1.0
+    template = montage_workflow(degree=0.5)
+    for job_id in ("mConcatFit", "mBgModel"):
+        template.job(job_id).timeout = timeout
+    spec = ClusterSpec("c3.8xlarge", 2, filesystem="nfs-central")
+    cfg = RunConfig(default_timeout=timeout, timeout_check_interval=0.25)
+
+    # Baseline: one worker daemon at a time (node 1 never started).
+    baseline = PullEngine(spec, config=cfg, initially_down=(1,)).run(
+        Ensemble([template])
+    )
+    s2_start, s2_end = next(iter(stage_windows(baseline).values()))
+
+    t_kill = (s2_start + s2_end) / 2  # mid blocking stage
+    schedule = kill_restart_cycle(
+        [t_kill], downtime=downtime, kill_node=0, restart_node=1
+    )
+    result = PullEngine(spec, config=cfg, fault_schedule=schedule).run(
+        Ensemble([template])
+    )
+    assert len(result.workflow_spans) == 1
+    assert result.resubmissions >= 1
+    delta = result.makespan - baseline.makespan
+    # The blocked job's timeout dominates the recovery, the downtime alone
+    # does not explain it; and recovery is bounded by ~one timeout.
+    assert delta > downtime + 1.0
+    assert delta <= timeout + 2.0 * timeout  # slack: re-run + checker grid
