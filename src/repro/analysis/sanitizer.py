@@ -278,6 +278,51 @@ class Sanitizer:
                 f"dead-lettered at settlement ({counts})",
             )
 
+    # -- crash recovery (repro.recovery) ----------------------------------
+    def check_dispatch(self, workflow: str, job_id: str, status: str,
+                       time: Optional[float] = None) -> None:
+        """A job already completed or dead-lettered must never be
+        re-dispatched — the journal/idempotency layer has to absorb the
+        duplicate before it reaches the broker."""
+        if status in ("completed", "dead"):
+            self._report(
+                "completed-redispatch",
+                f"{workflow}/{job_id}: dispatched while {status}",
+                time=time,
+            )
+
+    def check_replay(self, seq: int, expected: str, got: str) -> None:
+        """Journal replay must reproduce the journaled prefix
+        byte-for-byte; a mismatch means the resume diverged from the
+        crashed run."""
+        self._report(
+            "journal-replay",
+            f"replayed record {seq} diverged: expected {expected!r}, "
+            f"got {got!r}",
+        )
+
+    def check_replay_digest(self, seq: int, expected: str, got: str) -> None:
+        """At a checkpoint offset the replayed master state must digest
+        to the checkpointed value."""
+        self._report(
+            "checkpoint-digest",
+            f"checkpoint at seq {seq}: state digest {got} != journaled "
+            f"{expected}",
+        )
+
+    def check_regeneration(self, owner: str, name: str,
+                           expected: str, got: str,
+                           time: Optional[float] = None) -> None:
+        """A regenerated file must byte-match (digest-match) the
+        original it replaces."""
+        if got != expected:
+            self._report(
+                "regeneration-integrity",
+                f"{owner}/{name}: regenerated digest {got} != original "
+                f"{expected}",
+                time=time,
+            )
+
 
 #: The installed sanitizer, or ``None`` (the common, zero-cost case).
 #: Instrumented modules read this attribute directly on the hot path.

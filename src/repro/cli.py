@@ -18,6 +18,7 @@ Five commands mirror the system's main user journeys:
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import List, Optional
 
@@ -216,12 +217,22 @@ def main_chaos(argv: Optional[List[str]] = None) -> int:
                              "byte-identical fault traces")
     parser.add_argument("--trace", action="store_true",
                         help="print the full fault trace after the summary")
+    parser.add_argument("--crash-at", type=int, default=None, metavar="N",
+                        help="crash the master after N journal records and "
+                             "resume by validated replay (overrides the "
+                             "scenario's crash_after)")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="write the certified run's write-ahead journal "
+                             "as JSONL (requires a crashing scenario or "
+                             "--crash-at; not valid with --scenario all)")
     args = parser.parse_args(argv)
 
     if args.list:
         for name in sorted(SCENARIOS):
             print(f"{name:12s} {SCENARIOS[name].description}")
         return 0
+    if args.journal is not None and args.scenario == "all":
+        parser.error("--journal requires a single --scenario")
 
     names = sorted(SCENARIOS) if args.scenario == "all" else [args.scenario]
     failures = 0
@@ -230,6 +241,10 @@ def main_chaos(argv: Optional[List[str]] = None) -> int:
     with sanitizer.enabled(strict=False) as san:
         for name in names:
             scenario = SCENARIOS[name]
+            if args.crash_at is not None:
+                scenario = dataclasses.replace(
+                    scenario, crash_after=args.crash_at
+                )
             report = run_chaos(scenario, seed=args.seed)
             if args.check_determinism:
                 again = run_chaos(scenario, seed=args.seed)
@@ -244,6 +259,15 @@ def main_chaos(argv: Optional[List[str]] = None) -> int:
             print(report.summary())
             if args.trace and report.trace_text:
                 print(report.trace_text)
+            if args.journal is not None:
+                if report.journal is None:
+                    print(
+                        "no journal to export: scenario has no crash_after "
+                        "(use --crash-at N)",
+                        file=sys.stderr,
+                    )
+                    return 2
+                report.journal.to_jsonl(args.journal)
             if not report.ok:
                 failures += 1
     for violation in san.violations:

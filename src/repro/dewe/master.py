@@ -71,6 +71,9 @@ class MasterDaemon:
         self._delayed_seq = 0
         self._events: Dict[str, threading.Event] = {}
         self._events_lock = threading.Lock()
+        #: Guards scheduler state (states/makespans/_delayed/_submit_times)
+        #: so :meth:`checkpoint` sees a consistent cut between handlers.
+        self._state_lock = threading.Lock()
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
 
@@ -125,6 +128,75 @@ class MasterDaemon:
         for state in self.states.values():
             out.extend(state.dead_letters)
         return out
+
+    # -- checkpoint / restore ------------------------------------------------
+    def checkpoint(self) -> "object":
+        """A consistent snapshot of the whole scheduler state
+        (:class:`~repro.recovery.checkpoint.MasterCheckpoint`).
+
+        Taken under the state lock, so it falls between message
+        handlers — the threaded analogue of the DES journal's
+        checkpoint records.  Safe to call from any thread while the
+        daemon runs.
+        """
+        from repro.recovery.checkpoint import MasterCheckpoint
+
+        now = time.monotonic()
+        with self._state_lock:
+            return MasterCheckpoint(
+                states={
+                    name: (state.workflow, state.snapshot())
+                    for name, state in self.states.items()
+                },
+                elapsed={
+                    name: now - t for name, t in self._submit_times.items()
+                },
+                makespans=dict(self.makespans),
+                rejected=dict(self.rejected),
+            )
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        broker: Broker,
+        checkpoint: "object",
+        config: Optional[DeweConfig] = None,
+        retry: Optional[RetryPolicy] = None,
+        republish: bool = True,
+    ) -> "MasterDaemon":
+        """Rebuild a master from a :meth:`checkpoint` after a crash.
+
+        Completed jobs stay completed — nothing that settled before the
+        checkpoint is re-run.  With ``republish`` (the default), every
+        job that was in flight at the checkpoint is re-dispatched with a
+        fresh attempt number: the old delivery may still be held by a
+        worker, and at-least-once idempotency absorbs whichever ack
+        loses the race.  The caller still has to :meth:`start` the
+        daemon.
+        """
+        master = cls(broker, config=config, retry=retry)
+        now = time.monotonic()
+        for name, (workflow, snapshot) in checkpoint.states.items():
+            state = WorkflowState.restore(
+                workflow,
+                snapshot,
+                default_timeout=master.config.default_timeout,
+                retry=master.retry,
+            )
+            master.states[name] = state
+            master._submit_times[name] = now - checkpoint.elapsed.get(name, 0.0)
+        master.makespans.update(checkpoint.makespans)
+        master.rejected.update(checkpoint.rejected)
+        for name in checkpoint.makespans:
+            master.completion_event(name).set()
+        if republish:
+            for state in master.states.values():
+                if state.is_settled:
+                    master._finish(state)
+                    continue
+                for job_id in state.requeue_in_flight(now):
+                    master._dispatch(state, job_id)
+        return master
 
     # -- internals ----------------------------------------------------------
     def _dispatch(self, state: WorkflowState, job_id: str) -> None:
@@ -226,7 +298,8 @@ class MasterDaemon:
             msg = broker.consume(TOPIC_SUBMIT)
             if msg is not None:
                 try:
-                    self._handle_submission(msg)
+                    with self._state_lock:
+                        self._handle_submission(msg)
                 except Exception as exc:  # noqa: BLE001
                     # A malformed or duplicate submission must not kill
                     # the daemon: record the rejection and keep serving.
@@ -236,8 +309,10 @@ class MasterDaemon:
                 ack = broker.consume(TOPIC_ACK)
                 if ack is None:
                     break
-                self._handle_ack(ack)
+                with self._state_lock:
+                    self._handle_ack(ack)
                 busy = True
-            self._check_timeouts()
+            with self._state_lock:
+                self._check_timeouts()
             if not busy:
                 time.sleep(self.config.master_poll_interval)

@@ -29,7 +29,7 @@ threads and the DES.
 from __future__ import annotations
 
 from enum import Enum
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Set
 
 from repro.faults.retry import DeadLetterEntry, RetryPolicy
 from repro.workflow.dag import Workflow
@@ -73,6 +73,12 @@ class WorkflowState:
         #: nonzero under at-least-once delivery with duplicated messages.
         self.duplicate_acks = 0
         self.dead_letters: List[DeadLetterEntry] = []
+        #: Jobs re-run (or inputs re-staged) to regenerate lost/corrupt
+        #: data files — the data-aware recovery counter.
+        self.data_recoveries = 0
+        #: producer job id -> consumers WAITING on its re-completion to
+        #: regenerate a lost/corrupt intermediate file.
+        self.regen_waiters: Dict[str, Set[str]] = {}
         self._n_completed = 0
         self._n_dead = 0
         for job in workflow.jobs.values():
@@ -92,6 +98,15 @@ class WorkflowState:
 
     def _timeout_of(self, job_id: str) -> float:
         return self.workflow.job(job_id).timeout or self.default_timeout
+
+    def exhausted(self, job_id: str) -> bool:
+        """Attempt budget check: the job's own ``max_attempts`` override
+        when set (0 = unlimited), else the shared retry policy."""
+        limit = self.workflow.job(job_id).max_attempts
+        attempts = self.attempt.get(job_id, 0)
+        if limit is not None:
+            return limit > 0 and attempts >= limit
+        return self.retry.exhausted(attempts)
 
     def mark_dispatched(self, job_id: str, now: float) -> None:
         """Arm the dispatch-loss deadline when the policy asks for it.
@@ -136,6 +151,23 @@ class WorkflowState:
         self.deadline.pop(job_id, None)
         self._n_completed += 1
         newly_ready: List[str] = []
+        waiters = self.regen_waiters.pop(job_id, None)
+        if waiters is not None:
+            # Re-completion of a producer re-run to regenerate a data
+            # file: only the registered waiters were re-blocked on it —
+            # its ordinary children already had their pending count
+            # decremented at the first completion.  Waiters keep their
+            # (bumped) attempt number so stale pre-recovery acks stay
+            # stale.
+            for child_id in sorted(waiters):
+                self.pending[child_id] -= 1
+                if (
+                    self.pending[child_id] == 0
+                    and self.status[child_id] is JobStatus.WAITING
+                ):
+                    self.status[child_id] = JobStatus.QUEUED
+                    newly_ready.append(child_id)
+            return newly_ready
         for child_id in self.workflow.job(job_id).children:
             self.pending[child_id] -= 1
             if (
@@ -159,7 +191,7 @@ class WorkflowState:
             return None
         if attempt != self.attempt[job_id]:
             return None
-        if self.retry.exhausted(self.attempt[job_id]):
+        if self.exhausted(job_id):
             self._dead_letter(job_id, "failed", now)
             return None
         self.attempt[job_id] += 1
@@ -167,6 +199,94 @@ class WorkflowState:
         self.deadline.pop(job_id, None)
         self.resubmissions += 1
         return job_id
+
+    def on_corrupt(
+        self,
+        job_id: str,
+        attempt: int,
+        producers: List[str],
+        now: float = 0.0,
+    ) -> Optional[List[str]]:
+        """Handle a data-integrity ack: a worker found the consumer's
+        input files corrupt or missing.
+
+        ``producers`` are the jobs whose outputs must be regenerated
+        (deduplicated, in detection order); files with no producer (raw
+        inputs) are re-staged by the caller and need no entry here.
+        Returns ``None`` for stale/duplicate acks, else the job ids to
+        (re)publish: the consumer itself when only raw inputs were lost,
+        else the minimal set of completed producers to re-run — the
+        consumer goes back to WAITING on them and is re-queued by
+        :meth:`on_completed`'s regeneration path.
+        """
+        status = self.status[job_id]
+        if status is JobStatus.COMPLETED or status is JobStatus.DEAD:
+            self.duplicate_acks += 1
+            return None
+        if attempt != self.attempt[job_id]:
+            self.duplicate_acks += 1
+            return None
+        self.data_recoveries += 1
+        # Bump the consumer's attempt so acks from the aborted delivery
+        # (or duplicated broker messages) are dropped as stale.
+        self.attempt[job_id] += 1
+        self.deadline.pop(job_id, None)
+        self.resubmissions += 1
+        if not producers:
+            self.status[job_id] = JobStatus.QUEUED
+            return [job_id]
+        self.status[job_id] = JobStatus.WAITING
+        to_dispatch: List[str] = []
+        for producer_id in producers:
+            waiters = self.regen_waiters.setdefault(producer_id, set())
+            if job_id not in waiters:
+                waiters.add(job_id)
+                self.pending[job_id] += 1
+            producer_status = self.status[producer_id]
+            if producer_status is JobStatus.COMPLETED:
+                if self.exhausted(producer_id):
+                    # Cannot regenerate within the attempt budget: the
+                    # producer dead-letters and the cascade takes the
+                    # WAITING consumer down as upstream-dead.  It is no
+                    # longer completed — its data is gone for good.
+                    self._n_completed -= 1
+                    self._dead_letter(producer_id, "data-loss", now)
+                    continue
+                # Un-complete the producer: it re-runs to rewrite its
+                # outputs.  Its ordinary children keep their state; only
+                # the registered waiters block on the re-completion.
+                self.status[producer_id] = JobStatus.QUEUED
+                self._n_completed -= 1
+                self.attempt[producer_id] += 1
+                self.resubmissions += 1
+                to_dispatch.append(producer_id)
+            elif producer_status is JobStatus.DEAD:
+                self._dead_letter_waiters(producer_id, now)
+            # QUEUED / RUNNING / WAITING: already being (re)generated —
+            # the waiter registration above is all that is needed.
+        return to_dispatch
+
+    def requeue_in_flight(self, now: float = 0.0) -> List[str]:
+        """Requeue every QUEUED/RUNNING job with a fresh attempt number.
+
+        The master-restart path: after restoring from a checkpoint, any
+        job that was in flight at the crash may or may not still be held
+        by a worker — at-least-once semantics make blind redelivery
+        safe (a late completion from the old delivery is absorbed as a
+        duplicate).  Jobs out of attempt budget dead-letter instead.
+        """
+        out: List[str] = []
+        for job_id, status in list(self.status.items()):
+            if status is JobStatus.QUEUED or status is JobStatus.RUNNING:
+                if self.exhausted(job_id):
+                    self._dead_letter(job_id, "master-crash", now)
+                    continue
+                self.attempt[job_id] += 1
+                self.status[job_id] = JobStatus.QUEUED
+                self.deadline.pop(job_id, None)
+                self.resubmissions += 1
+                out.append(job_id)
+        return out
 
     def expired(self, now: float) -> List[str]:
         """Jobs whose completion ack missed its deadline; re-QUEUED with a
@@ -178,7 +298,7 @@ class WorkflowState:
             if now >= deadline and (
                 status is JobStatus.RUNNING or status is JobStatus.QUEUED
             ):
-                if self.retry.exhausted(self.attempt[job_id]):
+                if self.exhausted(job_id):
                     self._dead_letter(job_id, "timeout", now)
                     continue
                 self.attempt[job_id] += 1
@@ -201,6 +321,7 @@ class WorkflowState:
         self.dead_letters.append(
             DeadLetterEntry(self.name, job_id, self.attempt.get(job_id, 0), reason, now)
         )
+        self._dead_letter_waiters(job_id, now)
         stack = list(self.workflow.job(job_id).children)
         while stack:
             child_id = stack.pop()
@@ -211,7 +332,24 @@ class WorkflowState:
             self.dead_letters.append(
                 DeadLetterEntry(self.name, child_id, 0, "upstream-dead", now)
             )
+            self._dead_letter_waiters(child_id, now)
             stack.extend(self.workflow.job(child_id).children)
+
+    def _dead_letter_waiters(self, producer_id: str, now: float) -> None:
+        """A producer that can never re-complete takes its regeneration
+        waiters down with it (they are its DAG descendants, but guard
+        here too in case the cascade visited them in a different order)."""
+        for waiter_id in sorted(self.regen_waiters.pop(producer_id, ())):
+            if self.status[waiter_id] is JobStatus.WAITING:
+                self.status[waiter_id] = JobStatus.DEAD
+                self._n_dead += 1
+                self.dead_letters.append(
+                    DeadLetterEntry(
+                        self.name, waiter_id,
+                        self.attempt.get(waiter_id, 0), "upstream-dead", now,
+                    )
+                )
+                self._dead_letter_waiters(waiter_id, now)
 
     # -- inspection ----------------------------------------------------------
     @property
@@ -252,3 +390,71 @@ class WorkflowState:
         for status in self.status.values():
             out[status.value] += 1
         return out
+
+    # -- checkpoint / restore ------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able snapshot of the full scheduler state for this
+        workflow — everything needed to resume after a master crash, and
+        the input to the journal's checkpoint digest."""
+        return {
+            "name": self.name,
+            "status": {j: s.value for j, s in self.status.items()},
+            "attempt": dict(self.attempt),
+            "pending": dict(self.pending),
+            "deadline": dict(self.deadline),
+            "resubmissions": self.resubmissions,
+            "duplicate_acks": self.duplicate_acks,
+            "data_recoveries": self.data_recoveries,
+            "dead_letters": [
+                [e.workflow, e.job_id, e.attempts, e.reason, e.time]
+                for e in self.dead_letters
+            ],
+            "regen_waiters": {
+                j: sorted(w) for j, w in self.regen_waiters.items()
+            },
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        workflow: Workflow,
+        snapshot: Dict[str, Any],
+        default_timeout: float = 600.0,
+        retry: Optional[RetryPolicy] = None,
+    ) -> "WorkflowState":
+        """Rebuild a state machine from a :meth:`snapshot`.
+
+        The workflow structure itself is not checkpointed — the caller
+        supplies the same DAG that produced the snapshot.
+        """
+        if snapshot["name"] != workflow.name:
+            raise ValueError(
+                f"snapshot is for workflow {snapshot['name']!r}, "
+                f"got {workflow.name!r}"
+            )
+        state = cls(
+            workflow, default_timeout=default_timeout,
+            validate=False, retry=retry,
+        )
+        state.status = {
+            j: JobStatus(v) for j, v in snapshot["status"].items()
+        }
+        state.attempt = {j: int(a) for j, a in snapshot["attempt"].items()}
+        state.pending = {j: int(p) for j, p in snapshot["pending"].items()}
+        state.deadline = {j: float(d) for j, d in snapshot["deadline"].items()}
+        state.resubmissions = int(snapshot["resubmissions"])
+        state.duplicate_acks = int(snapshot["duplicate_acks"])
+        state.data_recoveries = int(snapshot.get("data_recoveries", 0))
+        state.dead_letters = [
+            DeadLetterEntry(wf, job, int(att), reason, float(t))
+            for wf, job, att, reason, t in snapshot["dead_letters"]
+        ]
+        state.regen_waiters = {
+            j: set(w) for j, w in snapshot.get("regen_waiters", {}).items()
+        }
+        statuses = list(state.status.values())
+        state._n_completed = sum(
+            1 for s in statuses if s is JobStatus.COMPLETED
+        )
+        state._n_dead = sum(1 for s in statuses if s is JobStatus.DEAD)
+        return state

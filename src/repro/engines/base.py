@@ -108,6 +108,16 @@ class EngineResult:
     #: Broker chaos tallies (dropped/duplicated/delayed), when a
     #: :class:`~repro.mq.chaosbroker.ChaosSimBroker` served the run.
     mq_chaos_stats: Dict[str, int] = field(default_factory=dict)
+    #: Data-integrity tallies (verified/corrupted/lost/detected/
+    #: regenerated/restaged) when integrity models ran
+    #: (:class:`~repro.storage.integrity.FileIntegrity`).
+    integrity_stats: Dict[str, int] = field(default_factory=dict)
+    #: Jobs re-run (or inputs re-staged) by the data-aware recovery to
+    #: regenerate lost/corrupt files, summed over the ensemble.
+    data_recoveries: int = 0
+    #: The run's write-ahead journal
+    #: (:class:`~repro.recovery.journal.Journal`) when one was attached.
+    journal: Optional[object] = None
 
     # -- aggregate metrics (paper Fig 7) ------------------------------------
     def total_cpu_seconds(self) -> float:

@@ -40,7 +40,9 @@ from repro.faults.models import ChaosAPI, FaultTrace, TransientFaultModel
 from repro.faults.retry import DeadLetterEntry, RetryPolicy
 from repro.mq.chaosbroker import ChaosSimBroker, MessageChaos
 from repro.mq.simbroker import SimBroker
-from repro.sim import Interrupt, Process
+from repro.recovery.journal import Journal, MasterCrash
+from repro.sim import AnyOf, Interrupt, Process
+from repro.storage.integrity import FileIntegrity
 from repro.workflow.ensemble import Ensemble
 
 __all__ = ["PullEngine"]
@@ -50,6 +52,7 @@ _ACK = "job-acknowledgment"
 _RUNNING = 0
 _COMPLETED = 1
 _FAILED = 2
+_CORRUPT = 3    # worker found the job's input files corrupt/missing
 
 
 @dataclass
@@ -108,6 +111,8 @@ class PullEngine(EngineBase):
         chaos_models: Sequence = (),
         message_chaos: Optional[MessageChaos] = None,
         fault_trace: Optional[FaultTrace] = None,
+        journal: Optional[Journal] = None,
+        integrity_models: Sequence = (),
     ):
         """``autoscaler`` is an optional controller — a generator function
         taking an :class:`ElasticAPI` — that may start and (gracefully)
@@ -124,6 +129,16 @@ class PullEngine(EngineBase):
         ``message_chaos`` wraps the broker in a drop/duplicate/delay
         band; ``fault_trace`` collects every injected fault (a fresh
         trace is created when any chaos is configured and none given).
+
+        Recovery knobs: ``journal`` is a write-ahead
+        :class:`~repro.recovery.journal.Journal` recording every master
+        state transition (and, with ``crash_after`` set, injecting a
+        master crash); ``integrity_models`` are data-plane fault
+        injectors (:class:`~repro.faults.models.FileCorruptionModel`,
+        :class:`~repro.faults.models.FileLossModel`) — when present,
+        workers checksum their inputs before running a job and the
+        master regenerates damaged files by re-executing the minimal
+        ancestor set (data-aware recovery).
         """
         super().__init__(spec, config)
         self.broker_latency = broker_latency
@@ -135,6 +150,8 @@ class PullEngine(EngineBase):
         self.chaos_models = tuple(chaos_models)
         self.message_chaos = message_chaos
         self.fault_trace = fault_trace
+        self.journal = journal
+        self.integrity_models = tuple(integrity_models)
 
     def run(self, ensemble: Ensemble) -> EngineResult:
         sim, cluster, thread_logs = self._setup(ensemble)
@@ -163,7 +180,65 @@ class PullEngine(EngineBase):
         thread_counts = [0] * len(cluster.nodes)
         node_slots: List[List[Process]] = [[] for _ in cluster.nodes]
 
+        # -- data-integrity plane ---------------------------------------------
+        integrity: Optional[FileIntegrity] = None
+        if self.integrity_models:
+            integrity = FileIntegrity(trace=trace, models=self.integrity_models)
+            for wf in ensemble.workflows:
+                for f in wf.files().values():
+                    if f.kind == "input":
+                        integrity.record_stage(wf.name, f)
+        # file name -> producer job id, memoized per shared job table
+        # (relabelled ensemble members share the jobs dict).
+        producer_indexes: Dict[int, Dict[str, str]] = {}
+
+        def producer_index(state: WorkflowState) -> Dict[str, str]:
+            key = id(state.workflow.jobs)
+            index = producer_indexes.get(key)
+            if index is None:
+                index = {}
+                for job in state.workflow.jobs.values():
+                    for f in job.outputs:
+                        index[f.name] = job.id
+                producer_indexes[key] = index
+            return index
+
+        # -- write-ahead journal ----------------------------------------------
+        journal = self.journal
+        crash_event = sim.event()
+        if journal is None:
+            def jlog(kind: str, workflow: str = "", job_id: str = "",
+                     attempt: int = 0, detail: str = "") -> None:
+                return
+        else:
+            run_token = object()
+            journal.owner = run_token
+
+            def jlog(kind: str, workflow: str = "", job_id: str = "",
+                     attempt: int = 0, detail: str = "") -> None:
+                # Stale writers (a crashed run's generators, finalized by
+                # GC after the resume took over) must not touch the log.
+                if journal.owner is not run_token:
+                    return
+                journal.append(sim.now, kind, workflow, job_id, attempt, detail)
+
+            def _snapshots() -> Dict[str, Dict]:
+                return {name: states[name].snapshot() for name in sorted(states)}
+
+            def _on_crash() -> None:
+                if not crash_event.triggered:
+                    crash_event.succeed()
+
+            journal.snapshot_provider = _snapshots
+            journal.on_crash = _on_crash
+
         def dispatch(state: WorkflowState, job_id: str) -> None:
+            san = _sanitizer._ACTIVE
+            if san is not None:
+                san.check_dispatch(
+                    state.name, job_id, state.status[job_id].value, time=sim.now
+                )
+            jlog("dispatch", state.name, job_id, state.attempt.get(job_id, 0))
             state.mark_dispatched(job_id, sim.now)
             broker.publish(_DISPATCH, (state.name, job_id, state.attempt[job_id]))
 
@@ -194,6 +269,10 @@ class PullEngine(EngineBase):
                 dead_cursor[state.name] = len(state.dead_letters)
                 for entry in state.dead_letters[seen:]:
                     dead_letters.append(entry)
+                    jlog(
+                        "dead-letter", entry.workflow, entry.job_id,
+                        entry.attempts, entry.reason,
+                    )
                     trace.record(
                         sim.now,
                         "dead-letter",
@@ -215,6 +294,7 @@ class PullEngine(EngineBase):
             for submit_time, wf in ensemble:
                 if submit_time > sim.now:
                     yield sim.timeout(submit_time - sim.now)
+                jlog("submit", wf.name, detail=f"jobs={len(wf.jobs)}")
                 state = WorkflowState(
                     wf, cfg.default_timeout, validate=False, retry=retry_policy
                 )
@@ -224,21 +304,60 @@ class PullEngine(EngineBase):
                     dispatch(state, job_id)
                 maybe_finish(state)  # degenerate empty-DAG guard
 
+        def on_corrupt_ack(
+            state: WorkflowState, job_id: str, attempt: int, bad_names
+        ) -> None:
+            """Data-aware recovery: map damaged files to their producer
+            jobs and re-execute the minimal ancestor set; producerless
+            raw inputs are re-staged from the submit host."""
+            index = producer_index(state)
+            producers: List[str] = []
+            raw: List[str] = []
+            seen: set = set()
+            for file_name in bad_names:
+                producer_id = index.get(file_name)
+                if producer_id is None:
+                    raw.append(file_name)
+                elif producer_id not in seen:
+                    seen.add(producer_id)
+                    producers.append(producer_id)
+            to_dispatch = state.on_corrupt(job_id, attempt, producers, sim.now)
+            if to_dispatch is None:
+                return  # stale/duplicate detection report
+            if raw and integrity is not None:
+                by_name = {f.name: f for f in state.workflow.job(job_id).inputs}
+                for file_name in raw:
+                    integrity.restage(state.name, by_name[file_name], sim.now)
+            collect_dead(state)
+            for regen_id in to_dispatch:
+                dispatch(state, regen_id)
+            maybe_finish(state)
+
         def ack_loop():
             while True:
-                kind, name, job_id, attempt = yield broker.consume(_ACK)
+                msg = yield broker.consume(_ACK)
+                kind, name, job_id, attempt = msg[:4]
                 state = states[name]
                 if kind == _RUNNING:
+                    jlog("ack-running", name, job_id, attempt)
                     state.on_running(job_id, attempt, sim.now)
                     continue
                 if kind == _FAILED:
+                    jlog("ack-failed", name, job_id, attempt)
                     republish = state.on_failed(job_id, attempt, sim.now)
                     collect_dead(state)
                     if republish is not None:
                         redispatch(state, republish)
                     else:
                         maybe_finish(state)
+                elif kind == _CORRUPT:
+                    jlog(
+                        "ack-corrupt", name, job_id, attempt,
+                        ",".join(msg[4]),
+                    )
+                    on_corrupt_ack(state, job_id, attempt, msg[4])
                 else:
+                    jlog("ack-complete", name, job_id, attempt)
                     for child_id in state.on_completed(job_id, attempt):
                         dispatch(state, child_id)
                     maybe_finish(state)
@@ -252,6 +371,10 @@ class PullEngine(EngineBase):
                     if state.name in finished:
                         continue
                     for job_id in state.expired(sim.now):
+                        jlog(
+                            "timeout-requeue", state.name, job_id,
+                            state.attempt[job_id],
+                        )
                         redispatch(state, job_id)
                     collect_dead(state)
                     maybe_finish(state)
@@ -271,6 +394,7 @@ class PullEngine(EngineBase):
             slot_alive[node_index] -= 1
             if slot_alive[node_index] == 0 and leases[node_index]:
                 leases[node_index][-1][1] = sim.now
+                jlog("lease-expiry", detail=f"node={node_index}")
 
         def worker_slot(node_index: int):
             node = cluster.nodes[node_index]
@@ -291,6 +415,16 @@ class PullEngine(EngineBase):
                     name, job_id, attempt = msg
                     job = states[name].workflow.job(job_id)
                     broker.publish(_ACK, (_RUNNING, name, job_id, attempt))
+                    if integrity is not None:
+                        bad = integrity.verify(name, job.inputs, sim.now)
+                        if bad:
+                            # Don't run on damaged data: report the bad
+                            # files so the master can regenerate them.
+                            broker.publish(
+                                _ACK,
+                                (_CORRUPT, name, job_id, attempt, tuple(bad)),
+                            )
+                            continue
                     start = sim.now
                     thread_counts[node_index] += 1
                     log.record(sim.now, thread_counts[node_index])
@@ -312,6 +446,9 @@ class PullEngine(EngineBase):
                     thread_counts[node_index] -= 1
                     log.record(sim.now, thread_counts[node_index])
                     jobs_executed[0] += 1
+                    if integrity is not None:
+                        for f in job.outputs:
+                            integrity.record_write(name, f, sim.now)
                     if cfg.record_jobs:
                         read_t, compute_t, write_t = phases
                         records.append(
@@ -347,6 +484,7 @@ class PullEngine(EngineBase):
             if slot_alive[node_index] > 0:
                 return  # daemon already running on this node
             draining.discard(node_index)
+            jlog("lease-grant", detail=f"node={node_index}")
             leases[node_index].append([sim.now, None])
             slots = node_slots[node_index]
             slots.clear()
@@ -391,6 +529,7 @@ class PullEngine(EngineBase):
             # it for partial-hour-free spot billing.  A later replacement
             # starts a *new* lease, billed normally.
             if leases[node_index]:
+                jlog("billing-spot", detail=f"node={node_index}")
                 spot_interrupted.setdefault(node_index, []).append(
                     len(leases[node_index]) - 1
                 )
@@ -439,7 +578,26 @@ class PullEngine(EngineBase):
             )
             sim.process(self.autoscaler(api))
 
-        sim.run_until(done)
+        until = done if journal is None else AnyOf(sim, [done, crash_event])
+        try:
+            sim.run_until(until)
+        except MasterCrash:
+            # Raised out of a scheduled callback (e.g. a backoff
+            # redispatch) after the journal's crash budget was hit; the
+            # crash_event path below reports it uniformly.
+            pass
+        finally:
+            # The run is over: revoke write access so this run's worker
+            # generators — finalized by GC at some arbitrary later point
+            # — cannot append trailing records to a journal that a
+            # resumed run (or nobody) now owns.
+            if journal is not None:
+                journal.owner = None
+        if journal is not None and journal.crashed:
+            raise MasterCrash(
+                f"master crashed at t={sim.now:.6f} after {journal.seq} "
+                f"journal records; resume via resume_from(journal)"
+            )
         if cfg.drain_caches:
             sim.run_until(fs.drained())
 
@@ -477,4 +635,30 @@ class PullEngine(EngineBase):
             mq_chaos_stats=(
                 broker.stats() if isinstance(broker, ChaosSimBroker) else {}
             ),
+            integrity_stats=dict(integrity.stats) if integrity is not None else {},
+            data_recoveries=sum(s.data_recoveries for s in states.values()),
+            journal=journal,
         )
+
+    def resume_from(self, journal: Journal, ensemble: Ensemble) -> EngineResult:
+        """Resume a crashed run from its write-ahead journal.
+
+        The engine is deterministic, so resume is *validated replay*:
+        the journal is re-armed (:meth:`~repro.recovery.journal.Journal.resume`)
+        and the ensemble re-runs from t=0 with identical seeds; every
+        record appended inside the journaled prefix is validated
+        byte-for-byte against the crashed run's records (sanitizer check
+        ``journal-replay``), then the journal switches to live appends
+        and the run completes.  The caller must pass the same ensemble
+        (or an identically seeded rebuild).
+
+        Raises :class:`~repro.recovery.journal.ReplayDivergence` if the
+        resumed run diverges from the journaled prefix.
+        """
+        if journal.crashed:
+            journal.resume()
+        self.journal = journal
+        # Trace and broker chaos state are per-run: a fresh trace is
+        # created inside run() when none is pinned on the engine.
+        self.fault_trace = None
+        return self.run(ensemble)

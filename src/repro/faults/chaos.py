@@ -39,12 +39,16 @@ from repro.engines.base import RunConfig
 from repro.engines.pull import PullEngine
 from repro.faults.models import (
     FaultTrace,
+    FileCorruptionModel,
+    FileLossModel,
     SpotTerminationModel,
     StragglerModel,
     TransientFaultModel,
 )
 from repro.faults.retry import RetryPolicy
 from repro.mq.chaosbroker import MessageChaos
+from repro.recovery.crash import resume_until_complete
+from repro.recovery.journal import Journal
 from repro.workflow import Ensemble
 
 __all__ = ["ChaosScenario", "ChaosReport", "SCENARIOS", "get_scenario", "run_chaos"]
@@ -54,6 +58,8 @@ _SALT_SPOT = 1
 _SALT_TRANSIENT = 2
 _SALT_STRAGGLER = 3
 _SALT_MQ = 4
+_SALT_CORRUPT = 5
+_SALT_LOSS = 6
 
 
 @dataclass(frozen=True)
@@ -101,6 +107,18 @@ class ChaosScenario:
     p_duplicate: float = 0.0
     p_delay: float = 0.0
     mq_delay: float = 0.5
+    # -- data-plane faults (repro.storage.integrity) ----------------------
+    p_corrupt: float = 0.0
+    p_file_loss: float = 0.0
+    corrupt_targets: Tuple[str, ...] = ()
+    loss_targets: Tuple[str, ...] = ()
+    # -- master crash (repro.recovery) ------------------------------------
+    #: Crash the master after this many journal records, then resume via
+    #: validated replay and require the result to be byte-identical to
+    #: the uninterrupted run.  ``None`` = no crash.
+    crash_after: Optional[int] = None
+    #: Journal compaction cadence (records per checkpoint; 0 = never).
+    checkpoint_every: int = 25
     # -- invariant bounds -------------------------------------------------
     #: Chaos makespan must stay within ``baseline * max_slowdown +
     #: slack``; the slack absorbs fixed recovery costs (one timeout, one
@@ -148,7 +166,9 @@ class ChaosScenario:
             record_jobs=False,
         )
 
-    def build_engine(self, seed: int, horizon: float) -> PullEngine:
+    def build_engine(
+        self, seed: int, horizon: float, journal: Optional[Journal] = None
+    ) -> PullEngine:
         """Assemble the chaos-wired pull engine for one seeded run."""
         models: list = []
         if self.spot_rate_per_hour > 0:
@@ -188,6 +208,23 @@ class ChaosScenario:
                 delay=self.mq_delay,
                 seed=seed + _SALT_MQ,
             )
+        integrity_models: list = []
+        if self.p_corrupt > 0 or self.corrupt_targets:
+            integrity_models.append(
+                FileCorruptionModel(
+                    p=self.p_corrupt,
+                    seed=seed + _SALT_CORRUPT,
+                    targets=self.corrupt_targets,
+                )
+            )
+        if self.p_file_loss > 0 or self.loss_targets:
+            integrity_models.append(
+                FileLossModel(
+                    p=self.p_file_loss,
+                    seed=seed + _SALT_LOSS,
+                    targets=self.loss_targets,
+                )
+            )
         return PullEngine(
             self.spec(),
             config=self.run_config(),
@@ -196,6 +233,8 @@ class ChaosScenario:
             chaos_models=models,
             message_chaos=message_chaos,
             fault_trace=FaultTrace(),
+            journal=journal,
+            integrity_models=integrity_models,
         )
 
 
@@ -216,6 +255,17 @@ class ChaosReport:
     cost: float
     elastic_cost: float
     problems: List[str] = field(default_factory=list)
+    #: Master crashes injected and survived (``crash_after`` scenarios).
+    crashes: int = 0
+    #: Write-ahead journal records / checkpoints of the certified run.
+    journal_records: int = 0
+    checkpoints: int = 0
+    #: Data-plane recovery counters (``p_corrupt`` / ``p_file_loss``).
+    data_recoveries: int = 0
+    integrity_stats: Dict[str, int] = field(default_factory=dict)
+    #: The certified run's :class:`~repro.recovery.journal.Journal`
+    #: (``crash_after`` scenarios only) — exportable via ``to_jsonl``.
+    journal: Optional[Journal] = None
 
     @property
     def ok(self) -> bool:
@@ -247,6 +297,20 @@ class ChaosReport:
                 + ", ".join(
                     f"{k} {v}" for k, v in sorted(self.mq_chaos_stats.items())
                 )
+            )
+        if self.journal_records:
+            lines.append(
+                f"  journal: {self.journal_records} record(s), "
+                f"{self.checkpoints} checkpoint(s), "
+                f"{self.crashes} crash(es) survived"
+            )
+        if self.integrity_stats:
+            lines.append(
+                "  data plane: "
+                + ", ".join(
+                    f"{k} {v}" for k, v in sorted(self.integrity_stats.items())
+                )
+                + f"; {self.data_recoveries} recovery request(s)"
             )
         for entry in self.dead_letters:
             lines.append(
@@ -308,11 +372,50 @@ def _check_invariants(
     return problems
 
 
+def _compare_crash_resume(uninterrupted, resumed) -> List[str]:
+    """Field-by-field equality between the uninterrupted run and the
+    crash/resume run — validated replay promises *byte-identical*
+    recovery, so any divergence is an invariant violation."""
+    checks = [
+        ("makespan", uninterrupted.makespan, resumed.makespan),
+        ("workflow_spans", uninterrupted.workflow_spans, resumed.workflow_spans),
+        ("jobs_executed", uninterrupted.jobs_executed, resumed.jobs_executed),
+        ("resubmissions", uninterrupted.resubmissions, resumed.resubmissions),
+        ("dead_letters", uninterrupted.dead_letters, resumed.dead_letters),
+        ("job_counts", uninterrupted.job_counts, resumed.job_counts),
+        ("mq_chaos_stats", uninterrupted.mq_chaos_stats, resumed.mq_chaos_stats),
+        ("data_recoveries", uninterrupted.data_recoveries, resumed.data_recoveries),
+        ("integrity_stats", uninterrupted.integrity_stats, resumed.integrity_stats),
+        ("elastic_cost", uninterrupted.elastic_cost(), resumed.elastic_cost()),
+        (
+            "fault_trace",
+            [e.line() for e in uninterrupted.fault_events],
+            [e.line() for e in resumed.fault_events],
+        ),
+        (
+            "journal",
+            uninterrupted.journal.text() if uninterrupted.journal else "",
+            resumed.journal.text() if resumed.journal else "",
+        ),
+    ]
+    return [
+        f"crash/resume divergence in {name}: {a!r} != {b!r}"
+        for name, a, b in checks
+        if a != b
+    ]
+
+
 def run_chaos(scenario: ChaosScenario, seed: Optional[int] = None) -> ChaosReport:
     """Run ``scenario`` (baseline, then under chaos) and check invariants.
 
     The costs are computed inside the run so the billing sanitizer hooks
     fire; lease conservation is checked by the engine at run end.
+
+    When the scenario sets ``crash_after``, the chaos run is journaled
+    and then repeated with a master crash injected at that journal
+    offset; the resumed run must reproduce the uninterrupted result
+    byte for byte (the validated-replay contract of
+    :mod:`repro.recovery.journal`).
     """
     seed = scenario.seed if seed is None else seed
     baseline = PullEngine(scenario.spec(), config=scenario.run_config()).run(
@@ -322,9 +425,32 @@ def run_chaos(scenario: ChaosScenario, seed: Optional[int] = None) -> ChaosRepor
     # plausibly is; stretch it so late-run faults still occur under the
     # slowdown the faults themselves cause.
     horizon = baseline.makespan * (scenario.max_slowdown or 2.0)
-    engine = scenario.build_engine(seed, horizon)
+    journal = (
+        Journal(checkpoint_every=scenario.checkpoint_every)
+        if scenario.crash_after is not None
+        else None
+    )
+    engine = scenario.build_engine(seed, horizon, journal=journal)
     result = engine.run(scenario.ensemble())
     problems = _check_invariants(scenario, result, baseline.makespan)
+    crashes = 0
+    if scenario.crash_after is not None:
+        crash_journal = Journal(
+            checkpoint_every=scenario.checkpoint_every,
+            crash_after=scenario.crash_after,
+        )
+        resumed = resume_until_complete(
+            lambda j: scenario.build_engine(seed, horizon, journal=j),
+            scenario.ensemble,
+            crash_journal,
+        )
+        crashes = crash_journal.resumes
+        if crashes == 0:
+            problems.append(
+                f"crash_after={scenario.crash_after} never fired "
+                f"(journal only has {len(crash_journal)} record(s))"
+            )
+        problems.extend(_compare_crash_resume(result, resumed))
     return ChaosReport(
         scenario=scenario.name,
         seed=seed,
@@ -342,6 +468,12 @@ def run_chaos(scenario: ChaosScenario, seed: Optional[int] = None) -> ChaosRepor
         cost=result.cost(),
         elastic_cost=result.elastic_cost(),
         problems=problems,
+        crashes=crashes,
+        journal_records=len(journal) if journal is not None else 0,
+        checkpoints=len(journal.checkpoint_history) if journal is not None else 0,
+        data_recoveries=result.data_recoveries,
+        integrity_stats=dict(result.integrity_stats),
+        journal=journal,
     )
 
 
@@ -396,6 +528,33 @@ SCENARIOS: Dict[str, ChaosScenario] = {
             p_delay=0.10,
             max_attempts=8,
             max_slowdown=6.0,
+        ),
+        ChaosScenario(
+            name="master-crash",
+            description="Kill the journaled master mid-run (transient "
+            "failures and duplicate acks in flight), resume by validated "
+            "replay; the recovered run must be byte-identical to the "
+            "uninterrupted one.",
+            n_nodes=2,
+            n_workflows=2,
+            p_fail=0.05,
+            p_duplicate=0.05,
+            crash_after=60,
+            checkpoint_every=20,
+        ),
+        ChaosScenario(
+            name="data-loss",
+            description="Data-plane faults: a targeted corruption of an "
+            "mProjectPP output plus random corruption/loss of shared-FS "
+            "files; checksum verification must trigger minimal ancestor "
+            "re-execution and input restaging with zero dead letters.",
+            n_nodes=2,
+            n_workflows=2,
+            corrupt_targets=("*/p_000000.fits",),
+            loss_targets=("*/raw_000003.fits",),
+            p_corrupt=0.02,
+            p_file_loss=0.02,
+            max_slowdown=4.0,
         ),
         ChaosScenario(
             name="stragglers",

@@ -26,6 +26,7 @@ from __future__ import annotations
 import random
 import zlib
 from dataclasses import dataclass
+from fnmatch import fnmatchcase
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = [
@@ -36,6 +37,8 @@ __all__ = [
     "TransientFaultModel",
     "Degradation",
     "StragglerModel",
+    "FileCorruptionModel",
+    "FileLossModel",
 ]
 
 
@@ -338,3 +341,63 @@ class StragglerModel:
         api.trace.record(api.sim.now, "degrade-end", d.node)
         api.set_disk_factor(d.node, 1.0)
         api.set_cpu_factor(d.node, 1.0)
+
+
+class _FileFaultModel:
+    """Common machinery of the data-plane fault injectors.
+
+    A model *strikes* a file at write time — only ever on the file's
+    **first** write (``write_index == 1``), so the recovery path's
+    regenerated copy always lands clean and the data-aware recovery
+    terminates.  A file is hit when it matches one of the explicit
+    ``targets`` glob patterns (matched against both ``owner/name`` and
+    bare ``name``), or by a probability draw that is a pure CRC32
+    function of ``(seed, salt, owner, name)`` — no hidden RNG state, so
+    the set of damaged files is identical across runs of a seed.
+    """
+
+    kind = "file-fault"
+    outcome = "corrupt"
+    _salt = "file"
+
+    def __init__(
+        self,
+        p: float = 0.0,
+        seed: int = 0,
+        targets: Sequence[str] = (),
+    ):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {p}")
+        self.p = float(p)
+        self.seed = int(seed)
+        self.targets: Tuple[str, ...] = tuple(targets)
+
+    def strikes(self, owner: str, name: str, write_index: int) -> bool:
+        if write_index != 1:
+            return False
+        path = f"{owner}/{name}"
+        for pattern in self.targets:
+            if fnmatchcase(path, pattern) or fnmatchcase(name, pattern):
+                return True
+        if self.p <= 0.0:
+            return False
+        crc = zlib.crc32(f"{self.seed}|{self._salt}|{owner}|{name}".encode())
+        return crc / 0x100000000 < self.p
+
+
+class FileCorruptionModel(_FileFaultModel):
+    """Silent data corruption: the file exists but its checksum is wrong
+    (bit rot, torn writes, a RAID-0 member returning garbage)."""
+
+    kind = "file-corruption"
+    outcome = "corrupt"
+    _salt = "corrupt"
+
+
+class FileLossModel(_FileFaultModel):
+    """File loss: the file vanishes from the namespace (node churn under
+    a non-replicated shared FS, eventual-consistency windows)."""
+
+    kind = "file-loss"
+    outcome = "lost"
+    _salt = "loss"

@@ -73,14 +73,40 @@ def to_chrome_trace(result: EngineResult, path: Optional[_PathLike] = None) -> d
             "args": {"detail": fault.detail},
         }
         events.append(event)
+    # Journaled runs: mark every compaction checkpoint as a global
+    # instant event, so crash/resume points can be located on the
+    # timeline next to the faults they interact with.
+    journal = getattr(result, "journal", None)
+    if journal is not None:
+        for seq, time in journal.checkpoint_history:
+            events.append(
+                {
+                    "name": "journal-checkpoint",
+                    "cat": "recovery",
+                    "ph": "i",
+                    "ts": time * 1e6,
+                    "s": "g",
+                    "pid": 0,
+                    "args": {"seq": seq},
+                }
+            )
+    other = {
+        "engine": result.engine,
+        "cluster": result.spec.name,
+        "makespan_s": result.makespan,
+    }
+    if journal is not None:
+        other["journal"] = {
+            "records": len(journal),
+            "checkpoints": len(journal.checkpoint_history),
+            "resumes": journal.resumes,
+        }
+    if result.integrity_stats:
+        other["integrity"] = dict(result.integrity_stats)
     document = {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": {
-            "engine": result.engine,
-            "cluster": result.spec.name,
-            "makespan_s": result.makespan,
-        },
+        "otherData": other,
     }
     if path is not None:
         Path(path).write_text(json.dumps(document))

@@ -1,0 +1,31 @@
+"""Crash-consistent master: write-ahead journal, checkpoint/resume.
+
+See :mod:`repro.recovery.journal` for the recovery model and
+``docs/FAULTS.md`` ("Master and data-plane recovery") for the prose
+version.
+"""
+
+from repro.recovery.checkpoint import MasterCheckpoint, MasterCrashModel
+from repro.recovery.crash import resume_until_complete
+from repro.recovery.journal import (
+    Checkpoint,
+    Journal,
+    JournalError,
+    JournalRecord,
+    MasterCrash,
+    ReplayDivergence,
+    state_digest,
+)
+
+__all__ = [
+    "Checkpoint",
+    "Journal",
+    "JournalError",
+    "JournalRecord",
+    "MasterCheckpoint",
+    "MasterCrash",
+    "MasterCrashModel",
+    "ReplayDivergence",
+    "resume_until_complete",
+    "state_digest",
+]

@@ -1,0 +1,40 @@
+"""Crash/resume driver for the simulated engines.
+
+Small loop that runs an engine until its journal's injected crash fires,
+then resumes with a fresh engine (validated replay, see
+:mod:`repro.recovery.journal`) until the ensemble completes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.recovery.journal import Journal, JournalError, MasterCrash
+
+__all__ = ["resume_until_complete"]
+
+
+def resume_until_complete(
+    make_engine: Callable[[Journal], object],
+    make_ensemble: Callable[[], object],
+    journal: Journal,
+    max_resumes: int = 8,
+):
+    """Run to completion across injected master crashes.
+
+    ``make_engine(journal)`` must build a *fresh* engine wired to the
+    journal (engines accumulate per-run state, so each attempt gets its
+    own); ``make_ensemble()`` must rebuild an identical ensemble (the
+    determinism contract of validated replay).  Returns the final
+    :class:`~repro.engines.base.EngineResult`; the number of crashes
+    survived is ``journal.resumes``.
+    """
+    for _ in range(max_resumes + 1):
+        engine = make_engine(journal)
+        try:
+            return engine.run(make_ensemble())
+        except MasterCrash:
+            journal.resume()
+    raise JournalError(
+        f"ensemble did not complete within {max_resumes} resumes"
+    )

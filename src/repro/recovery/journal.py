@@ -1,0 +1,362 @@
+"""Write-ahead journal for the master's scheduler state.
+
+The paper's fault-tolerance evaluation (§V.A.3) only ever kills *workers*;
+the master daemon remains a single point of failure.  This module gives
+the master crash consistency the way databases do: every scheduler state
+transition — submit, dispatch, ack, retry, dead-letter, lease grant and
+expiry, spot-billing marks — is appended to a :class:`Journal` *before*
+its side effects are applied, and periodic :class:`Checkpoint` records
+compact the log so it never grows with ensemble size.
+
+Recovery model
+--------------
+
+The simulation engines are deterministic state machines: given the same
+ensemble, cluster and fault seeds, every transition happens at the same
+simulated time in the same order.  Resume is therefore *validated
+replay*: a crashed run's journal is re-armed with :meth:`Journal.resume`
+and the engine re-runs from t=0; every record the resumed run appends
+inside the journaled prefix is compared byte-for-byte against the stored
+record (and the master-state digest is compared at the checkpoint), so
+any divergence — nondeterminism, a corrupted journal, a schema drift —
+is caught immediately (sanitizer check ``journal-replay``).  Past the
+stored prefix the journal switches to live mode and the run continues to
+completion.  The guarantee certified by the chaos harness: a run crashed
+at *any* journal offset and resumed produces an
+:class:`~repro.engines.base.EngineResult` byte-identical to the
+uninterrupted run.
+
+The threaded master (:mod:`repro.dewe.master`) cannot replay wall-clock
+time; it uses the snapshot half of this machinery instead
+(:mod:`repro.recovery.checkpoint`): restore from the last periodic
+checkpoint and re-dispatch in-flight jobs, relying on the at-least-once
+idempotency of :class:`~repro.dewe.state.WorkflowState`.
+
+Crash injection
+---------------
+
+``Journal(crash_after=N)`` models the master process dying with exactly
+``N`` records durably on disk: the append that would write record
+``N + 1`` raises :class:`MasterCrash` instead, and every later append
+fails too (a dead master writes nothing).  Engines surface the crash by
+aborting the run with the same exception; callers resume via
+:func:`resume_until_complete` in :mod:`repro.recovery.crash`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+import repro.analysis.sanitizer as _sanitizer
+
+__all__ = [
+    "JournalRecord",
+    "Checkpoint",
+    "Journal",
+    "JournalError",
+    "MasterCrash",
+    "ReplayDivergence",
+    "state_digest",
+]
+
+
+class JournalError(RuntimeError):
+    """Malformed journal operation (append after crash, bad resume...)."""
+
+
+class MasterCrash(RuntimeError):
+    """The (injected) master crash: raised by the append that would have
+    exceeded the journal's ``crash_after`` budget, and by every append
+    after it — a dead master writes nothing."""
+
+
+class ReplayDivergence(JournalError):
+    """A resumed run appended a record that differs from the journaled
+    one at the same offset — the determinism contract is broken."""
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One scheduler state transition, appended before it is applied.
+
+    ``kind`` is the transition name (``submit``, ``dispatch``,
+    ``ack-running``, ``ack-complete``, ``ack-failed``, ``ack-corrupt``,
+    ``timeout-requeue``, ``dead-letter``, ``lease-grant``,
+    ``lease-expiry``, ``billing-spot``); ``time`` is the master's clock
+    (simulated seconds in the DES).  :meth:`line` is the canonical byte
+    representation used by the replay comparison.
+    """
+
+    seq: int
+    time: float
+    kind: str
+    workflow: str = ""
+    job_id: str = ""
+    attempt: int = 0
+    detail: str = ""
+
+    def line(self) -> str:
+        return (
+            f"{self.seq:08d} t={self.time:.9f} {self.kind} "
+            f"{self.workflow}/{self.job_id}#{self.attempt} {self.detail}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "time": self.time,
+            "kind": self.kind,
+            "workflow": self.workflow,
+            "job_id": self.job_id,
+            "attempt": self.attempt,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JournalRecord":
+        return cls(**data)
+
+
+def state_digest(snapshots: Dict[str, Any]) -> str:
+    """Stable digest of a master-state snapshot (canonical JSON, sha256)."""
+    blob = json.dumps(snapshots, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A compaction point: the master state at journal offset ``seq``.
+
+    Records with ``seq' <= seq`` are dropped from the journal once the
+    checkpoint is durable; resume restores from ``snapshots`` (or, in
+    the deterministic replay path, merely *validates* ``digest`` when
+    the resumed run reaches the same offset).
+    """
+
+    seq: int
+    time: float
+    digest: str
+    snapshots: Dict[str, Any]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "time": self.time,
+            "digest": self.digest,
+            "snapshots": self.snapshots,
+        }
+
+
+class Journal:
+    """Append-only scheduler journal with checkpoint compaction.
+
+    Parameters
+    ----------
+    checkpoint_every:
+        Take a checkpoint (and compact the log) every that many records;
+        0 disables checkpointing.  Requires a ``snapshot_provider``.
+    crash_after:
+        Fault injection: the append that would create record
+        ``crash_after + 1`` raises :class:`MasterCrash` instead.
+        ``None`` disables crashing.
+    """
+
+    def __init__(
+        self,
+        checkpoint_every: int = 0,
+        crash_after: Optional[int] = None,
+    ):
+        if checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
+        if crash_after is not None and crash_after < 0:
+            raise ValueError(f"crash_after must be >= 0, got {crash_after}")
+        self.checkpoint_every = checkpoint_every
+        self.crash_after = crash_after
+        #: Records since the last checkpoint (the durable tail).
+        self.records: List[JournalRecord] = []
+        #: The latest compaction point, if any.
+        self.checkpoint: Optional[Checkpoint] = None
+        #: ``(seq, time)`` of every checkpoint ever taken, for exports.
+        self.checkpoint_history: List[Tuple[int, float]] = []
+        self.seq = 0
+        self.crashed = False
+        #: How many times this journal has been resumed after a crash.
+        self.resumes = 0
+        #: Callable returning the master-state snapshot for checkpoints
+        #: and replay digest validation; installed by the engine.
+        self.snapshot_provider: Optional[Callable[[], Dict[str, Any]]] = None
+        #: Called once when the crash budget is hit (before the raise);
+        #: engines use it to schedule their own orderly abort.
+        self.on_crash: Optional[Callable[[], None]] = None
+        #: Token of the run currently writing to this journal.  Engines
+        #: set a fresh token per run and check it before appending, so a
+        #: crashed run's abandoned coroutines (finalized by GC at an
+        #: arbitrary later point) cannot pollute the resumed run's log.
+        self.owner: Optional[object] = None
+        # -- replay state (armed by resume()) -----------------------------
+        self._expected: List[JournalRecord] = []
+        self._expected_checkpoint: Optional[Checkpoint] = None
+        self._replay_end = 0
+
+    # -- inspection --------------------------------------------------------
+    @property
+    def replaying(self) -> bool:
+        """True while a resumed run is still inside the journaled prefix."""
+        return self.seq < self._replay_end
+
+    @property
+    def n_records(self) -> int:
+        """Records currently held (the tail since the last checkpoint)."""
+        return len(self.records)
+
+    def lines(self) -> List[str]:
+        return [record.line() for record in self.records]
+
+    def text(self) -> str:
+        return "\n".join(self.lines())
+
+    # -- appending ---------------------------------------------------------
+    def append(
+        self,
+        time: float,
+        kind: str,
+        workflow: str = "",
+        job_id: str = "",
+        attempt: int = 0,
+        detail: str = "",
+    ) -> JournalRecord:
+        """Durably record one transition; write-ahead of its side effects."""
+        if self.crashed:
+            raise MasterCrash(
+                f"master is down (crashed after {self.seq} journal records)"
+            )
+        if (
+            self.crash_after is not None
+            and self.seq >= self.crash_after
+            and not self.replaying
+        ):
+            self.crashed = True
+            if self.on_crash is not None:
+                self.on_crash()
+            raise MasterCrash(
+                f"injected master crash at journal offset {self.seq}"
+            )
+        self.seq += 1
+        record = JournalRecord(
+            self.seq, time, kind, workflow, job_id, attempt, detail
+        )
+        if self.seq <= self._replay_end:
+            self._validate_replay(record)
+        else:
+            self.records.append(record)
+            if (
+                self.checkpoint_every
+                and self.snapshot_provider is not None
+                and self.seq % self.checkpoint_every == 0
+            ):
+                self.take_checkpoint(time)
+        return record
+
+    def take_checkpoint(self, time: float) -> Checkpoint:
+        """Snapshot the master state and compact the journal."""
+        if self.snapshot_provider is None:
+            raise JournalError("cannot checkpoint without a snapshot_provider")
+        snapshots = self.snapshot_provider()
+        checkpoint = Checkpoint(
+            seq=self.seq,
+            time=time,
+            digest=state_digest(snapshots),
+            snapshots=snapshots,
+        )
+        self.checkpoint = checkpoint
+        self.checkpoint_history.append((self.seq, time))
+        self.records.clear()
+        return checkpoint
+
+    # -- crash / resume ----------------------------------------------------
+    def resume(self) -> "Journal":
+        """Re-arm a crashed journal for a validated-replay resume.
+
+        The surviving records (checkpoint + tail) become the *expected*
+        prefix; the journal resets to empty and the next run's appends
+        are validated against the prefix record-by-record, switching to
+        live appends once past it.  Returns ``self``.
+        """
+        if not self.crashed:
+            raise JournalError("resume() on a journal that did not crash")
+        self._expected = list(self.records)
+        self._expected_checkpoint = self.checkpoint
+        self._replay_end = self.seq
+        self.records = []
+        self.checkpoint = None
+        self.checkpoint_history = []
+        self.seq = 0
+        self.crashed = False
+        self.crash_after = None
+        self.resumes += 1
+        return self
+
+    def _validate_replay(self, record: JournalRecord) -> None:
+        """Compare a replayed record with the journaled one at its offset."""
+        checkpoint = self._expected_checkpoint
+        if checkpoint is not None and record.seq <= checkpoint.seq:
+            # Compacted region: no record survives to compare against.
+            self.records.append(record)
+            if record.seq == checkpoint.seq:
+                self._validate_checkpoint(checkpoint)
+            return
+        base = checkpoint.seq if checkpoint is not None else 0
+        expected = self._expected[record.seq - base - 1]
+        if expected.line() != record.line():
+            san = _sanitizer._ACTIVE
+            if san is not None:
+                san.check_replay(record.seq, expected.line(), record.line())
+            raise ReplayDivergence(
+                f"journal replay diverged at seq {record.seq}: "
+                f"expected {expected.line()!r}, got {record.line()!r}"
+            )
+        self.records.append(record)
+        if record.seq == self._replay_end:
+            # Prefix fully replayed: restore any live checkpoints taken
+            # beyond this point to the normal cadence.
+            self._expected = []
+
+    def _validate_checkpoint(self, checkpoint: Checkpoint) -> None:
+        """At the compaction offset, the replayed master state must match
+        the checkpointed one bit-for-bit (state digest)."""
+        if self.snapshot_provider is not None:
+            digest = state_digest(self.snapshot_provider())
+            if digest != checkpoint.digest:
+                san = _sanitizer._ACTIVE
+                if san is not None:
+                    san.check_replay_digest(
+                        checkpoint.seq, checkpoint.digest, digest
+                    )
+                raise ReplayDivergence(
+                    f"checkpoint digest mismatch at seq {checkpoint.seq}: "
+                    f"expected {checkpoint.digest}, got {digest}"
+                )
+        # Emulate the original compaction so the rebuilt journal ends in
+        # the same (checkpoint + tail) shape as the uninterrupted one.
+        self.checkpoint = checkpoint
+        self.checkpoint_history.append((checkpoint.seq, checkpoint.time))
+        self.records.clear()
+
+    # -- persistence -------------------------------------------------------
+    def to_jsonl(self, path: Union[str, Path]) -> None:
+        """Write the surviving journal (checkpoint line first, then the
+        tail records) as JSON lines."""
+        out = []
+        if self.checkpoint is not None:
+            out.append(json.dumps({"checkpoint": self.checkpoint.to_dict()}))
+        out.extend(json.dumps(r.to_dict()) for r in self.records)
+        Path(path).write_text("\n".join(out) + ("\n" if out else ""))
+
+    def __len__(self) -> int:
+        return self.seq

@@ -61,6 +61,10 @@ class Job:
     timeout:
         Per-job timeout override for the master daemon's resubmission
         mechanism (``None`` uses the system-wide default, paper §III.B).
+    max_attempts:
+        Per-job delivery-budget override for the retry machinery
+        (``None`` uses the run's :class:`~repro.faults.retry.RetryPolicy`
+        budget; ``0`` means unlimited).
     action:
         Optional callable executed by the real threaded engine.
     """
@@ -75,6 +79,7 @@ class Job:
         "parents",
         "children",
         "timeout",
+        "max_attempts",
         "action",
     )
 
@@ -87,12 +92,15 @@ class Job:
         inputs: Optional[Iterable[DataFile]] = None,
         outputs: Optional[Iterable[DataFile]] = None,
         timeout: Optional[float] = None,
+        max_attempts: Optional[int] = None,
         action: Optional[Callable[..., Any]] = None,
     ):
         if runtime < 0:
             raise ValueError(f"job runtime must be >= 0, got {runtime}")
         if threads < 1:
             raise ValueError(f"job threads must be >= 1, got {threads}")
+        if max_attempts is not None and max_attempts < 0:
+            raise ValueError(f"job max_attempts must be >= 0, got {max_attempts}")
         self.id = id
         self.task_type = task_type
         self.runtime = float(runtime)
@@ -102,6 +110,7 @@ class Job:
         self.parents: List[str] = []
         self.children: List[str] = []
         self.timeout = timeout
+        self.max_attempts = max_attempts
         self.action = action
 
     @property

@@ -21,6 +21,7 @@ from typing import Any, Dict, Union
 from repro.workflow.dag import DataFile, Job, Workflow
 
 __all__ = [
+    "FORMAT_VERSION",
     "workflow_to_dict",
     "workflow_from_dict",
     "save_json",
@@ -30,6 +31,11 @@ __all__ = [
 ]
 
 _PathLike = Union[str, Path]
+
+#: JSON schema version.  v1 (implicit, no ``version`` key) predates the
+#: retry/dead-letter metadata; v2 adds per-job ``max_attempts``.  Loaders
+#: accept both.
+FORMAT_VERSION = 2
 
 
 def workflow_to_dict(workflow: Workflow) -> Dict[str, Any]:
@@ -43,6 +49,7 @@ def workflow_to_dict(workflow: Workflow) -> Dict[str, Any]:
                 "runtime": job.runtime,
                 "threads": job.threads,
                 "timeout": job.timeout,
+                "max_attempts": job.max_attempts,
                 "inputs": [
                     {"name": f.name, "size": f.size, "kind": f.kind}
                     for f in job.inputs
@@ -54,7 +61,7 @@ def workflow_to_dict(workflow: Workflow) -> Dict[str, Any]:
                 "parents": list(job.parents),
             }
         )
-    return {"name": workflow.name, "jobs": jobs}
+    return {"version": FORMAT_VERSION, "name": workflow.name, "jobs": jobs}
 
 
 def workflow_from_dict(data: Dict[str, Any]) -> Workflow:
@@ -63,6 +70,12 @@ def workflow_from_dict(data: Dict[str, Any]) -> Workflow:
     File identity is restored by name so that a file shared between a
     producer and its consumers is a single :class:`DataFile` object.
     """
+    version = data.get("version", 1)
+    if version > FORMAT_VERSION:
+        raise ValueError(
+            f"workflow file is version {version}; this reader understands "
+            f"up to {FORMAT_VERSION}"
+        )
     workflow = Workflow(data["name"])
     files: Dict[str, DataFile] = {}
 
@@ -81,6 +94,7 @@ def workflow_from_dict(data: Dict[str, Any]) -> Workflow:
                 runtime=spec.get("runtime", 0.0),
                 threads=spec.get("threads", 1),
                 timeout=spec.get("timeout"),
+                max_attempts=spec.get("max_attempts"),
                 inputs=[intern_file(s) for s in spec.get("inputs", [])],
                 outputs=[intern_file(s) for s in spec.get("outputs", [])],
             )
@@ -120,6 +134,8 @@ def save_dax(workflow: Workflow, path: _PathLike) -> None:
         )
         if job.timeout is not None:
             el.set("timeout", repr(job.timeout))
+        if job.max_attempts is not None:
+            el.set("maxAttempts", str(job.max_attempts))
         for f in job.inputs:
             ET.SubElement(
                 el,
@@ -160,6 +176,7 @@ def load_dax(path: _PathLike) -> Workflow:
 
     for el in root.findall("job"):
         timeout = el.get("timeout")
+        max_attempts = el.get("maxAttempts")
         workflow.add_job(
             Job(
                 el.get("id"),
@@ -167,6 +184,7 @@ def load_dax(path: _PathLike) -> Workflow:
                 runtime=float(el.get("runtime", "0")),
                 threads=int(el.get("threads", "1")),
                 timeout=float(timeout) if timeout is not None else None,
+                max_attempts=int(max_attempts) if max_attempts is not None else None,
                 inputs=[
                     intern_file(u)
                     for u in el.findall("uses")

@@ -1,6 +1,7 @@
 """Integration tests for the chaos engine: fault models, message chaos,
 retry/dead-letter recovery in both execution paths, and the harness."""
 
+import dataclasses
 import pytest
 
 from repro.cloud import ClusterSpec
@@ -297,6 +298,61 @@ def test_chaos_cli_smoke_and_list():
 
     assert main_chaos(["--list"]) == 0
     assert main_chaos(["--scenario", "smoke"]) == 0
+
+
+def test_chaos_cli_exits_nonzero_on_invariant_failure(monkeypatch, capsys):
+    """Regression: a violated recovery invariant must fail the process
+    (exit 1), not just print — CI depends on it."""
+    import repro.faults.chaos as chaos_mod
+    from repro.cli import main_chaos
+
+    # A scenario that *expects* a dead letter that never happens: the
+    # dead-letter accounting invariant fails deterministically.
+    broken = dataclasses.replace(
+        get_scenario("smoke"), name="smoke", expect_dead=("mBgModel",)
+    )
+    monkeypatch.setitem(chaos_mod.SCENARIOS, "smoke", broken)
+    assert main_chaos(["--scenario", "smoke"]) == 1
+    assert "INVARIANT VIOLATED" in capsys.readouterr().out
+
+
+def test_chaos_cli_exits_nonzero_on_determinism_divergence(monkeypatch, capsys):
+    import repro.faults.chaos as chaos_mod
+    from repro.cli import main_chaos
+
+    real_run = chaos_mod.run_chaos
+    calls = []
+
+    def flaky_run(scenario, seed=None):
+        report = real_run(scenario, seed=seed)
+        calls.append(report)
+        if len(calls) % 2 == 0:  # second run of each pair "diverges"
+            report.trace_text += "\nghost-event"
+        return report
+
+    monkeypatch.setattr(chaos_mod, "run_chaos", flaky_run)
+    assert main_chaos(["--scenario", "smoke", "--check-determinism"]) == 1
+    assert "diverged" in capsys.readouterr().out
+
+
+def test_chaos_cli_crash_at_and_journal_export(tmp_path, capsys):
+    from repro.cli import main_chaos
+
+    path = tmp_path / "journal.jsonl"
+    assert main_chaos(
+        ["--scenario", "smoke", "--crash-at", "20", "--journal", str(path)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "1 crash(es) survived" in out
+    assert path.exists() and path.read_text().strip()
+
+
+def test_chaos_cli_journal_without_crash_is_usage_error(tmp_path, capsys):
+    from repro.cli import main_chaos
+
+    path = tmp_path / "journal.jsonl"
+    assert main_chaos(["--scenario", "smoke", "--journal", str(path)]) == 2
+    assert not path.exists()
 
 
 # -- monitor export ------------------------------------------------------------
