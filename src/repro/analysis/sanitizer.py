@@ -77,7 +77,7 @@ class Violation:
 class Sanitizer:
     """Collected-violation checker with optional fail-fast behaviour."""
 
-    __slots__ = ("strict", "violations", "_billing_hwm")
+    __slots__ = ("strict", "violations", "_billing_hwm", "_cow_owners")
 
     def __init__(self, strict: bool = False):
         self.strict = strict
@@ -85,6 +85,10 @@ class Sanitizer:
         # Per billing model: the largest rental duration checked so far and
         # the hours it billed, for the monotonicity sandwich check.
         self._billing_hwm: Dict[object, Tuple[float, float]] = {}
+        # id(mutable per-job dict) -> (owning workflow name, the dict).
+        # The strong reference keeps the dict alive so CPython cannot
+        # recycle its id for an unrelated later dict (false aliasing).
+        self._cow_owners: Dict[int, Tuple[str, object]] = {}
 
     def _report(self, check: str, message: str, time: Optional[float] = None) -> None:
         violation = Violation(check, message, time)
@@ -110,6 +114,28 @@ class Sanitizer:
                 f"event scheduled with negative delay {delay!r}",
                 time=now,
             )
+
+    # -- shared-structure ensembles (repro.dewe.state.WorkflowState) ----
+    def check_cow_isolation(self, state, skeleton) -> None:
+        """Per-member mutable job state must never alias the shared
+        skeleton's dicts, nor another member's (relabelled ensemble
+        members share the DAG structure; sharing *run state* would let
+        one member's progress corrupt another's)."""
+        if state.pending is skeleton.initial_pending:
+            self._report(
+                "cow-isolation",
+                f"{state.name}: pending counts alias the shared skeleton",
+            )
+        owners = self._cow_owners
+        for label, d in (("pending", state.pending), ("status", state.status)):
+            entry = owners.get(id(d))
+            if entry is not None and entry[1] is d and entry[0] != state.name:
+                self._report(
+                    "cow-isolation",
+                    f"{state.name}: {label} dict is shared with "
+                    f"workflow {entry[0]!r}",
+                )
+            owners[id(d)] = (state.name, d)
 
     # -- core pools (repro.sim.resources.CorePool) ----------------------
     def check_core_pool(self, pool) -> None:

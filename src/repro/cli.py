@@ -13,6 +13,9 @@ Five commands mirror the system's main user journeys:
   the repo code lint (``--code``).  See docs/STATIC_ANALYSIS.md.
 * ``repro-chaos`` — run an ensemble under a named fault scenario and
   verify the recovery invariants.  See docs/FAULTS.md.
+* ``repro-bench`` — kernel benchmark harness: measure event-loop and
+  engine throughput, write or compare the ``BENCH_kernel.json``
+  regression snapshot.  See docs/PERFORMANCE.md.
 """
 
 from __future__ import annotations
@@ -85,6 +88,9 @@ def main_run(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--verbose", action="store_true",
                         help="report every validation/lint problem, not "
                              "just the first few")
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile and print the top-20 "
+                             "hot spots by cumulative time")
     args = parser.parse_args(argv)
 
     fs = args.filesystem or ("local" if args.nodes == 1 else "moosefs")
@@ -112,7 +118,19 @@ def main_run(argv: Optional[List[str]] = None) -> int:
         default_timeout=args.timeout, record_jobs=args.export_dir is not None
     )
     engine = ENGINES[args.engine](spec, config)
-    result = engine.run(ensemble)
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        result = engine.run(ensemble)
+        profiler.disable()
+        pstats.Stats(profiler, stream=sys.stderr).sort_stats(
+            "cumulative"
+        ).print_stats(20)
+    else:
+        result = engine.run(ensemble)
     print(summary_table([run_summary(result)]))
     if args.export_dir is not None:
         from pathlib import Path
@@ -357,6 +375,86 @@ def main_lint(argv: Optional[List[str]] = None) -> int:
     if report.warnings:
         return 1
     return 0
+
+
+def main_bench(argv: Optional[List[str]] = None) -> int:
+    """Kernel benchmark harness (docs/PERFORMANCE.md).
+
+    Exit codes: 0 pass, 1 regression or determinism failure against the
+    snapshot given to ``--compare``, 2 usage error.
+    """
+    import os
+
+    from repro.parallel.bench import (
+        BENCH_FILENAME,
+        compare_benchmarks,
+        load_snapshot,
+        render_report,
+        run_benchmarks,
+        save_snapshot,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Measure kernel/engine throughput; write or compare "
+                    f"the {BENCH_FILENAME} regression snapshot.",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer repetitions and smaller workloads "
+                             "(CI mode)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="process-pool size for the parallel-runner "
+                             "benchmark")
+    parser.add_argument("--write", nargs="?", const=BENCH_FILENAME,
+                        default=None, metavar="PATH",
+                        help=f"save the snapshot (default {BENCH_FILENAME}); "
+                             "an existing file's 'baseline' section is "
+                             "preserved")
+    parser.add_argument("--mark-baseline", action="store_true",
+                        help="with --write: also store this run's numbers "
+                             "as the 'baseline' (before) section")
+    parser.add_argument("--compare", default=None, metavar="PATH",
+                        help="compare against a committed snapshot and "
+                             "fail on regression")
+    parser.add_argument("--tolerance", type=float, default=0.50,
+                        help="allowed fractional rate drop for --compare "
+                             "(default 0.50)")
+    args = parser.parse_args(argv)
+
+    payload = run_benchmarks(quick=args.quick, workers=args.workers)
+    print(render_report(payload))
+
+    status = 0
+    if args.compare is not None:
+        try:
+            committed = load_snapshot(args.compare)
+        except OSError as exc:
+            print(f"cannot read snapshot: {exc}", file=sys.stderr)
+            return 2
+        failures = compare_benchmarks(payload, committed, args.tolerance)
+        for failure in failures:
+            print(f"REGRESSION {failure}", file=sys.stderr)
+        if failures:
+            status = 1
+        else:
+            print(f"compare: within {args.tolerance:.0%} of "
+                  f"{args.compare} — OK")
+    if args.write is not None:
+        if args.mark_baseline:
+            payload["baseline"] = {
+                "benchmarks": payload["benchmarks"],
+                "machine": payload["machine"],
+            }
+        elif os.path.exists(args.write):
+            try:
+                payload["baseline"] = load_snapshot(args.write).get(
+                    "baseline", {}
+                )
+            except (OSError, ValueError):
+                pass
+        save_snapshot(payload, args.write)
+        print(f"snapshot written to {args.write}")
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

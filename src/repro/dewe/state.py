@@ -31,6 +31,7 @@ from __future__ import annotations
 from enum import Enum
 from typing import Any, Dict, List, Optional, Set
 
+import repro.analysis.sanitizer as _sanitizer
 from repro.faults.retry import DeadLetterEntry, RetryPolicy
 from repro.workflow.dag import Workflow
 from repro.workflow.validation import validate_workflow
@@ -64,8 +65,8 @@ class WorkflowState:
         self.name = workflow.name
         self.default_timeout = default_timeout
         self.retry = retry or RetryPolicy()
-        self.pending: Dict[str, int] = {}
-        self.status: Dict[str, JobStatus] = {}
+        self.pending: Dict[str, int]
+        self.status: Dict[str, JobStatus]
         self.attempt: Dict[str, int] = {}
         self.deadline: Dict[str, float] = {}
         self.resubmissions = 0
@@ -81,18 +82,26 @@ class WorkflowState:
         self.regen_waiters: Dict[str, Set[str]] = {}
         self._n_completed = 0
         self._n_dead = 0
-        for job in workflow.jobs.values():
-            self.pending[job.id] = len(job.parents)
-            self.status[job.id] = JobStatus.WAITING
+        # Copy-on-write per-member state: the shared skeleton provides the
+        # initial dependency counts once per jobs table; each member gets
+        # its own mutable copies (never aliased — sanitizer-checked).
+        skeleton = workflow.skeleton()
+        self.pending = dict(skeleton.initial_pending)
+        self.status = dict.fromkeys(skeleton.initial_pending, JobStatus.WAITING)
+        san = _sanitizer._ACTIVE
+        if san is not None:
+            san.check_cow_isolation(self, skeleton)
 
     # -- lifecycle ---------------------------------------------------------
     def initial_ready(self) -> List[str]:
         """Jobs eligible at submission; marks them QUEUED."""
         ready = []
-        for job_id, count in self.pending.items():
-            if count == 0 and self.status[job_id] is JobStatus.WAITING:
-                self.status[job_id] = JobStatus.QUEUED
-                self.attempt[job_id] = 1
+        status = self.status
+        attempt = self.attempt
+        for job_id in self.workflow.skeleton().roots:
+            if status[job_id] is JobStatus.WAITING:
+                status[job_id] = JobStatus.QUEUED
+                attempt[job_id] = 1
                 ready.append(job_id)
         return ready
 

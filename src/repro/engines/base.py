@@ -194,16 +194,23 @@ def execute_job(
     """
     t0 = sim.now
     # -- read phase --------------------------------------------------------
+    # Events that are already triggered (cache hits, free cores, buffered
+    # writes) are not yielded: the result is available now, and skipping
+    # the yield saves a suspend/resume round-trip per phase.
     if job.inputs:
         if read_miss_override is None:
-            yield fs.read(node, job.inputs, owner)
+            ev = fs.read(node, job.inputs, owner)
+            if not ev.triggered:
+                yield ev
         else:
             yield from _read_with_miss(sim, node, fs, job, read_miss_override)
     t1 = sim.now
     # -- compute phase -------------------------------------------------------
     cpu_seconds = job.runtime / speed + extra_cpu
     if cpu_seconds > 0:
-        yield node.cores.acquire()
+        grant = node.cores.acquire()
+        if not grant.triggered:
+            yield grant
         extra_cores = 0
         if job.threads > 1:
             # Opportunistically grab idle cores for multi-threaded jobs
@@ -219,10 +226,14 @@ def execute_job(
     t2 = sim.now
     # -- write phase ---------------------------------------------------------
     if job.outputs or extra_write_bytes > 0:
-        yield fs.write(node, job.outputs, owner)
+        ev = fs.write(node, job.outputs, owner)
+        if not ev.triggered:
+            yield ev
         if extra_write_bytes > 0:
             # Overhead bytes go to the local disk via the write cache.
-            yield node.write_cache.write(extra_write_bytes, (node.disk.write,))
+            ev = node.write_cache.write(extra_write_bytes, (node.disk.write,))
+            if not ev.triggered:
+                yield ev
     t3 = sim.now
     return (t1 - t0, t2 - t1, t3 - t2)
 

@@ -188,20 +188,10 @@ class PullEngine(EngineBase):
                 for f in wf.files().values():
                     if f.kind == "input":
                         integrity.record_stage(wf.name, f)
-        # file name -> producer job id, memoized per shared job table
-        # (relabelled ensemble members share the jobs dict).
-        producer_indexes: Dict[int, Dict[str, str]] = {}
-
         def producer_index(state: WorkflowState) -> Dict[str, str]:
-            key = id(state.workflow.jobs)
-            index = producer_indexes.get(key)
-            if index is None:
-                index = {}
-                for job in state.workflow.jobs.values():
-                    for f in job.outputs:
-                        index[f.name] = job.id
-                producer_indexes[key] = index
-            return index
+            # file name -> producer job id; interned on the skeleton,
+            # shared by all relabelled ensemble members.
+            return state.workflow.skeleton().producer_of
 
         # -- write-ahead journal ----------------------------------------------
         journal = self.journal
@@ -333,36 +323,46 @@ class PullEngine(EngineBase):
                 dispatch(state, regen_id)
             maybe_finish(state)
 
+        def handle_ack(msg) -> None:
+            kind, name, job_id, attempt = msg[:4]
+            state = states[name]
+            if kind == _RUNNING:
+                jlog("ack-running", name, job_id, attempt)
+                state.on_running(job_id, attempt, sim.now)
+                return
+            if kind == _FAILED:
+                jlog("ack-failed", name, job_id, attempt)
+                republish = state.on_failed(job_id, attempt, sim.now)
+                collect_dead(state)
+                if republish is not None:
+                    redispatch(state, republish)
+                else:
+                    maybe_finish(state)
+            elif kind == _CORRUPT:
+                jlog(
+                    "ack-corrupt", name, job_id, attempt,
+                    ",".join(msg[4]),
+                )
+                on_corrupt_ack(state, job_id, attempt, msg[4])
+            else:
+                jlog("ack-complete", name, job_id, attempt)
+                for child_id in state.on_completed(job_id, attempt):
+                    dispatch(state, child_id)
+                maybe_finish(state)
+
         def ack_loop():
             while True:
                 msg = yield broker.consume(_ACK)
-                kind, name, job_id, attempt = msg[:4]
-                state = states[name]
-                if kind == _RUNNING:
-                    jlog("ack-running", name, job_id, attempt)
-                    state.on_running(job_id, attempt, sim.now)
-                    continue
-                if kind == _FAILED:
-                    jlog("ack-failed", name, job_id, attempt)
-                    republish = state.on_failed(job_id, attempt, sim.now)
-                    collect_dead(state)
-                    if republish is not None:
-                        redispatch(state, republish)
-                    else:
-                        maybe_finish(state)
-                elif kind == _CORRUPT:
-                    jlog(
-                        "ack-corrupt", name, job_id, attempt,
-                        ",".join(msg[4]),
-                    )
-                    on_corrupt_ack(state, job_id, attempt, msg[4])
-                else:
-                    jlog("ack-complete", name, job_id, attempt)
-                    for child_id in state.on_completed(job_id, attempt):
-                        dispatch(state, child_id)
-                    maybe_finish(state)
-                if done.triggered:
-                    return
+                # Drain the whole burst before suspending: same-instant
+                # acks (batched broker deliveries) cost one resume total
+                # instead of one suspend/resume round-trip per message.
+                while True:
+                    handle_ack(msg)
+                    if done.triggered:
+                        return
+                    msg = broker.consume_nowait(_ACK)
+                    if msg is None:
+                        break
 
         def timeout_loop():
             while not done.triggered:
@@ -402,14 +402,20 @@ class PullEngine(EngineBase):
             try:
                 while node_index not in draining:
                     pending = broker.consume(_DISPATCH)
-                    idle_waits[node_index].add(pending)
-                    try:
-                        msg = yield pending
-                    except Interrupt:
-                        broker.cancel(_DISPATCH, pending)
-                        return
-                    finally:
-                        idle_waits[node_index].discard(pending)
+                    if pending.triggered:
+                        # A job was already queued: take it without a
+                        # suspend/resume round-trip.  (Queued jobs imply
+                        # no other slot is waiting, so no one is bypassed.)
+                        msg = pending.value
+                    else:
+                        idle_waits[node_index].add(pending)
+                        try:
+                            msg = yield pending
+                        except Interrupt:
+                            broker.cancel(_DISPATCH, pending)
+                            return
+                        finally:
+                            idle_waits[node_index].discard(pending)
                     if msg is None:
                         return  # consume cancelled (graceful scale-in)
                     name, job_id, attempt = msg

@@ -93,12 +93,10 @@ class CentralDispatchEngine(EngineBase):
 
         ready = FifoStore(sim)       # (state, job_id) awaiting a slot
         slots = FifoStore(sim)       # node indices with a free slot
-        for i, node in enumerate(cluster.nodes):
-            cap = node.cores.capacity
-            if self.max_slots_per_node is not None:
-                cap = min(cap, self.max_slots_per_node)
-            for _ in range(cap):
-                slots.put(i)
+        # One persistent runner generator per slot, fed through a
+        # per-node store — not one Process per job (the allocation cost
+        # the pull engine's worker slots already avoid).
+        node_feeds: List[FifoStore] = [FifoStore(sim) for _ in cluster.nodes]
 
         wf_complete_events: Dict[str, object] = {}
 
@@ -161,6 +159,16 @@ class CentralDispatchEngine(EngineBase):
                 if remaining[0] == 0:
                     done.succeed()
 
+        def slot_runner(node_index: int):
+            feed = node_feeds[node_index]
+            while True:
+                pending = feed.get()
+                if pending.triggered:
+                    state, job_id = pending.value
+                else:
+                    state, job_id = yield pending
+                yield from run_job(node_index, state, job_id)
+
         max_speed = max(node.itype.cpu_speed for node in cluster.nodes)
 
         def dispatcher():
@@ -183,7 +191,7 @@ class CentralDispatchEngine(EngineBase):
                 if self.submit_overhead > 0:
                     # The submission path handles one job at a time.
                     yield sim.timeout(self.submit_overhead)
-                sim.process(run_job(node_index, state, job_id))
+                node_feeds[node_index].put((state, job_id))
 
         def submitter():
             for submit_time, wf in ensemble:
@@ -199,6 +207,14 @@ class CentralDispatchEngine(EngineBase):
                 if self.sequential_workflows:
                     # DEWE v1 runs one workflow at a time (paper §I).
                     yield wf_complete_events[wf.name]
+
+        for i, node in enumerate(cluster.nodes):
+            cap = node.cores.capacity
+            if self.max_slots_per_node is not None:
+                cap = min(cap, self.max_slots_per_node)
+            for _ in range(cap):
+                slots.put(i)
+                sim.process(slot_runner(i))
 
         sim.process(submitter())
         sim.process(dispatcher())

@@ -1,0 +1,31 @@
+"""Deterministic parallel experiment runner and benchmark harness.
+
+The paper's evaluation sweeps whole grids of independent simulated runs
+(engines x cluster sizes x ensemble sizes, §V).  Each run is a
+self-contained discrete-event simulation, so the sweep is embarrassingly
+parallel — :func:`run_many` shards the runs across worker processes and
+merges the results in canonical submission order, producing output
+byte-identical to the serial :func:`run_serial` path.
+
+See docs/PERFORMANCE.md for the execution model and determinism
+contract; :mod:`repro.parallel.bench` holds the ``repro-bench`` kernel
+benchmark harness.
+"""
+
+from repro.parallel.runner import (
+    RunDigest,
+    RunSpec,
+    digest_result,
+    execute_spec,
+    run_many,
+    run_serial,
+)
+
+__all__ = [
+    "RunDigest",
+    "RunSpec",
+    "digest_result",
+    "execute_spec",
+    "run_many",
+    "run_serial",
+]

@@ -1,0 +1,278 @@
+"""Kernel benchmark harness behind the ``repro-bench`` CLI.
+
+Measures the throughput of the layers the fast path optimised — the raw
+event loop, the pull engine, the scheduling engine — plus the
+:mod:`repro.parallel` sweep runner, and writes/compares the
+``BENCH_kernel.json`` snapshot committed at the repo root.
+
+Two kinds of numbers per benchmark:
+
+* **rates** (ticks/s, jobs/s, wall seconds) — machine-dependent; the CI
+  compare gate allows a configurable slack (default 50%) because shared
+  runners drift;
+* **deterministic counters** (jobs executed, events scheduled) — must
+  match the committed snapshot exactly; a mismatch means the simulated
+  behaviour changed and the snapshot must be regenerated deliberately.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.parallel.runner import RunSpec, run_many, run_serial
+
+__all__ = [
+    "BENCH_FILENAME",
+    "run_benchmarks",
+    "compare_benchmarks",
+    "render_report",
+]
+
+BENCH_FILENAME = "BENCH_kernel.json"
+SCHEMA_VERSION = 1
+
+
+def _best_of(repeats: int, fn: Callable[[], Dict]) -> Dict:
+    """Run ``fn`` ``repeats`` times, keep the fastest (max rate) sample."""
+    best: Optional[Dict] = None
+    for _ in range(max(1, repeats)):
+        sample = fn()
+        if best is None or sample.get("rate", 0.0) > best.get("rate", 0.0):
+            best = sample
+    assert best is not None
+    return best
+
+
+def bench_event_loop(ticks: int = 20000, n_processes: int = 4) -> Dict:
+    """Raw kernel throughput: concurrent tickers yielding zero-work timeouts."""
+    from repro.sim import Simulator
+
+    sim = Simulator()
+
+    def ticker(period: float):
+        while True:
+            yield sim.timeout(period)
+
+    for i in range(n_processes):
+        sim.process(ticker(1.0 + i * 0.1))
+    t0 = time.perf_counter()
+    sim.run(until=float(ticks))
+    wall = time.perf_counter() - t0
+    return {
+        "rate": sim._seq / wall if wall > 0 else 0.0,
+        "unit": "events/s",
+        "wall_s": wall,
+        "events_scheduled": sim._seq,
+    }
+
+
+def _bench_engine(engine_name: str, degree: float) -> Dict:
+    spec = RunSpec(
+        engine=engine_name, workflow="montage", size=degree,
+        workflows=1, nodes=1, filesystem="local", record_jobs=False,
+    )
+    from repro.parallel.runner import execute_spec
+
+    t0 = time.perf_counter()
+    digest = execute_spec(spec)
+    wall = time.perf_counter() - t0
+    return {
+        "rate": digest.jobs_executed / wall if wall > 0 else 0.0,
+        "unit": "jobs/s",
+        "wall_s": wall,
+        "jobs": digest.jobs_executed,
+        "events_scheduled": digest.events_scheduled,
+        "makespan_s": digest.makespan,
+    }
+
+
+def bench_pull_engine(degree: float = 1.0) -> Dict:
+    """The headline number: simulated DEWE v2 jobs per wall-clock second."""
+    return _bench_engine("dewe-v2", degree)
+
+
+def bench_scheduling_engine(degree: float = 1.0) -> Dict:
+    return _bench_engine("pegasus", degree)
+
+
+def bench_ensemble_scale(members: int = 5, degree: float = 2.0) -> Dict:
+    """Shared-structure ensembles: many relabelled members, multi-node."""
+    from repro.parallel.runner import execute_spec
+
+    spec = RunSpec(
+        engine="dewe-v2", workflow="montage", size=degree,
+        workflows=members, nodes=4, record_jobs=False,
+    )
+    t0 = time.perf_counter()
+    digest = execute_spec(spec)
+    wall = time.perf_counter() - t0
+    return {
+        "rate": digest.jobs_executed / wall if wall > 0 else 0.0,
+        "unit": "jobs/s",
+        "wall_s": wall,
+        "jobs": digest.jobs_executed,
+        "members": members,
+        "events_scheduled": digest.events_scheduled,
+    }
+
+
+def bench_parallel_runner(workers: int = 4, n_specs: int = 8,
+                          workflows_per_spec: int = 4) -> Dict:
+    """Serial vs sharded sweep: identical digests, wall-clock speedup.
+
+    The speedup is hardware-bound — on a single-core runner the pool
+    cannot beat serial, so consumers must gate speedup expectations on
+    ``cpu_count`` (the compare gate does).
+    """
+    specs = [
+        RunSpec(
+            engine="dewe-v2", workflow="montage", size=1.0,
+            workflows=workflows_per_spec, nodes=1, filesystem="local",
+            record_jobs=False, label=f"sweep-{i:02d}",
+        )
+        for i in range(n_specs)
+    ]
+    t0 = time.perf_counter()
+    serial = run_serial(specs)
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    sharded = run_many(specs, workers=workers)
+    parallel_s = time.perf_counter() - t0
+    identical = [d.fingerprint for d in serial] == [d.fingerprint for d in sharded]
+    return {
+        "rate": 1.0 / parallel_s if parallel_s > 0 else 0.0,
+        "unit": "sweeps/s",
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s > 0 else 0.0,
+        "workers": workers,
+        "n_specs": n_specs,
+        "digests_identical": identical,
+        "jobs": sum(d.jobs_executed for d in serial),
+    }
+
+
+def run_benchmarks(quick: bool = False, workers: int = 4) -> Dict:
+    """Run the suite; return the ``BENCH_kernel.json`` payload."""
+    # Even quick mode keeps best-of-3 for the _best_of benchmarks: the
+    # 212-job engine runs cost ~10 ms each, and a single sample on a
+    # noisy shared runner can drift below any honest tolerance.
+    repeats = 3
+    results: Dict[str, Dict] = {}
+    results["event_loop"] = _best_of(
+        repeats, lambda: bench_event_loop(5000 if quick else 20000)
+    )
+    results["pull_engine"] = _best_of(repeats, lambda: bench_pull_engine(1.0))
+    results["scheduling_engine"] = _best_of(
+        repeats, lambda: bench_scheduling_engine(1.0)
+    )
+    if not quick:
+        results["ensemble_scale"] = bench_ensemble_scale()
+    results["parallel_runner"] = bench_parallel_runner(
+        workers=workers,
+        n_specs=4 if quick else 8,
+        workflows_per_spec=2 if quick else 4,
+    )
+    return {
+        "schema": SCHEMA_VERSION,
+        "generated_by": "repro-bench",
+        "quick": quick,
+        "machine": {
+            "python": platform.python_version(),
+            "implementation": sys.implementation.name,
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count() or 1,
+        },
+        "benchmarks": results,
+    }
+
+
+def compare_benchmarks(current: Dict, committed: Dict,
+                       tolerance: float = 0.50) -> List[str]:
+    """Regression gate: return a list of failure messages (empty = pass).
+
+    * rates may drop at most ``tolerance`` relative to the snapshot;
+    * deterministic counters (``jobs``, ``digests_identical``) must match
+      exactly — a drift means simulated behaviour changed;
+    * the parallel speedup is only gated on machines with >=2 CPUs.
+    """
+    failures: List[str] = []
+    committed_benchmarks = committed.get("benchmarks", {})
+    # Quick mode runs a subset of the suite on smaller workloads, so a
+    # quick run compared against a full snapshot (the CI configuration)
+    # only gates rates, not workload-sized counters.
+    same_workload = bool(current.get("quick")) == bool(committed.get("quick"))
+    for name, snap in committed_benchmarks.items():
+        cur = current["benchmarks"].get(name)
+        if cur is None:
+            if not same_workload:
+                continue
+            failures.append(f"{name}: benchmark missing from current run")
+            continue
+        floor = snap.get("rate", 0.0) * (1.0 - tolerance)
+        if cur.get("rate", 0.0) < floor:
+            failures.append(
+                f"{name}: rate regressed beyond {tolerance:.0%} — "
+                f"{cur.get('rate', 0.0):.1f} {cur.get('unit', '')} vs "
+                f"snapshot {snap.get('rate', 0.0):.1f} "
+                f"(floor {floor:.1f})"
+            )
+        if same_workload and "jobs" in snap and cur.get("jobs") != snap["jobs"]:
+            failures.append(
+                f"{name}: simulated job count changed "
+                f"({cur.get('jobs')} vs snapshot {snap['jobs']}) — "
+                f"regenerate {BENCH_FILENAME} if intentional"
+            )
+    par = current["benchmarks"].get("parallel_runner")
+    if par is not None:
+        if not par.get("digests_identical", False):
+            failures.append(
+                "parallel_runner: sharded sweep diverged from serial run"
+            )
+        cpus = current.get("machine", {}).get("cpu_count", 1)
+        if cpus >= 2 and par.get("speedup", 0.0) < min(2.0, 0.5 * cpus):
+            failures.append(
+                f"parallel_runner: speedup {par['speedup']:.2f}x on "
+                f"{par['workers']} workers / {cpus} CPUs "
+                f"(expected >= {min(2.0, 0.5 * cpus):.1f}x)"
+            )
+    return failures
+
+
+def render_report(payload: Dict) -> str:
+    lines = ["benchmark            rate              notes"]
+    for name, sample in payload["benchmarks"].items():
+        rate = f"{sample.get('rate', 0.0):>12,.1f} {sample.get('unit', ''):<8}"
+        notes = []
+        if "jobs" in sample:
+            notes.append(f"jobs={sample['jobs']}")
+        if "events_scheduled" in sample:
+            notes.append(f"events={sample['events_scheduled']}")
+        if "speedup" in sample:
+            notes.append(
+                f"speedup={sample['speedup']:.2f}x"
+                f" identical={sample['digests_identical']}"
+            )
+        lines.append(f"{name:<20} {rate}  {' '.join(notes)}")
+    machine = payload.get("machine", {})
+    lines.append(
+        f"(python {machine.get('python')}, {machine.get('cpu_count')} CPU(s), "
+        f"quick={payload.get('quick')})"
+    )
+    return "\n".join(lines)
+
+
+def load_snapshot(path: str) -> Dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def save_snapshot(payload: Dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -1,0 +1,200 @@
+"""Seeded deterministic process-pool runner for independent simulations.
+
+Design constraints:
+
+* **Determinism** — a sweep's output must not depend on how it was
+  executed.  Every run is described by a picklable :class:`RunSpec`;
+  workers rebuild the workload from the spec (never from shared state)
+  and the parent merges digests by submission index, so
+  ``run_many(specs)`` returns exactly ``run_serial(specs)`` regardless
+  of worker count, scheduling order, or which runs race ahead.
+* **Picklability** — :class:`~repro.engines.base.EngineResult` holds the
+  live simulator (suspended generator frames) and cannot cross a process
+  boundary.  Workers therefore reduce each result to a :class:`RunDigest`
+  of plain scalars plus a SHA-256 fingerprint over the full per-workflow
+  span table, which is what the determinism tests compare.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "RunSpec",
+    "RunDigest",
+    "digest_result",
+    "execute_spec",
+    "run_serial",
+    "run_many",
+]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent simulated run of a workflow ensemble.
+
+    Everything needed to reproduce the run bit-for-bit in a fresh
+    process.  ``seed`` feeds the engine's fault models when a chaos
+    scenario is attached; for fault-free runs it only labels the spec.
+    """
+
+    engine: str = "dewe-v2"
+    workflow: str = "montage"
+    size: float = 1.0
+    workflows: int = 1
+    interval: float = 0.0
+    instance_type: str = "c3.8xlarge"
+    nodes: int = 1
+    filesystem: Optional[str] = None
+    timeout: float = 600.0
+    record_jobs: bool = False
+    seed: int = 0
+    label: str = ""
+
+    def title(self) -> str:
+        return self.label or (
+            f"{self.engine}:{self.workflow}x{self.workflows}"
+            f"@{self.size}/{self.instance_type}x{self.nodes}"
+        )
+
+
+@dataclass(frozen=True)
+class RunDigest:
+    """Picklable reduction of an :class:`EngineResult` for sweep merging."""
+
+    label: str
+    engine: str
+    n_workflows: int
+    jobs_executed: int
+    makespan: float
+    mean_workflow_makespan: float
+    cpu_seconds: float
+    bytes_read: float
+    bytes_written: float
+    resubmissions: int
+    cost_usd: float
+    events_scheduled: int
+    #: SHA-256 over the canonical JSON of every per-workflow span plus
+    #: the scalar metrics — byte-identical runs have identical digests.
+    fingerprint: str = ""
+    #: Per-workflow ``name -> (start, end)`` spans (submission order
+    #: restored by sorting on name; names encode submission index).
+    workflow_spans: Tuple[Tuple[str, float, float], ...] = field(
+        default_factory=tuple
+    )
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+
+def digest_result(result, label: str = "", events_scheduled: int = 0) -> RunDigest:
+    """Reduce an EngineResult to a :class:`RunDigest` (picklable)."""
+    spans = tuple(
+        (name, float(start), float(end))
+        for name, (start, end) in sorted(result.workflow_spans.items())
+    )
+    body = {
+        "engine": result.engine,
+        "n_workflows": result.n_workflows,
+        "jobs_executed": result.jobs_executed,
+        "makespan": repr(result.makespan),
+        "resubmissions": result.resubmissions,
+        "bytes_read": repr(result.total_disk_read_bytes()),
+        "bytes_written": repr(result.total_disk_write_bytes()),
+        "spans": [(n, repr(s), repr(e)) for n, s, e in spans],
+    }
+    fingerprint = hashlib.sha256(
+        json.dumps(body, sort_keys=True, separators=(",", ":")).encode()
+    ).hexdigest()
+    return RunDigest(
+        label=label,
+        engine=result.engine,
+        n_workflows=result.n_workflows,
+        jobs_executed=result.jobs_executed,
+        makespan=result.makespan,
+        mean_workflow_makespan=result.mean_workflow_makespan(),
+        cpu_seconds=result.total_cpu_seconds(),
+        bytes_read=result.total_disk_read_bytes(),
+        bytes_written=result.total_disk_write_bytes(),
+        resubmissions=result.resubmissions,
+        cost_usd=result.cost(),
+        events_scheduled=events_scheduled,
+        fingerprint=fingerprint,
+        workflow_spans=spans,
+    )
+
+
+def _build_engine(spec: RunSpec):
+    from repro.cloud import ClusterSpec
+    from repro.engines import DeweV1Engine, PullEngine, SchedulingEngine
+    from repro.engines.base import RunConfig
+
+    engines = {
+        "dewe-v2": PullEngine,
+        "pegasus": SchedulingEngine,
+        "dewe-v1": DeweV1Engine,
+    }
+    if spec.engine not in engines:
+        raise ValueError(f"unknown engine {spec.engine!r}")
+    fs = spec.filesystem or ("local" if spec.nodes == 1 else "moosefs")
+    cluster = ClusterSpec(spec.instance_type, spec.nodes, filesystem=fs)
+    config = RunConfig(default_timeout=spec.timeout, record_jobs=spec.record_jobs)
+    return engines[spec.engine](cluster, config)
+
+
+def _build_ensemble(spec: RunSpec):
+    from repro.generators import cybershake_workflow, ligo_workflow, montage_workflow
+    from repro.workflow import Ensemble
+
+    if spec.workflow == "montage":
+        template = montage_workflow(degree=spec.size)
+    elif spec.workflow == "ligo":
+        template = ligo_workflow(blocks=max(1, int(spec.size)))
+    elif spec.workflow == "cybershake":
+        template = cybershake_workflow(ruptures=max(1, int(spec.size)))
+    else:
+        raise ValueError(f"unknown workflow kind {spec.workflow!r}")
+    return Ensemble.replicated(template, spec.workflows, interval=spec.interval)
+
+
+def execute_spec(spec: RunSpec) -> RunDigest:
+    """Run one spec in the current process and return its digest.
+
+    Module-level (picklable by reference) so :class:`ProcessPoolExecutor`
+    can ship it to workers.
+    """
+    engine = _build_engine(spec)
+    ensemble = _build_ensemble(spec)
+    result = engine.run(ensemble)
+    events = getattr(getattr(result.cluster, "sim", None), "_seq", 0)
+    return digest_result(result, label=spec.title(), events_scheduled=events)
+
+
+def run_serial(specs: Sequence[RunSpec]) -> List[RunDigest]:
+    """Reference serial execution, in submission order."""
+    return [execute_spec(spec) for spec in specs]
+
+
+def run_many(
+    specs: Sequence[RunSpec],
+    workers: int = 0,
+    chunksize: int = 1,
+) -> List[RunDigest]:
+    """Shard ``specs`` across a process pool; merge in submission order.
+
+    ``workers <= 1`` (or a single spec) falls back to the serial path —
+    same results, no pool overhead.  The returned list is indexed like
+    ``specs``: digest ``i`` always belongs to spec ``i``, whatever order
+    the workers finished in.
+    """
+    specs = list(specs)
+    if workers <= 1 or len(specs) <= 1:
+        return run_serial(specs)
+    with ProcessPoolExecutor(max_workers=min(workers, len(specs))) as pool:
+        # Executor.map preserves input order while letting runs complete
+        # out of order — the canonical-order merge is the iteration.
+        return list(pool.map(execute_spec, specs, chunksize=chunksize))

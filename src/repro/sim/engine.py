@@ -2,22 +2,40 @@
 
 The design follows the classic generator-coroutine DES pattern (SimPy):
 
-* :class:`Simulator` owns a binary-heap agenda of ``(time, seq, event)``
-  entries and a monotonically increasing sequence number that makes event
-  ordering fully deterministic.
+* :class:`Simulator` owns the event agenda and a monotonically increasing
+  sequence number that makes event ordering fully deterministic.
 * :class:`Event` is a one-shot occurrence; processes ``yield`` events to
   suspend until they trigger.
 * :class:`Process` wraps a generator and is itself an event that triggers
   when the generator returns (its value is the generator's return value).
 
-Only the features the workflow engines need are implemented; the hot path
-(schedule, pop, resume) avoids allocations beyond the heap entries
-themselves, per the HPC guide's advice to keep inner loops lean.
+Hot-path design (docs/PERFORMANCE.md):
+
+* The agenda is split into a binary heap for future events and a FIFO
+  deque for zero-delay events.  Most events in a workflow run trigger "at
+  the current instant" (``succeed``/``fail``, completed transfers, broker
+  hand-offs); routing them through a deque avoids two O(log n) heap
+  operations each.  Ordering is unchanged: events still fire in global
+  ``(time, seq)`` order, because every heap entry that shares the current
+  timestamp was necessarily scheduled at an earlier instant (and thus has
+  a smaller sequence number), and the deque preserves FIFO within the
+  instant.
+* :class:`Call` is a closure-free deferred function call: ``(func, args)``
+  are stored on the event itself and dispatched without allocating a
+  lambda (one object per call instead of three).
+* Abandoned timeouts are cancelled *lazily* (:meth:`Event.cancel`): the
+  agenda entry stays where it is and is skipped for free when popped,
+  instead of paying an O(n) heap removal.
+* The sanitizer-active check is cached on the simulator (``_san``) and
+  refreshed at every ``run``/``run_until``/``step`` entry, so the
+  disabled path costs nothing per scheduled event.  The run loops are
+  inlined and dispatch same-instant callbacks in batches.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 import repro.analysis.sanitizer as _sanitizer
@@ -27,6 +45,7 @@ __all__ = [
     "Interrupt",
     "Event",
     "Timeout",
+    "Call",
     "Process",
     "AllOf",
     "AnyOf",
@@ -96,7 +115,9 @@ class Event:
             raise SimulationError("event already triggered")
         self._state = _SUCCEEDED
         self._value = value
-        self.sim._schedule(0.0, self)
+        sim = self.sim
+        sim._seq += 1
+        sim._imm.append((sim._seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -107,8 +128,25 @@ class Event:
             raise TypeError("fail() requires an exception instance")
         self._state = _FAILED
         self._value = exception
-        self.sim._schedule(0.0, self)
+        sim = self.sim
+        sim._seq += 1
+        sim._imm.append((sim._seq, self))
         return self
+
+    def cancel(self) -> bool:
+        """Lazily cancel a triggered-but-unprocessed event.
+
+        The agenda entry is *not* removed (that would be O(n) on a heap);
+        the callback list is emptied instead, so the dispatch loop skips
+        the event for free when it surfaces.  Returns False if the event
+        was already processed.  Only sensible for events nothing waits on
+        (superseded wake-ups, abandoned timeouts).
+        """
+        callbacks = self.callbacks
+        if callbacks is None:
+            return False
+        del callbacks[:]
+        return True
 
 
 class Timeout(Event):
@@ -119,28 +157,63 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay!r}")
-        super().__init__(sim)
-        self.delay = delay
+        # Flattened Event.__init__ + schedule: this is one of the hottest
+        # allocation sites in an engine run.
+        self.sim = sim
+        self.callbacks = []
         self._state = _SUCCEEDED
         self._value = value
-        sim._schedule(delay, self)
+        self.delay = delay
+        sim._seq += 1
+        if delay == 0.0:
+            sim._imm.append((sim._seq, self))
+        else:
+            heapq.heappush(sim._heap, (sim.now + delay, sim._seq, self))
+
+
+class Call(Timeout):
+    """A deferred ``func(*args)`` with no closure allocation.
+
+    The event dispatches itself: it sits in its own callback list, and
+    calling it invokes the stored function.  ``Simulator.schedule_call``
+    returns these; cancelling one (:meth:`Event.cancel`) drops the call.
+    """
+
+    __slots__ = ("func", "args")
+
+    def __init__(self, sim: "Simulator", delay: float, func: Callable, args: tuple):
+        Timeout.__init__(self, sim, delay)
+        self.func = func
+        self.args = args
+        self.callbacks.append(self)
+
+    def __call__(self, _event: Event) -> None:
+        self.func(*self.args)
 
 
 class Process(Event):
     """A running generator; also an event that fires on generator return."""
 
-    __slots__ = ("_generator", "_waiting_on")
+    __slots__ = ("_generator", "_waiting_on", "_bound_resume")
 
     def __init__(self, sim: "Simulator", generator: Generator):
-        super().__init__(sim)
+        self.sim = sim
+        self.callbacks = []
+        self._state = _PENDING
+        self._value = None
         self._generator = generator
+        # One bound method reused for every wait (a fresh bound method per
+        # yield is a measurable allocation cost at millions of events).
+        resume = self._bound_resume = self._resume
         # Bootstrap: resume once at the current time.  The boot event is
         # tracked in _waiting_on so interrupt() can cancel it like any
         # other pending wait.
         boot = Event(sim)
+        boot._state = _SUCCEEDED
         self._waiting_on: Optional[Event] = boot
-        boot.callbacks.append(self._resume)
-        boot.succeed()
+        boot.callbacks.append(resume)
+        sim._seq += 1
+        sim._imm.append((sim._seq, boot))
 
     @property
     def is_alive(self) -> bool:
@@ -161,11 +234,11 @@ class Process(Event):
         target = self._waiting_on
         if target is not None and target.callbacks is not None:
             try:
-                target.callbacks.remove(self._resume)
+                target.callbacks.remove(self._bound_resume)
             except ValueError:
                 pass
         self._waiting_on = None
-        event.callbacks.append(self._resume)
+        event.callbacks.append(self._bound_resume)
 
     def _resume(self, event: Event) -> None:
         self._waiting_on = None
@@ -181,32 +254,40 @@ class Process(Event):
                 if self._state == _PENDING:
                     self._state = _SUCCEEDED
                     self._value = stop.value
-                    self.sim._schedule(0.0, self)
+                    sim = self.sim
+                    sim._seq += 1
+                    sim._imm.append((sim._seq, self))
                 return
             except Interrupt:
                 # Interrupt escaped the generator: treat as termination.
                 if self._state == _PENDING:
                     self._state = _SUCCEEDED
                     self._value = None
-                    self.sim._schedule(0.0, self)
+                    sim = self.sim
+                    sim._seq += 1
+                    sim._imm.append((sim._seq, self))
                 return
             except BaseException as exc:  # propagate failure to waiters
                 if self._state == _PENDING:
                     self._state = _FAILED
                     self._value = exc
-                    self.sim._schedule(0.0, self)
+                    sim = self.sim
+                    sim._seq += 1
+                    sim._imm.append((sim._seq, self))
                     return
                 raise
-            if not isinstance(target, Event):
+            try:
+                target_callbacks = target.callbacks
+            except AttributeError:
                 raise SimulationError(
                     f"process yielded {target!r}; processes must yield Event"
-                )
-            if target.callbacks is None:
+                ) from None
+            if target_callbacks is None:
                 # Already processed: loop and resume immediately.
                 event = target
                 continue
             self._waiting_on = target
-            target.callbacks.append(self._resume)
+            target_callbacks.append(self._bound_resume)
             return
 
 
@@ -227,12 +308,36 @@ class _Condition(Event):
                 ev.callbacks.append(self._check)
         if self._state == _PENDING:
             self._finalize_empty()
+        if self._state != _PENDING:
+            # Triggered during registration (a component was already
+            # processed): drop the remaining registrations right away so
+            # losers don't keep dead callbacks alive.
+            self._detach_losers(None)
 
     def _finalize_empty(self) -> None:
         raise NotImplementedError
 
     def _check(self, event: Event) -> None:
         raise NotImplementedError
+
+    def _detach_losers(self, winner: Optional[Event]) -> None:
+        """Remove our callback from every still-pending component.
+
+        Without this, a long-lived loser (an idle pull-loop consume, a
+        never-firing fault event) accumulates one dead callback per
+        composite it ever appeared in — memory growth plus dead dispatch
+        work in long chaos runs.
+        """
+        check = self._check
+        for ev in self._events:
+            if ev is winner:
+                continue
+            callbacks = ev.callbacks
+            if callbacks:
+                try:
+                    callbacks.remove(check)
+                except ValueError:
+                    pass
 
 
 class AllOf(_Condition):
@@ -249,6 +354,7 @@ class AllOf(_Condition):
             return
         if event._state == _FAILED:
             self.fail(event._value)
+            self._detach_losers(event)
             return
         self._pending -= 1
         if self._pending <= 0:
@@ -277,6 +383,9 @@ class AnyOf(_Condition):
             self.fail(event._value)
         else:
             self.succeed(event._value)
+        # First event wins: unsubscribe from the losers so they don't
+        # dispatch into (or keep alive) an already-decided condition.
+        self._detach_losers(event)
 
 
 class Simulator:
@@ -285,28 +394,49 @@ class Simulator:
     Time is a float in seconds.  Determinism: events scheduled for the
     same time fire in scheduling order (a global sequence number breaks
     ties), so repeated runs with the same seed are bit-identical.
+
+    The agenda has two lanes sharing one sequence-number space: ``_heap``
+    holds future events as ``(time, seq, event)`` and ``_imm`` holds
+    zero-delay events as ``(seq, event)``.  An entry in ``_heap`` whose
+    time equals ``now`` was scheduled at an earlier instant, so its seq is
+    smaller than that of any ``_imm`` entry (which was scheduled *at*
+    ``now``); the dispatch loops exploit this to merge the lanes in exact
+    ``(time, seq)`` order with one comparison.
+
+    The sanitizer hook is sampled at construction and refreshed at every
+    ``run``/``run_until``/``step`` entry (see docs/PERFORMANCE.md);
+    enabling the sanitizer mid-instant between ``step`` calls is
+    supported, enabling it mid-``run`` is not.
     """
 
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: list = []
+        self._imm: deque = deque()
         self._seq: int = 0
+        self._san = _sanitizer._ACTIVE
 
     # -- scheduling ------------------------------------------------------
     def _schedule(self, delay: float, event: Event) -> None:
-        san = _sanitizer._ACTIVE
+        san = self._san
         if san is not None:
             san.check_schedule(self.now, delay)
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        if delay == 0.0:
+            self._imm.append((self._seq, event))
+        else:
+            heapq.heappush(self._heap, (self.now + delay, self._seq, event))
 
     def schedule_call(
         self, delay: float, func: Callable[..., Any], *args: Any
-    ) -> Event:
-        """Run ``func(*args)`` after ``delay``; returns the trigger event."""
-        event = Timeout(self, delay)
-        event.callbacks.append(lambda ev: func(*args))
-        return event
+    ) -> Call:
+        """Run ``func(*args)`` after ``delay``; returns the trigger event.
+
+        ``func`` and ``args`` are stored on the returned :class:`Call`
+        directly — no closure is allocated, and the call can be withdrawn
+        with :meth:`Event.cancel`.
+        """
+        return Call(self, delay, func, args)
 
     # -- factories -------------------------------------------------------
     def event(self) -> Event:
@@ -327,8 +457,16 @@ class Simulator:
     # -- execution -------------------------------------------------------
     def step(self) -> None:
         """Process one event from the agenda."""
-        time, _seq, event = heapq.heappop(self._heap)
-        san = _sanitizer._ACTIVE
+        self._san = san = _sanitizer._ACTIVE
+        imm = self._imm
+        heap = self._heap
+        if imm and not (
+            heap and heap[0][0] == self.now and heap[0][1] < imm[0][0]
+        ):
+            time = self.now
+            event = imm.popleft()[1]
+        else:
+            time, _seq, event = heapq.heappop(heap)
         if san is not None:
             san.check_step(self.now, time)
         self.now = time
@@ -343,17 +481,50 @@ class Simulator:
 
         Returns the simulation time at exit.
         """
+        self._san = san = _sanitizer._ACTIVE
         heap = self._heap
-        if until is None:
-            while heap:
-                self.step()
-        else:
-            if until < self.now:
-                raise ValueError(f"until={until} is in the past (now={self.now})")
-            while heap and heap[0][0] <= until:
-                self.step()
-            if self.now < until:
-                self.now = until
+        imm = self._imm
+        if until is not None and until < self.now:
+            raise ValueError(f"until={until} is in the past (now={self.now})")
+        if san is not None:
+            if until is None:
+                while imm or heap:
+                    self.step()
+            else:
+                while imm or (heap and heap[0][0] <= until):
+                    self.step()
+                if self.now < until:
+                    self.now = until
+            return self.now
+        # Fast path: inlined dispatch, no per-event method call, batched
+        # same-instant callbacks (the imm lane drains without touching
+        # the clock or the heap).
+        pop = heapq.heappop
+        popleft = imm.popleft
+        while True:
+            if imm:
+                if heap and heap[0][0] == self.now and heap[0][1] < imm[0][0]:
+                    event = pop(heap)[2]
+                else:
+                    event = popleft()[1]
+            elif heap:
+                entry = pop(heap)
+                time = entry[0]
+                if until is not None and time > until:
+                    heapq.heappush(heap, entry)
+                    break
+                self.now = time
+                event = entry[2]
+            else:
+                break
+        # -- dispatch -----------------------------------------------
+            callbacks = event.callbacks
+            event.callbacks = None
+            if callbacks:
+                for callback in callbacks:
+                    callback(event)
+        if until is not None and self.now < until:
+            self.now = until
         return self.now
 
     def run_until(self, event: Event) -> float:
@@ -363,15 +534,42 @@ class Simulator:
         service processes (worker pull loops, timeout checkers) still
         have events on the agenda.
         """
+        self._san = san = _sanitizer._ACTIVE
         heap = self._heap
+        imm = self._imm
+        if san is not None:
+            while event.callbacks is not None:
+                if not (imm or heap):
+                    raise SimulationError(
+                        "agenda exhausted before the awaited event triggered"
+                    )
+                self.step()
+            return self.now
+        pop = heapq.heappop
+        popleft = imm.popleft
         while event.callbacks is not None:
-            if not heap:
+            if imm:
+                if heap and heap[0][0] == self.now and heap[0][1] < imm[0][0]:
+                    current = pop(heap)[2]
+                else:
+                    current = popleft()[1]
+            elif heap:
+                entry = pop(heap)
+                self.now = entry[0]
+                current = entry[2]
+            else:
                 raise SimulationError(
                     "agenda exhausted before the awaited event triggered"
                 )
-            self.step()
+            callbacks = current.callbacks
+            current.callbacks = None
+            if callbacks:
+                for callback in callbacks:
+                    callback(current)
         return self.now
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        if self._imm:
+            return self.now
         return self._heap[0][0] if self._heap else float("inf")

@@ -27,6 +27,7 @@ monitoring layer can reconstruct mpstat/iostat-style time series (paper
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_right
 from collections import deque
 from typing import Any, Deque, List, Optional, Tuple
 
@@ -48,28 +49,38 @@ class SegmentLog:
     throughput.
     """
 
-    __slots__ = ("times", "values")
+    __slots__ = ("times", "values", "_cum")
 
     def __init__(self, t0: float = 0.0, v0: float = 0.0):
         self.times: List[float] = [t0]
         self.values: List[float] = [v0]
+        #: Running integral at each change point: _cum[i] is the integral
+        #: of the step function over [times[0], times[i]].  Maintained
+        #: incrementally so integrate() is O(log n) instead of rebuilding
+        #: numpy arrays over the whole history per call.
+        self._cum: List[float] = [0.0]
 
     def record(self, t: float, value: float) -> None:
         """Append a change point at ``t`` (must be non-decreasing)."""
-        if value == self.values[-1]:
+        values = self.values
+        if value == values[-1]:
             return
-        if t == self.times[-1]:
+        times = self.times
+        if t == times[-1]:
             # Same-instant update: overwrite instead of storing a
             # zero-length segment.
-            self.values[-1] = value
-            if len(self.times) >= 2 and self.values[-2] == value:
-                self.times.pop()
-                self.values.pop()
+            values[-1] = value
+            if len(times) >= 2 and values[-2] == value:
+                times.pop()
+                values.pop()
+                self._cum.pop()
             return
-        if t < self.times[-1]:
-            raise ValueError(f"time went backwards: {t} < {self.times[-1]}")
-        self.times.append(t)
-        self.values.append(value)
+        if t < times[-1]:
+            raise ValueError(f"time went backwards: {t} < {times[-1]}")
+        cum = self._cum
+        cum.append(cum[-1] + (t - times[-1]) * values[-1])
+        times.append(t)
+        values.append(value)
 
     @property
     def current(self) -> float:
@@ -77,13 +88,11 @@ class SegmentLog:
 
     def integrate(self, t_end: float) -> float:
         """Integral of the step function from its start to ``t_end``."""
-        times = np.asarray(self.times, dtype=np.float64)
-        values = np.asarray(self.values, dtype=np.float64)
+        times = self.times
         if t_end <= times[0]:
             return 0.0
-        edges = np.minimum(np.append(times, max(t_end, times[-1])), t_end)
-        widths = np.diff(edges)  # zero for segments entirely past t_end
-        return float(np.dot(widths, values))
+        idx = bisect_right(times, t_end) - 1
+        return self._cum[idx] + (t_end - times[idx]) * self.values[idx]
 
     def sample(
         self, t_end: float, dt: float, t_start: float = 0.0
@@ -120,7 +129,10 @@ class SegmentLog:
 class CorePool:
     """Counting resource with FIFO queueing (vCPU slots on a node)."""
 
-    __slots__ = ("sim", "capacity", "busy", "name", "log", "_queue", "_cancelled")
+    __slots__ = (
+        "sim", "capacity", "busy", "name", "log", "_queue", "_cancelled",
+        "_granted",
+    )
 
     def __init__(self, sim: Simulator, capacity: int, name: str = "cores"):
         if capacity < 1:
@@ -132,6 +144,11 @@ class CorePool:
         self.log = SegmentLog(sim.now, 0.0)
         self._queue: Deque[Event] = deque()
         self._cancelled: set = set()
+        # Shared already-triggered grant for the uncontended fast path:
+        # callers only inspect ``triggered`` (and may yield, which
+        # re-enters immediately), so one processed event serves every
+        # immediate grant without an allocation or an agenda entry.
+        self._granted = Event(sim).succeed()
 
     @property
     def available(self) -> int:
@@ -143,12 +160,12 @@ class CorePool:
 
     def acquire(self) -> Event:
         """Request one core; the returned event fires when it is granted."""
-        event = Event(self.sim)
         if self.busy < self.capacity and not self._queue:
             self.busy += 1
             self.log.record(self.sim.now, self.busy)
-            event.succeed()
+            event = self._granted
         else:
+            event = Event(self.sim)
             self._queue.append(event)
         san = _sanitizer._ACTIVE
         if san is not None:
@@ -210,7 +227,8 @@ class FairShareLink:
         "_n",
         "_heap",
         "_seq",
-        "_wake_token",
+        "_wake_ev",
+        "_wake_time",
         "bytes_total",
     )
 
@@ -226,7 +244,8 @@ class FairShareLink:
         self._n = 0
         self._heap: list = []  # (v_target, seq, event)
         self._seq = 0
-        self._wake_token = 0
+        self._wake_ev: Optional[Event] = None
+        self._wake_time = 0.0
         self.bytes_total = 0.0
 
     @property
@@ -242,17 +261,36 @@ class FairShareLink:
         self._last = now
 
     def _reschedule(self) -> None:
-        self._wake_token += 1
-        if self._n == 0:
-            return
-        token = self._wake_token
-        v_next = self._heap[0][0]
-        dt = max(0.0, (v_next - self._v) * self._n / self.capacity)
-        self.sim.schedule_call(dt, self._wake, token)
+        """Arm (or keep) the wake-up for the next completion.
 
-    def _wake(self, token: int) -> None:
-        if token != self._wake_token:
-            return  # superseded by a later arrival/departure
+        A pending wake-up that fires *no later* than the new target is
+        reused: firing early is merely spurious (nothing is ripe, the
+        wake re-arms itself), whereas firing late would delay a
+        completion.  Since arrivals only push completions later, the
+        common churn pattern — transfer starts while others are in
+        flight — keeps one wake-up alive instead of cancelling and
+        re-allocating an event per arrival.
+        """
+        wake = self._wake_ev
+        if self._n == 0:
+            if wake is not None:
+                wake.cancel()
+                self._wake_ev = None
+            return
+        v_next = self._heap[0][0]
+        dt = (v_next - self._v) * self._n / self.capacity
+        if dt < 0.0:
+            dt = 0.0
+        target = self.sim.now + dt
+        if wake is not None:
+            if wake.callbacks and self._wake_time <= target:
+                return
+            wake.cancel()  # fires too late (or already dead): supersede
+        self._wake_ev = self.sim.schedule_call(dt, self._wake)
+        self._wake_time = target
+
+    def _wake(self) -> None:
+        self._wake_ev = None
         self._advance()
         heap = self._heap
         fired = 0

@@ -82,7 +82,8 @@ class WriteBackCache:
         self.bytes_flushed = 0.0
         self._queue: Deque[Tuple[float, Tuple[FairShareLink, ...]]] = deque()
         self._stalled: Deque[Tuple[Event, float, Tuple[FairShareLink, ...]]] = deque()
-        self._flusher_running = False
+        self._flusher_started = False
+        self._work: Event | None = None
         self._drained: List[Event] = []
 
     def write(self, nbytes: float, links: Tuple[FairShareLink, ...]) -> Event:
@@ -117,9 +118,16 @@ class WriteBackCache:
 
     # -- internals ---------------------------------------------------------
     def _ensure_flusher(self) -> None:
-        if not self._flusher_running and (self._queue or self._stalled):
-            self._flusher_running = True
+        # One persistent flusher process per cache: it parks on a signal
+        # event between busy periods instead of being re-spawned per
+        # burst (a generator + Process + bootstrap event each time).
+        if not self._flusher_started:
+            self._flusher_started = True
             self.sim.process(self._flush_loop())
+        else:
+            work = self._work
+            if work is not None and not work.triggered:
+                work.succeed()
 
     def _admit_stalled(self) -> None:
         while self._stalled:
@@ -133,6 +141,16 @@ class WriteBackCache:
 
     def _flush_loop(self):
         sim = self.sim
+        while True:
+            while not (self._queue or self._stalled):
+                # Idle: park until the next write signals new work.
+                event = self._work = Event(sim)
+                yield event
+                self._work = None
+            yield from self._flush_burst()
+
+    def _flush_burst(self):
+        sim = self.sim
         first_batch = True
         while self._queue or self._stalled:
             if not first_batch and self.flush_interval > 0:
@@ -142,6 +160,17 @@ class WriteBackCache:
             self._admit_stalled()
             while self._queue:
                 nbytes, links = self._queue.popleft()
+                # Coalesce queued entries bound for the same route, up to
+                # one chunk: the links see one stream with the same total
+                # bytes either way (PS-exact), and dirty pages were
+                # already released at burst granularity.
+                queue = self._queue
+                while (
+                    queue
+                    and queue[0][1] == links
+                    and nbytes + queue[0][0] <= self.chunk
+                ):
+                    nbytes += queue.popleft()[0]
                 remaining = nbytes
                 while remaining > 0:
                     burst = min(self.chunk, remaining)
@@ -156,7 +185,6 @@ class WriteBackCache:
                     if san is not None:
                         san.check_cache(self)
                     self._admit_stalled()
-        self._flusher_running = False
         if self.dirty <= 1e-6 and not self._stalled:
             san = _sanitizer._ACTIVE
             if san is not None:

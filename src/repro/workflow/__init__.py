@@ -16,7 +16,7 @@ real DEWE v2 engine (:mod:`repro.dewe`) and the cluster-simulation engines
   incremental submission plans (paper §V.A.2).
 """
 
-from repro.workflow.dag import DataFile, Job, Workflow
+from repro.workflow.dag import DataFile, Job, Workflow, WorkflowSkeleton
 from repro.workflow.ensemble import Ensemble, SubmissionPlan
 from repro.workflow.traces import homogeneity_index, task_type_stats
 from repro.workflow.validation import ValidationError, validate_workflow
@@ -28,6 +28,7 @@ __all__ = [
     "SubmissionPlan",
     "ValidationError",
     "Workflow",
+    "WorkflowSkeleton",
     "homogeneity_index",
     "task_type_stats",
     "validate_workflow",

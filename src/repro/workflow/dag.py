@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
-__all__ = ["DataFile", "Job", "Workflow"]
+__all__ = ["DataFile", "Job", "Workflow", "WorkflowSkeleton"]
 
 
 class DataFile:
@@ -125,6 +125,45 @@ class Job:
         return f"Job({self.id!r}, {self.task_type}, {self.runtime:.2f}s)"
 
 
+class WorkflowSkeleton:
+    """Derived views of a workflow's immutable structure, built once.
+
+    Everything here is a pure function of the (append-only) jobs table:
+    initial dependency counts, root job ids, the file namespace and the
+    file→producer map.  Ensemble members created with
+    :meth:`Workflow.relabel` share the jobs table — and therefore share
+    one skeleton — so a 200-member ensemble pays for these scans once
+    instead of 200 times.  Per-member *mutable* run state (pending
+    counts, statuses) is copied out of the skeleton by each
+    :class:`~repro.dewe.state.WorkflowState`; the skeleton itself must
+    never be mutated (the sanitizer's ``cow-isolation`` check enforces
+    this).
+    """
+
+    __slots__ = ("jobs", "initial_pending", "roots", "files", "producer_of")
+
+    def __init__(self, jobs: Dict[str, Job]):
+        self.jobs = jobs
+        initial_pending: Dict[str, int] = {}
+        roots: List[str] = []
+        files: Dict[str, DataFile] = {}
+        producer_of: Dict[str, str] = {}
+        for job in jobs.values():
+            n = len(job.parents)
+            initial_pending[job.id] = n
+            if n == 0:
+                roots.append(job.id)
+            for f in job.inputs:
+                files.setdefault(f.name, f)
+            for f in job.outputs:
+                files.setdefault(f.name, f)
+                producer_of[f.name] = job.id
+        self.initial_pending = initial_pending
+        self.roots: Tuple[str, ...] = tuple(roots)
+        self.files = files
+        self.producer_of = producer_of
+
+
 class Workflow:
     """A named DAG of jobs.
 
@@ -137,12 +176,17 @@ class Workflow:
     def __init__(self, name: str):
         self.name = name
         self.jobs: Dict[str, Job] = {}
+        # One-element cell shared across relabel() clones, so a skeleton
+        # built through any member is visible to all of them (and an
+        # add_job/add_dependency through any member invalidates it).
+        self._skeleton_cell: List[Optional[WorkflowSkeleton]] = [None]
 
     # -- construction ----------------------------------------------------
     def add_job(self, job: Job) -> Job:
         if job.id in self.jobs:
             raise ValueError(f"duplicate job id: {job.id!r}")
         self.jobs[job.id] = job
+        self._skeleton_cell[0] = None
         return job
 
     def new_job(self, id: str, task_type: str, **kwargs: Any) -> Job:
@@ -159,9 +203,25 @@ class Workflow:
             raise KeyError(f"unknown parent job: {parent_id!r}")
         if child is None:
             raise KeyError(f"unknown child job: {child_id!r}")
-        if child_id not in parent.children:
-            parent.children.append(child_id)
-            child.parents.append(parent_id)
+        # Duplicate check against the shorter endpoint list: high-fanout
+        # vertices (mConcatFit collects 5,692 fits) would otherwise make
+        # DAG construction quadratic in the fan-in.
+        if len(parent.children) <= len(child.parents):
+            if child_id in parent.children:
+                return
+        elif parent_id in child.parents:
+            return
+        parent.children.append(child_id)
+        child.parents.append(parent_id)
+        self._skeleton_cell[0] = None
+
+    def skeleton(self) -> WorkflowSkeleton:
+        """The interned structural views (cached; shared by relabels)."""
+        sk = self._skeleton_cell[0]
+        if sk is None or sk.jobs is not self.jobs:
+            sk = WorkflowSkeleton(self.jobs)
+            self._skeleton_cell[0] = sk
+        return sk
 
     # -- queries ---------------------------------------------------------
     def __len__(self) -> int:
@@ -217,14 +277,12 @@ class Workflow:
         return sum(job.runtime for job in self.jobs.values())
 
     def files(self) -> Dict[str, DataFile]:
-        """All distinct files referenced by the workflow, keyed by name."""
-        out: Dict[str, DataFile] = {}
-        for job in self.jobs.values():
-            for f in job.inputs:
-                out.setdefault(f.name, f)
-            for f in job.outputs:
-                out.setdefault(f.name, f)
-        return out
+        """All distinct files referenced by the workflow, keyed by name.
+
+        Served from the interned skeleton; the returned dict is a copy,
+        so callers may mutate it freely.
+        """
+        return dict(self.skeleton().files)
 
     def bytes_by_kind(self) -> Dict[str, float]:
         """Total bytes of distinct files per kind (input/intermediate/output)."""
@@ -247,6 +305,7 @@ class Workflow:
         """
         clone = Workflow(new_name)
         clone.jobs = self.jobs
+        clone._skeleton_cell = self._skeleton_cell
         return clone
 
     def __repr__(self) -> str:
