@@ -10,7 +10,12 @@ Three coordinated layers:
   cache and billing;
 * :mod:`~repro.analysis.codelint` — AST lints for repo-specific hazards
   (wall-clock/RNG in deterministic code, set-iteration tie-breaks,
-  ``__slots__`` violations).
+  ``__slots__`` violations, and the CL005-CL008 lock-discipline rules
+  for the threaded daemons);
+* :mod:`~repro.analysis.concurrency` — the concurrency correctness
+  plane: the ``REPRO_RACEDETECT`` event recorder and shims, the offline
+  happens-before/lockset race detector, and the seeded schedule
+  explorer behind ``repro-schedules``.
 
 The package ``__init__`` is lazy (PEP 562): instrumented hot modules import
 ``repro.analysis.sanitizer`` at startup, and that must not drag the
@@ -28,12 +33,16 @@ __all__ = [
     "Finding",
     "InvariantViolation",
     "LintFinding",
+    "Race",
     "Sanitizer",
     "Severity",
     "analyze_ensemble",
     "analyze_workflow",
     "codelint",
+    "concurrency",
     "dataflow",
+    "detect_races",
+    "race_report",
     "report",
     "sanitizer",
 ]
@@ -47,6 +56,11 @@ if TYPE_CHECKING:  # pragma: no cover - static typing only
     from repro.analysis.report import AnalysisReport, Finding, Severity
     from repro.analysis.sanitizer import InvariantViolation, Sanitizer
     from repro.analysis.codelint import LintFinding
+    from repro.analysis.concurrency.detector import (
+        Race,
+        detect_races,
+        race_report,
+    )
 
 _EXPORTS = {
     "AnalysisReport": ("repro.analysis.report", "AnalysisReport"),
@@ -58,6 +72,9 @@ _EXPORTS = {
     "InvariantViolation": ("repro.analysis.sanitizer", "InvariantViolation"),
     "Sanitizer": ("repro.analysis.sanitizer", "Sanitizer"),
     "LintFinding": ("repro.analysis.codelint", "LintFinding"),
+    "Race": ("repro.analysis.concurrency.detector", "Race"),
+    "detect_races": ("repro.analysis.concurrency.detector", "detect_races"),
+    "race_report": ("repro.analysis.concurrency.detector", "race_report"),
 }
 
 

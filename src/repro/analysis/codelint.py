@@ -20,6 +20,16 @@ CL003     iteration over a ``set`` in scheduling/provisioning decision code
 CL004     a ``__slots__`` class assigns a ``self`` attribute not declared
           in its (resolvable) slots chain — raises ``AttributeError`` at
           runtime, usually on a rarely executed path
+CL005     a ``_guarded_by_``-annotated shared attribute is accessed
+          outside its guarding lock (threaded code: ``repro/dewe``,
+          ``repro/mq``) — see
+          :mod:`repro.analysis.concurrency.lints`
+CL006     locks of one class are acquired in inconsistent nesting order
+          (deadlock-prone)
+CL007     a blocking call (``time.sleep``, ``subprocess``, thread
+          ``join``/foreign ``wait``) is made while holding a lock
+CL008     bare ``time.sleep`` polling inside a loop where an ``Event`` /
+          ``Condition`` wait belongs
 ========  ==================================================================
 
 Run via ``repro-lint --code`` or the tier-1 test
@@ -48,14 +58,26 @@ RULES: Dict[str, str] = {
     "CL002": "nondeterministic RNG call inside deterministic simulation code",
     "CL003": "iteration over an unordered set in decision code",
     "CL004": "__slots__ class assigns an attribute not declared in __slots__",
+    "CL005": "guarded shared attribute accessed without its guarding lock",
+    "CL006": "inconsistent lock-acquisition order (deadlock-prone)",
+    "CL007": "blocking call while holding a lock",
+    "CL008": "time.sleep polling where an Event/Condition wait belongs",
 }
 
 ALL_RULES: FrozenSet[str] = frozenset(RULES)
+
+#: The lock-discipline rules, implemented in
+#: :mod:`repro.analysis.concurrency.lints` (imported lazily).
+CONCURRENCY_RULES: FrozenSet[str] = frozenset(
+    {"CL005", "CL006", "CL007", "CL008"}
+)
 
 #: Sub-packages that must be bit-deterministic (CL001/CL002).
 DETERMINISTIC_SUBPACKAGES = frozenset({"sim", "cloud"})
 #: Sub-packages whose decisions must not depend on set order (CL003).
 DECISION_SUBPACKAGES = frozenset({"sim", "cloud", "engines", "provision", "dewe"})
+#: Sub-packages with real threads: lock-discipline rules (CL005-CL008).
+THREADED_SUBPACKAGES = frozenset({"dewe", "mq"})
 
 _WALL_CLOCK_CALLS = frozenset(
     {
@@ -107,6 +129,8 @@ def default_rules_for(path: Union[str, Path]) -> FrozenSet[str]:
         rules |= {"CL001", "CL002"}
     if sub in DECISION_SUBPACKAGES:
         rules.add("CL003")
+    if sub in THREADED_SUBPACKAGES:
+        rules |= CONCURRENCY_RULES
     return frozenset(rules)
 
 
@@ -315,6 +339,12 @@ def lint_source(
                     )
     if "CL004" in active:
         findings.extend(_lint_slots(tree, path))
+    if active & CONCURRENCY_RULES:
+        # Lazy: the lock-discipline analyses live with the rest of the
+        # concurrency tooling and most lint runs never enable them.
+        from repro.analysis.concurrency.lints import lint_concurrency
+
+        findings.extend(lint_concurrency(tree, path, active))
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
 

@@ -1,0 +1,447 @@
+"""Seeded cooperative schedule explorer (the ``repro-schedules`` engine).
+
+Runs a *scenario* — a small concurrent program written against the
+simulated primitives here — under controlled thread interleavings:
+
+* execution is fully serialized: exactly one scenario thread runs at a
+  time, and control transfers only at *yield points* (lock acquire /
+  release, channel send / recv, explicit ``ctx.step()``), so every
+  interleaving is a replayable list of thread choices;
+* small state spaces are explored **exhaustively** by depth-first
+  enumeration over the scheduling choices (prefix backtracking);
+* beyond the exhaustive budget, schedules are **sampled PCT-style**:
+  seeded random thread priorities with a few random priority-change
+  points per run — deterministic for a given seed, so a failing seed is
+  a reproduction recipe;
+* any failing schedule (assertion, sanitizer violation, deadlock) is
+  **shrunk** to a minimal-context-switch replayable trace.
+
+Determinism contract: given the same scenario and seed, exploration,
+failures and shrinking are byte-identical across runs.  Scenario code
+must therefore never consult the wall clock or unseeded RNG (lint CL001
+/ CL002 territory), and blocked operations carry explicit enabledness
+predicates so the scheduler never spins.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from collections import deque
+
+__all__ = [
+    "DeadlockError",
+    "ExploreOutcome",
+    "Explorer",
+    "RunResult",
+    "ScheduleContext",
+    "SimChannel",
+    "SimLock",
+    "shrink_schedule",
+]
+
+
+class DeadlockError(Exception):
+    """Every unfinished thread is blocked on a disabled operation."""
+
+
+class _Granted(Exception):
+    """Internal: unwinds a scenario thread the controller abandons."""
+
+
+# ---------------------------------------------------------------------------
+# Simulated threads and primitives
+# ---------------------------------------------------------------------------
+
+
+class _SimThread:
+    """One scenario thread; a real thread, but only runs when granted."""
+
+    def __init__(self, tid: int, name: str, fn: Callable[[], None]) -> None:
+        self.tid = tid
+        self.name = name
+        self.fn = fn
+        self.go = threading.Event()
+        self.paused = threading.Event()
+        self.enabled: Callable[[], bool] = lambda: True
+        self.op: str = "start"
+        self.done = False
+        self.error: Optional[BaseException] = None
+        self.abandon = False
+        self.thread = threading.Thread(
+            target=self._run, name=name, daemon=True
+        )
+
+    def _run(self) -> None:
+        try:
+            self._wait_grant()
+            self.fn()
+        except _Granted:
+            pass
+        except BaseException as exc:  # noqa: BLE001 - reported, not hidden
+            self.error = exc
+        finally:
+            self.done = True
+            self.paused.set()
+
+    def _wait_grant(self) -> None:
+        self.paused.set()
+        self.go.wait()
+        self.go.clear()
+        if self.abandon:
+            raise _Granted()
+
+    def pause(self, op: str, enabled: Callable[[], bool]) -> None:
+        """Announce the next operation and wait to be scheduled."""
+        self.op = op
+        self.enabled = enabled
+        self._wait_grant()
+
+
+class SimLock:
+    """Non-reentrant mutex for scenario code; acquire/release yield."""
+
+    def __init__(self, ctx: "ScheduleContext", name: str) -> None:
+        self._ctx = ctx
+        self.name = name
+        self.owner: Optional[int] = None
+
+    def acquire(self) -> None:
+        self._ctx._pause(f"acquire({self.name})", lambda: self.owner is None)
+        assert self.owner is None, "scheduler granted a held lock"
+        self.owner = self._ctx._current().tid
+
+    def release(self) -> None:
+        assert self.owner == self._ctx._current().tid, "release by non-owner"
+        self.owner = None
+        self._ctx._pause(f"release({self.name})", lambda: True)
+
+    def __enter__(self) -> "SimLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+
+class SimChannel:
+    """Unbounded FIFO channel; ``recv`` blocks while empty."""
+
+    def __init__(self, ctx: "ScheduleContext", name: str) -> None:
+        self._ctx = ctx
+        self.name = name
+        self.items: Deque = deque()
+
+    def send(self, item: object) -> None:
+        self._ctx._pause(f"send({self.name})", lambda: True)
+        self.items.append(item)
+
+    def recv(self) -> object:
+        self._ctx._pause(f"recv({self.name})", lambda: bool(self.items))
+        return self.items.popleft()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class ScheduleContext:
+    """What a scenario's ``build`` function programs against."""
+
+    def __init__(self) -> None:
+        self._threads: List[_SimThread] = []
+        self._current_tid: Optional[int] = None
+
+    # -- scenario-facing API ---------------------------------------------
+    def spawn(self, fn: Callable[[], None], name: str) -> None:
+        """Register a scenario thread (started by the controller)."""
+        tid = len(self._threads)
+        self._threads.append(_SimThread(tid, name, fn))
+
+    def lock(self, name: str) -> SimLock:
+        return SimLock(self, name)
+
+    def channel(self, name: str) -> SimChannel:
+        return SimChannel(self, name)
+
+    def step(self, label: str = "step") -> None:
+        """An explicit preemption point between shared-state accesses."""
+        self._pause(label, lambda: True)
+
+    # -- controller plumbing ---------------------------------------------
+    def _current(self) -> _SimThread:
+        assert self._current_tid is not None
+        return self._threads[self._current_tid]
+
+    def _pause(self, op: str, enabled: Callable[[], bool]) -> None:
+        self._current().pause(op, enabled)
+
+
+@dataclass
+class RunResult:
+    """One executed interleaving."""
+
+    schedule: List[int]
+    #: At each step, the (sorted) tids that were enabled — the DFS
+    #: enumerator branches over these.
+    enabled_sets: List[Tuple[int, ...]]
+    #: Human-readable ``thread:op`` labels, aligned with ``schedule``.
+    trace: List[str]
+    failure: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.failure is not None
+
+    @property
+    def switches(self) -> int:
+        return sum(
+            1
+            for a, b in zip(self.schedule, self.schedule[1:])
+            if a != b
+        )
+
+    def render_trace(self) -> str:
+        lines = [f"  {i:3d}. {label}" for i, label in enumerate(self.trace)]
+        status = self.failure or "ok"
+        return "\n".join(lines + [f"  => {status}"])
+
+
+Picker = Callable[[int, Sequence[int]], int]  # (step, enabled) -> tid
+
+
+def _first_picker(step: int, enabled: Sequence[int]) -> int:
+    return enabled[0]
+
+
+def replay_picker(schedule: Sequence[int]) -> Picker:
+    """Follow ``schedule``; fall back to the first enabled tid when the
+    scheduled thread is finished or blocked (used by shrinking)."""
+
+    def pick(step: int, enabled: Sequence[int]) -> int:
+        if step < len(schedule) and schedule[step] in enabled:
+            return schedule[step]
+        return enabled[0]
+
+    return pick
+
+
+def pct_picker(
+    rng: random.Random, change_points: int = 3, horizon: int = 12
+) -> Picker:
+    """PCT-style: random static priorities plus a few random points where
+    the running thread's priority drops to the bottom.
+
+    ``horizon`` bounds where change points land; it should be on the
+    order of the scenario's step count or the demotions never fire.
+    """
+    priorities: Dict[int, float] = {}
+    k = min(change_points, horizon)
+    demote_steps = sorted(rng.sample(range(horizon), k=k))
+    floor = 0.0
+
+    def pick(step: int, enabled: Sequence[int]) -> int:
+        nonlocal floor
+        for tid in enabled:
+            if tid not in priorities:
+                priorities[tid] = rng.random() + 1.0
+        chosen = max(enabled, key=lambda t: priorities[t])
+        if demote_steps and step == demote_steps[0]:
+            demote_steps.pop(0)
+            floor -= 1.0
+            priorities[chosen] = floor
+        return chosen
+
+    return pick
+
+
+# ---------------------------------------------------------------------------
+# The explorer
+# ---------------------------------------------------------------------------
+
+MAX_STEPS = 10_000
+
+
+class Explorer:
+    """Runs one scenario under many schedules.
+
+    ``build`` receives a fresh :class:`ScheduleContext`, spawns threads,
+    and returns a *check* callable evaluated after all threads finish —
+    returning an error string (the bug) or ``None`` (clean).
+    """
+
+    def __init__(
+        self, build: Callable[[ScheduleContext], Callable[[], Optional[str]]]
+    ) -> None:
+        self.build = build
+        self.runs = 0
+
+    # -- single run ------------------------------------------------------
+    def run_once(self, picker: Picker) -> RunResult:
+        self.runs += 1
+        ctx = ScheduleContext()
+        check = self.build(ctx)
+        threads = ctx._threads
+        for sim in threads:
+            sim.thread.start()
+            sim.paused.wait()
+            sim.paused.clear()
+        schedule: List[int] = []
+        enabled_sets: List[Tuple[int, ...]] = []
+        trace: List[str] = []
+        failure: Optional[str] = None
+        step = 0
+        try:
+            while True:
+                live = [t for t in threads if not t.done]
+                if not live:
+                    break
+                enabled = tuple(
+                    sorted(t.tid for t in live if t.enabled())
+                )
+                if not enabled:
+                    blocked = ", ".join(
+                        f"{t.name}@{t.op}" for t in live
+                    )
+                    raise DeadlockError(f"deadlock: {blocked}")
+                tid = picker(step, enabled)
+                assert tid in enabled, "picker chose a disabled thread"
+                sim = threads[tid]
+                schedule.append(tid)
+                enabled_sets.append(enabled)
+                trace.append(f"{sim.name}:{sim.op}")
+                ctx._current_tid = tid
+                sim.paused.clear()
+                sim.go.set()
+                sim.paused.wait()
+                if sim.error is not None:
+                    raise sim.error
+                step += 1
+                if step > MAX_STEPS:
+                    raise RuntimeError("scenario exceeded MAX_STEPS")
+        except DeadlockError as exc:
+            failure = str(exc)
+        except AssertionError as exc:
+            failure = f"assertion: {exc}"
+        finally:
+            self._reap(threads)
+        if failure is None:
+            failure = check()
+        return RunResult(schedule, enabled_sets, trace, failure)
+
+    @staticmethod
+    def _reap(threads: List[_SimThread]) -> None:
+        """Unwind any still-parked scenario threads."""
+        for sim in threads:
+            if not sim.done:
+                sim.abandon = True
+                sim.go.set()
+                sim.thread.join(timeout=5.0)
+
+    # -- exploration strategies -----------------------------------------
+    def explore_exhaustive(
+        self, max_schedules: int = 200
+    ) -> "ExploreOutcome":
+        """DFS over scheduling choices via prefix backtracking.
+
+        Complete when the state space fits in ``max_schedules`` runs;
+        otherwise reports how much was covered.
+        """
+        stack: List[List[int]] = [[]]
+        executed = 0
+        exhausted = True
+        while stack:
+            if executed >= max_schedules:
+                exhausted = False
+                break
+            prefix = stack.pop()
+            result = self.run_once(replay_picker(prefix))
+            executed += 1
+            if result.failed:
+                return ExploreOutcome(
+                    failure=result, schedules_run=executed, complete=False
+                )
+            # Branch on every choice point at/after the forced prefix.
+            for i in range(len(prefix), len(result.schedule)):
+                taken = result.schedule[i]
+                for alt in result.enabled_sets[i]:
+                    if alt != taken:
+                        stack.append(result.schedule[:i] + [alt])
+        return ExploreOutcome(
+            failure=None, schedules_run=executed, complete=exhausted
+        )
+
+    def explore_random(
+        self, seed: int, schedules: int = 100, change_points: int = 3
+    ) -> "ExploreOutcome":
+        """Seeded PCT-style sampling; deterministic per seed."""
+        master = random.Random(seed)
+        for i in range(schedules):
+            rng = random.Random(master.getrandbits(64))
+            result = self.run_once(pct_picker(rng, change_points))
+            if result.failed:
+                return ExploreOutcome(
+                    failure=result, schedules_run=i + 1, complete=False
+                )
+        return ExploreOutcome(
+            failure=None, schedules_run=schedules, complete=False
+        )
+
+
+@dataclass
+class ExploreOutcome:
+    """What an exploration pass concluded."""
+
+    failure: Optional[RunResult]
+    schedules_run: int
+    complete: bool
+    shrunk: Optional[RunResult] = None
+
+    @property
+    def found_bug(self) -> bool:
+        return self.failure is not None
+
+
+# ---------------------------------------------------------------------------
+# Shrinking
+# ---------------------------------------------------------------------------
+
+
+def _blocks(schedule: Sequence[int]) -> List[Tuple[int, int]]:
+    """Run-length encode: [(tid, length), ...]."""
+    out: List[Tuple[int, int]] = []
+    for tid in schedule:
+        if out and out[-1][0] == tid:
+            out[-1] = (tid, out[-1][1] + 1)
+        else:
+            out.append((tid, 1))
+    return out
+
+
+def shrink_schedule(explorer: Explorer, failing: RunResult) -> RunResult:
+    """Minimize context switches in a failing interleaving.
+
+    Greedily deletes run-blocks from the schedule and replays (the
+    replay picker fills gaps with the first enabled thread, which merges
+    neighbouring runs); a candidate is kept when it still fails with
+    strictly fewer switches.  The result is a locally-minimal, fully
+    replayable trace.
+    """
+    best = failing
+    improved = True
+    while improved:
+        improved = False
+        blocks = _blocks(best.schedule)
+        for i in range(len(blocks)):
+            candidate: List[int] = []
+            for j, (tid, length) in enumerate(blocks):
+                if j != i:
+                    candidate.extend([tid] * length)
+            result = explorer.run_once(replay_picker(candidate))
+            if result.failed and result.switches < best.switches:
+                best = result
+                improved = True
+                break
+    return best

@@ -1,0 +1,353 @@
+"""Lock-discipline AST lints (CL005–CL008).
+
+Dispatched from :mod:`repro.analysis.codelint` for the threaded
+sub-packages (``repro/dewe``, ``repro/mq``); rule ids live in that
+module's ``RULES`` table.  The analyses are lexical over one class at a
+time — deliberately so: the daemons keep their locking self-contained,
+and a lexical checker stays precise enough to run with zero suppressions
+in the tier-1 suite.
+
+CL005 uses two in-code annotations, in the spirit of clang's
+thread-safety analysis:
+
+* a class-level ``_guarded_by_ = {"attr": "_lock", ...}`` dict declares
+  which lock protects which attribute; every ``self.attr`` access must
+  then sit lexically inside ``with self._lock:`` (or an equivalent
+  ``try``/``finally`` is out of scope — use ``with``);
+* a method docstring line ``Requires: ``_lock``​`` declares the caller
+  holds the lock for the whole method body (for private helpers only
+  ever invoked under the lock).
+
+``__init__`` is exempt: no other thread can hold a reference yet.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.analysis.codelint import LintFinding, _dotted
+
+__all__ = ["lint_concurrency"]
+
+_FunctionDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+_REQUIRES_RE = re.compile(r"``([^`]+)``")
+
+#: Call targets that block the calling thread (CL007).
+_BLOCKING_DOTTED = frozenset(
+    {
+        "time.sleep",
+        "os.system",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+    }
+)
+#: Method names that block when invoked on another sync object / thread.
+_BLOCKING_METHODS = frozenset({"join", "wait", "wait_for"})
+
+
+def _guarded_map(class_def: ast.ClassDef) -> Dict[str, str]:
+    """The literal ``_guarded_by_`` dict of a class, or empty."""
+    for stmt in class_def.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "_guarded_by_"
+            for t in stmt.targets
+        ):
+            continue
+        if not isinstance(stmt.value, ast.Dict):
+            return {}
+        mapping: Dict[str, str] = {}
+        for key, value in zip(stmt.value.keys, stmt.value.values):
+            if (
+                isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+                and isinstance(value, ast.Constant)
+                and isinstance(value.value, str)
+            ):
+                mapping[key.value] = value.value
+        return mapping
+    return {}
+
+
+def _required_locks(function: _FunctionDef) -> Set[str]:
+    """Locks declared held-on-entry via ``Requires: ``name``​`` lines."""
+    doc = ast.get_docstring(function)
+    if not doc:
+        return set()
+    locks: Set[str] = set()
+    for line in doc.splitlines():
+        if "Requires:" in line:
+            locks.update(_REQUIRES_RE.findall(line))
+    return locks
+
+
+def _self_name(function: _FunctionDef) -> Optional[str]:
+    if function.args.args:
+        return function.args.args[0].arg
+    return None
+
+
+def _with_locks(node: ast.With, self_name: str) -> List[Tuple[str, int]]:
+    """``self.X`` context managers of a ``with``, as (dotted, line)."""
+    out: List[Tuple[str, int]] = []
+    for item in node.items:
+        dotted = _dotted(item.context_expr)
+        if dotted is not None and dotted.startswith(self_name + "."):
+            out.append((dotted, item.context_expr.lineno))
+    return out
+
+
+def _is_blocking_call(
+    call: ast.Call, held: Set[str]
+) -> Optional[str]:
+    """A short description when ``call`` blocks, else None.
+
+    ``wait``/``wait_for`` on a *held* context object is exempt — waiting
+    on the condition you hold is the one correct blocking-under-lock
+    pattern (the wait releases it).
+    """
+    dotted = _dotted(call.func)
+    if dotted is not None and dotted in _BLOCKING_DOTTED:
+        return f"{dotted}()"
+    if isinstance(call.func, ast.Attribute):
+        method = call.func.attr
+        if method not in _BLOCKING_METHODS:
+            return None
+        receiver = _dotted(call.func.value)
+        if method in ("wait", "wait_for") and receiver in held:
+            return None
+        if method == "join":
+            # ",".join(parts) and friends: only flag joins that look like
+            # thread joins — a name/attribute receiver with no arguments
+            # or a single numeric timeout.
+            if receiver is None:
+                return None
+            if call.args and not (
+                len(call.args) == 1
+                and isinstance(call.args[0], ast.Constant)
+                and isinstance(call.args[0].value, (int, float))
+            ):
+                return None
+        return f"{receiver or '<expr>'}.{method}()"
+    return None
+
+
+class _MethodScan:
+    """One pass over a method body tracking lexically held ``self`` locks."""
+
+    def __init__(
+        self,
+        class_name: str,
+        path: str,
+        self_name: str,
+        guarded: Dict[str, str],
+        required: Set[str],
+        active: FrozenSet[str],
+        exempt_guard: bool,
+    ) -> None:
+        self.class_name = class_name
+        self.path = path
+        self.self_name = self_name
+        self.guarded = guarded
+        self.required = required
+        self.active = active
+        self.exempt_guard = exempt_guard
+        self.findings: List[LintFinding] = []
+        #: (outer_dotted, inner_dotted) -> first line the order was seen.
+        self.order_edges: Dict[Tuple[str, str], int] = {}
+        self._reported_005: Set[Tuple[str, int]] = set()
+
+    def scan(self, node: ast.AST, held: Set[str]) -> None:
+        if isinstance(node, ast.With):
+            acquired = _with_locks(node, self.self_name)
+            inner = set(held)
+            for dotted, line in acquired:
+                for outer in sorted(inner):
+                    if outer != dotted:
+                        self.order_edges.setdefault((outer, dotted), line)
+                inner.add(dotted)
+            for item in node.items:
+                self.scan(item.context_expr, held)
+            for stmt in node.body:
+                # Same reset as the generic walk: a def nested in the
+                # with-body still escapes the lock context.
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self.scan(stmt, set())
+                else:
+                    self.scan(stmt, inner)
+            return
+        if isinstance(node, ast.Call):
+            if "CL007" in self.active and held:
+                blocking = _is_blocking_call(node, held)
+                if blocking is not None:
+                    self.findings.append(
+                        LintFinding(
+                            "CL007",
+                            self.path,
+                            node.lineno,
+                            f"{self.class_name}: blocking call {blocking} "
+                            f"while holding {', '.join(sorted(held))}",
+                        )
+                    )
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "wait_for"
+                and _dotted(node.func.value) in held
+            ):
+                # Condition.wait_for evaluates its predicate with the
+                # condition re-acquired, so the lambda runs *under* the
+                # lock — scan it with the held set, not a fresh context.
+                self.scan(node.func, held)
+                for arg in node.args:
+                    self.scan(arg.body if isinstance(arg, ast.Lambda) else arg, held)
+                for kw in node.keywords:
+                    self.scan(kw.value, held)
+                return
+        if (
+            not self.exempt_guard
+            and "CL005" in self.active
+            and isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == self.self_name
+            and node.attr in self.guarded
+        ):
+            lock = self.guarded[node.attr]
+            lock_dotted = f"{self.self_name}.{lock}"
+            if lock_dotted not in held and lock not in self.required:
+                mark = (node.attr, node.lineno)
+                if mark not in self._reported_005:
+                    self._reported_005.add(mark)
+                    self.findings.append(
+                        LintFinding(
+                            "CL005",
+                            self.path,
+                            node.lineno,
+                            f"{self.class_name}.{node.attr} is guarded by "
+                            f"{lock} but accessed without it (wrap in "
+                            f"`with self.{lock}:` or document "
+                            f"`Requires: ``{lock}``` )",
+                        )
+                    )
+        for child in ast.iter_child_nodes(node):
+            # Nested functions get a fresh lock context: they may run on
+            # another thread (e.g. a Thread target closure).
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.scan(child, set())
+            elif isinstance(child, ast.Lambda):
+                self.scan(child, set())
+            else:
+                self.scan(child, held)
+
+
+def _sleep_in_loops(
+    tree: ast.AST, path: str, findings: List[LintFinding]
+) -> None:
+    """CL008: ``time.sleep`` lexically inside a loop body is polling."""
+    reported: Set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.While, ast.For, ast.AsyncFor)):
+            continue
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Call)
+                and _dotted(sub.func) == "time.sleep"
+                and id(sub) not in reported
+            ):
+                reported.add(id(sub))
+                findings.append(
+                    LintFinding(
+                        "CL008",
+                        path,
+                        sub.lineno,
+                        "time.sleep polling inside a loop; wait on an "
+                        "Event/Condition instead",
+                    )
+                )
+
+
+def _cycle_findings(
+    class_name: str,
+    path: str,
+    edges: Dict[Tuple[str, str], int],
+) -> List[LintFinding]:
+    """CL006: report each edge that closes a cycle in the lock-order graph."""
+    graph: Dict[str, Set[str]] = {}
+    for (outer, inner) in edges:
+        graph.setdefault(outer, set()).add(inner)
+
+    def reaches(src: str, dst: str) -> bool:
+        stack, seen = [src], {src}
+        while stack:
+            node = stack.pop()
+            if node == dst:
+                return True
+            for nxt in graph.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return False
+
+    findings: List[LintFinding] = []
+    for (outer, inner), line in sorted(edges.items(), key=lambda e: e[1]):
+        if reaches(inner, outer):
+            findings.append(
+                LintFinding(
+                    "CL006",
+                    path,
+                    line,
+                    f"{class_name}: acquires {inner} while holding {outer}, "
+                    f"but the opposite order also occurs (deadlock-prone)",
+                )
+            )
+    return findings
+
+
+def lint_concurrency(
+    tree: ast.Module, path: str, active: FrozenSet[str]
+) -> List[LintFinding]:
+    """Run the CL005–CL008 analyses that are in ``active`` over ``tree``."""
+    findings: List[LintFinding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        guarded = _guarded_map(node) if "CL005" in active else {}
+        class_edges: Dict[Tuple[str, str], int] = {}
+        for stmt in node.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            self_name = _self_name(stmt)
+            if self_name is None:
+                continue
+            scan = _MethodScan(
+                class_name=node.name,
+                path=path,
+                self_name=self_name,
+                guarded=guarded,
+                required=_required_locks(stmt),
+                active=active,
+                exempt_guard=stmt.name == "__init__",
+            )
+            for body_stmt in stmt.body:
+                scan.scan(body_stmt, set(_hold_set(scan, stmt)))
+            findings.extend(scan.findings)
+            if "CL006" in active:
+                for edge, line in scan.order_edges.items():
+                    class_edges.setdefault(edge, line)
+        if "CL006" in active:
+            findings.extend(_cycle_findings(node.name, path, class_edges))
+    if "CL008" in active:
+        _sleep_in_loops(tree, path, findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def _hold_set(scan: _MethodScan, function: _FunctionDef) -> Sequence[str]:
+    """Locks held on entry per the ``Requires:`` docstring markers."""
+    return [f"{scan.self_name}.{lock}" for lock in scan.required]

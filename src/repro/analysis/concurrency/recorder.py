@@ -1,0 +1,206 @@
+"""Concurrency event recorder (the ``REPRO_RACEDETECT`` hook point).
+
+The runtime half of the race detector, built exactly like
+:mod:`repro.analysis.sanitizer`: a module-level ``_ACTIVE`` recorder that
+instrumented code checks with a single attribute load, ``enable`` /
+``disable`` / ``enabled`` management, and an environment flag
+(``REPRO_RACEDETECT``) that arms it globally before the first ``repro``
+import.  When no recorder is installed the instrumented paths cost one
+``is not None`` test; the shims in
+:mod:`repro.analysis.concurrency.shims` then hand out *plain*
+``threading`` primitives, so the production daemons pay nothing.
+
+Recording discipline (what makes offline replay sound): an operation that
+*publishes* a clock (``release``, ``send``, ``set``) is recorded **before**
+the underlying primitive op while the publisher still excludes observers;
+an operation that *receives* a clock (``acquire``, ``recv``, ``wait``) is
+recorded **after** the primitive op succeeded.  The matching publish is
+therefore always earlier in the log than its receive, and the detector
+can replay the log front to back.
+
+This module imports nothing from the rest of ``repro`` so that
+instrumented modules (master, worker, broker, state, journal, cache) can
+import it without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.concurrency.events import ConcEvent
+
+__all__ = [
+    "ENV_FLAG",
+    "Recorder",
+    "active",
+    "disable",
+    "enable",
+    "enabled",
+]
+
+#: Environment variable consulted at import time, like ``REPRO_SANITIZER``.
+ENV_FLAG = "REPRO_RACEDETECT"
+
+#: Attribute stashed on traced threads carrying their logical thread id.
+_LTID_ATTR = "_repro_ltid"
+
+
+class Recorder:
+    """Appends :class:`ConcEvent` records under a single internal lock.
+
+    The internal lock orders *appends*, not program synchronization — it
+    contributes no happens-before edges to the analysis.  Logical thread
+    ids are assigned once per thread and never reused, so a worker's
+    short-lived job threads cannot alias each other the way raw
+    ``threading.get_ident`` values can.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.events: List[ConcEvent] = []
+        self.thread_names: Dict[int, str] = {}
+        self._next_ltid = 1
+        self._next_serial = 1
+        #: Fallback registry for threads not created via the shims
+        #: (the pytest main thread, broker server handler threads...).
+        self._ident_ltids: Dict[int, int] = {}
+
+    # -- identity ---------------------------------------------------------
+    def new_ltid(self, name: str) -> int:
+        """A fresh logical thread id (for :class:`~.shims.TracedThread`)."""
+        with self._lock:
+            ltid = self._next_ltid
+            self._next_ltid += 1
+            self.thread_names[ltid] = name
+            return ltid
+
+    def new_key(self, kind: str, name: str) -> Tuple[str, str, int]:
+        """A collision-free identity for a sync object.
+
+        The serial (not ``id()``) disambiguates same-named objects and
+        is immune to CPython id reuse after garbage collection."""
+        with self._lock:
+            serial = self._next_serial
+            self._next_serial += 1
+            return (kind, name, serial)
+
+    def current_ltid(self) -> int:
+        thread = threading.current_thread()
+        # A traced thread carries its id; 0 means it was created while no
+        # recorder was active — fall through to the ident registry.
+        ltid = getattr(thread, _LTID_ATTR, 0)
+        if ltid:
+            return ltid
+        ident = thread.ident or 0
+        with self._lock:
+            ltid = self._ident_ltids.get(ident)
+            if ltid is None:
+                ltid = self._next_ltid
+                self._next_ltid += 1
+                self._ident_ltids[ident] = ltid
+                self.thread_names[ltid] = thread.name
+            return ltid
+
+    # -- recording --------------------------------------------------------
+    def record(
+        self,
+        op: str,
+        key: Tuple,
+        seq: Optional[int] = None,
+        site: Optional[str] = None,
+        ltid: Optional[int] = None,
+    ) -> None:
+        if ltid is None:
+            ltid = self.current_ltid()
+        with self._lock:
+            self.events.append(
+                ConcEvent(len(self.events), ltid, op, key, seq=seq, site=site)
+            )
+
+    # Sync operations (called by the shims / instrumented broker).
+    def on_fork(self, child_ltid: int) -> None:
+        self.record("fork", ("thread", child_ltid))
+
+    def on_begin(self, child_ltid: int) -> None:
+        self.record("begin", ("thread", child_ltid), ltid=child_ltid)
+
+    def on_end(self, child_ltid: int) -> None:
+        self.record("end", ("thread", child_ltid), ltid=child_ltid)
+
+    def on_join(self, child_ltid: int) -> None:
+        self.record("join", ("thread", child_ltid))
+
+    def on_acquire(self, key: Tuple) -> None:
+        self.record("acquire", key)
+
+    def on_release(self, key: Tuple) -> None:
+        self.record("release", key)
+
+    def on_send(self, key: Tuple, seq: int) -> None:
+        self.record("send", key, seq=seq)
+
+    def on_recv(self, key: Tuple, seq: int) -> None:
+        self.record("recv", key, seq=seq)
+
+    def on_set(self, key: Tuple) -> None:
+        self.record("set", key)
+
+    def on_wait(self, key: Tuple) -> None:
+        self.record("wait", key)
+
+    # Registered shared-state accesses (called by instrumented modules).
+    def on_read(self, var: str, obj: int, site: str) -> None:
+        self.record("read", ("var", var, obj), site=site)
+
+    def on_write(self, var: str, obj: int, site: str) -> None:
+        self.record("write", ("var", var, obj), site=site)
+
+
+#: The installed recorder, or ``None`` (the common, zero-cost case).
+#: Instrumented modules read this attribute directly on the hot path.
+_ACTIVE: Optional[Recorder] = None
+
+
+def active() -> Optional[Recorder]:
+    """The currently installed recorder, or ``None`` when disabled."""
+    return _ACTIVE
+
+
+def enable() -> Recorder:
+    """Install (and return) a fresh recorder, replacing any current one."""
+    global _ACTIVE
+    _ACTIVE = Recorder()
+    return _ACTIVE
+
+
+def disable() -> Optional[Recorder]:
+    """Uninstall the recorder; returns it (with the collected log)."""
+    global _ACTIVE
+    previous, _ACTIVE = _ACTIVE, None
+    return previous
+
+
+@contextmanager
+def enabled() -> Iterator[Recorder]:
+    """Context manager: record the block, restoring the previous state."""
+    global _ACTIVE
+    previous = _ACTIVE
+    rec = Recorder()
+    _ACTIVE = rec
+    try:
+        yield rec
+    finally:
+        _ACTIVE = previous
+
+
+def _install_from_env() -> None:
+    value = os.environ.get(ENV_FLAG, "").strip().lower()
+    if value in ("", "0", "off", "false", "no"):
+        return
+    enable()
+
+
+_install_from_env()

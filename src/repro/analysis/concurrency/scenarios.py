@@ -1,0 +1,197 @@
+"""Bounded concurrency scenarios for ``repro-schedules``.
+
+Each scenario is a miniature of a real coordination pattern in the
+threaded daemons, written against the simulated primitives in
+:mod:`repro.analysis.concurrency.explorer` so every interleaving is
+replayable.  Scenarios marked ``expect_bug=True`` carry a seeded defect
+the explorer must find (CI runs them with ``--expect-bug``); the clean
+variants must survive every explored schedule.
+
+The patterns mirror the daemons deliberately:
+
+* ``counter-*`` — the worker's ``jobs_completed`` counters (the real
+  race fixed in this package's PR; see ``tests/test_concurrency_detector``);
+* ``ack-reorder`` — the master's requeue-timeout racing a late
+  completion ack, guarded in production by the journal/idempotency
+  layer and checked here with the sanitizer's completed-redispatch
+  invariant;
+* ``lock-order`` — the CL006 deadlock pattern, dynamically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.concurrency.explorer import ScheduleContext
+from repro.analysis.sanitizer import Sanitizer
+
+__all__ = ["SCENARIOS", "Scenario", "get_scenario"]
+
+Check = Callable[[], Optional[str]]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, bounded concurrent program plus its final-state check."""
+
+    name: str
+    description: str
+    build: Callable[[ScheduleContext], Check]
+    expect_bug: bool
+
+
+def _counter(guarded: bool) -> Callable[[ScheduleContext], Check]:
+    def build(ctx: ScheduleContext) -> Check:
+        state = {"value": 0}
+        lock = ctx.lock("counter")
+
+        def incr(label: str) -> Callable[[], None]:
+            def run() -> None:
+                for _ in range(2):
+                    if guarded:
+                        lock.acquire()
+                    seen = state["value"]
+                    ctx.step(f"{label}:rmw")  # the read-modify-write window
+                    state["value"] = seen + 1
+                    if guarded:
+                        lock.release()
+
+            return run
+
+        ctx.spawn(incr("w1"), "w1")
+        ctx.spawn(incr("w2"), "w2")
+
+        def check() -> Optional[str]:
+            if state["value"] != 4:
+                return f"lost update: counter={state['value']}, expected 4"
+            return None
+
+        return check
+
+    return build
+
+
+def _ack_reorder(ctx: ScheduleContext) -> Check:
+    """A requeue timeout racing a late completion ack.
+
+    The timeout handler samples the job status, yields (in production:
+    takes the broker round-trip), then redispatches.  If the ack lands
+    in the window, the job is redispatched *after completing* — the
+    exact invariant :meth:`Sanitizer.check_dispatch` guards.
+    """
+    sanitizer = Sanitizer(strict=False)
+    jobs = ctx.channel("jobs")
+    state = {"status": "dispatched"}
+
+    def acker() -> None:
+        ctx.step("ack:arrive")
+        state["status"] = "completed"
+
+    def timeout() -> None:
+        if state["status"] == "dispatched":
+            ctx.step("timeout:window")  # status re-check is missing
+            sanitizer.check_dispatch("wf", "j1", state["status"])
+            jobs.send("j1")
+
+    ctx.spawn(acker, "acker")
+    ctx.spawn(timeout, "timeout")
+
+    def check() -> Optional[str]:
+        if sanitizer.violations:
+            return str(sanitizer.violations[0])
+        return None
+
+    return check
+
+
+def _lock_order(ctx: ScheduleContext) -> Check:
+    """Two locks taken in opposite orders — deadlocks under the right
+    interleaving (the dynamic face of lint CL006)."""
+    a = ctx.lock("A")
+    b = ctx.lock("B")
+
+    def ab() -> None:
+        with a:
+            ctx.step("t1:between")
+            with b:
+                pass
+
+    def ba() -> None:
+        with b:
+            ctx.step("t2:between")
+            with a:
+                pass
+
+    ctx.spawn(ab, "t-ab")
+    ctx.spawn(ba, "t-ba")
+    return lambda: None
+
+
+def _pipeline(ctx: ScheduleContext) -> Check:
+    """Clean producer/consumer over a channel: FIFO and conservation."""
+    jobs = ctx.channel("jobs")
+    done: List[object] = []
+
+    def producer() -> None:
+        for i in range(3):
+            jobs.send(i)
+
+    def consumer() -> None:
+        for _ in range(3):
+            done.append(jobs.recv())
+
+    ctx.spawn(producer, "producer")
+    ctx.spawn(consumer, "consumer")
+
+    def check() -> Optional[str]:
+        if done != [0, 1, 2]:
+            return f"reordered/lost messages: {done}"
+        return None
+
+    return check
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    s.name: s
+    for s in (
+        Scenario(
+            "counter-locked",
+            "two workers increment a shared counter under a lock (clean)",
+            _counter(guarded=True),
+            expect_bug=False,
+        ),
+        Scenario(
+            "counter-racy",
+            "the same counter without the lock: lost updates (seeded bug)",
+            _counter(guarded=False),
+            expect_bug=True,
+        ),
+        Scenario(
+            "ack-reorder",
+            "requeue timeout races a late completion ack (seeded bug)",
+            _ack_reorder,
+            expect_bug=True,
+        ),
+        Scenario(
+            "lock-order",
+            "opposite lock-acquisition orders deadlock (seeded bug)",
+            _lock_order,
+            expect_bug=True,
+        ),
+        Scenario(
+            "pipeline",
+            "producer/consumer FIFO conservation over a channel (clean)",
+            _pipeline,
+            expect_bug=False,
+        ),
+    )
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r} (known: {known})") from None

@@ -1,0 +1,261 @@
+"""Drop-in traced wrappers for ``threading`` primitives.
+
+The threaded daemons create their synchronization objects through the
+factory functions here (``make_lock``, ``make_condition``, ``make_event``,
+``new_thread``).  With no recorder installed the factories return the
+*plain* ``threading`` primitives — byte-for-byte the pre-instrumentation
+behaviour and cost.  With a recorder active (``REPRO_RACEDETECT`` or
+:func:`repro.analysis.concurrency.recorder.enabled`), they return traced
+wrappers that log acquire/release, set/wait, notify/wake and fork/join
+events for the happens-before analysis in
+:mod:`repro.analysis.concurrency.detector`.
+
+Recording order follows the recorder's discipline: clock-publishing ops
+(``release``, ``set``/``notify``) are logged *before* the primitive op,
+clock-receiving ops (``acquire``, waking from ``wait``) *after* it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional, Tuple, Union
+
+import repro.analysis.concurrency.recorder as _recorder
+
+__all__ = [
+    "TracedCondition",
+    "TracedEvent",
+    "TracedLock",
+    "TracedThread",
+    "make_condition",
+    "make_event",
+    "make_lock",
+    "new_thread",
+]
+
+
+class TracedLock:
+    """A ``threading.Lock`` that logs acquire/release edges."""
+
+    __slots__ = ("_lock", "key")
+
+    def __init__(self, name: str, key: Optional[Tuple] = None):
+        self._lock = threading.Lock()
+        rec = _recorder.active()
+        self.key = key if key is not None else (
+            rec.new_key("lock", name) if rec is not None else ("lock", name, 0)
+        )
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._lock.acquire(blocking, timeout)
+        if got:
+            rec = _recorder.active()
+            if rec is not None:
+                rec.on_acquire(self.key)
+        return got
+
+    def release(self) -> None:
+        rec = _recorder.active()
+        if rec is not None:
+            rec.on_release(self.key)
+        self._lock.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+
+class TracedEvent:
+    """A ``threading.Event`` whose set→(observed)wait is a sync edge.
+
+    An ``is_set()`` that returns True is treated like a zero-timeout
+    successful wait: the caller has genuinely observed the set and may
+    rely on everything that happened before it.
+    """
+
+    __slots__ = ("_event", "key")
+
+    def __init__(self, name: str):
+        self._event = threading.Event()
+        rec = _recorder.active()
+        self.key = rec.new_key("event", name) if rec is not None else (
+            "event", name, 0
+        )
+
+    def set(self) -> None:
+        rec = _recorder.active()
+        if rec is not None:
+            rec.on_set(self.key)
+        self._event.set()
+
+    def clear(self) -> None:
+        self._event.clear()
+
+    def is_set(self) -> bool:
+        value = self._event.is_set()
+        if value:
+            rec = _recorder.active()
+            if rec is not None:
+                rec.on_wait(self.key)
+        return value
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        value = self._event.wait(timeout)
+        if value:
+            rec = _recorder.active()
+            if rec is not None:
+                rec.on_wait(self.key)
+        return value
+
+
+class TracedCondition:
+    """A ``threading.Condition`` logging both its lock and notify edges."""
+
+    __slots__ = ("_cond", "lock_key", "cv_key")
+
+    def __init__(self, name: str):
+        self._cond = threading.Condition()
+        rec = _recorder.active()
+        if rec is not None:
+            self.lock_key = rec.new_key("lock", name + ".lock")
+            self.cv_key = rec.new_key("cv", name)
+        else:
+            self.lock_key = ("lock", name + ".lock", 0)
+            self.cv_key = ("cv", name, 0)
+
+    def acquire(self, *args: Any) -> bool:
+        got = self._cond.acquire(*args)
+        if got:
+            rec = _recorder.active()
+            if rec is not None:
+                rec.on_acquire(self.lock_key)
+        return got
+
+    def release(self) -> None:
+        rec = _recorder.active()
+        if rec is not None:
+            rec.on_release(self.lock_key)
+        self._cond.release()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+    def notify(self, n: int = 1) -> None:
+        rec = _recorder.active()
+        if rec is not None:
+            rec.on_set(self.cv_key)
+        self._cond.notify(n)
+
+    def notify_all(self) -> None:
+        rec = _recorder.active()
+        if rec is not None:
+            rec.on_set(self.cv_key)
+        self._cond.notify_all()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        rec = _recorder.active()
+        if rec is not None:
+            # wait() releases the condition lock while sleeping.
+            rec.on_release(self.lock_key)
+        woke = self._cond.wait(timeout)
+        if rec is not None:
+            rec.on_acquire(self.lock_key)
+            if woke:
+                rec.on_wait(self.cv_key)
+        return woke
+
+    def wait_for(
+        self, predicate: Callable[[], bool], timeout: Optional[float] = None
+    ) -> bool:
+        rec = _recorder.active()
+        if rec is None:
+            return self._cond.wait_for(predicate, timeout)
+        rec.on_release(self.lock_key)
+        ok = self._cond.wait_for(predicate, timeout)
+        rec.on_acquire(self.lock_key)
+        if ok:
+            rec.on_wait(self.cv_key)
+        return ok
+
+
+class TracedThread(threading.Thread):
+    """A thread with fork/begin/end/join edges and a stable logical id."""
+
+    def __init__(self, *args: Any, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        rec = _recorder.active()
+        ltid = rec.new_ltid(self.name) if rec is not None else 0
+        setattr(self, _recorder._LTID_ATTR, ltid)
+
+    @property
+    def ltid(self) -> int:
+        return getattr(self, _recorder._LTID_ATTR)
+
+    def start(self) -> None:
+        rec = _recorder.active()
+        if rec is not None:
+            rec.on_fork(self.ltid)
+        super().start()
+
+    def run(self) -> None:
+        rec = _recorder.active()
+        if rec is not None:
+            rec.on_begin(self.ltid)
+        try:
+            super().run()
+        finally:
+            rec = _recorder.active()
+            if rec is not None:
+                rec.on_end(self.ltid)
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        super().join(timeout)
+        if not self.is_alive():
+            rec = _recorder.active()
+            if rec is not None:
+                rec.on_join(self.ltid)
+
+
+# ---------------------------------------------------------------------------
+# Factories: plain primitives when the recorder is off
+# ---------------------------------------------------------------------------
+
+
+def make_lock(name: str) -> Union[threading.Lock, TracedLock]:
+    """A lock, traced iff a recorder is active at creation time."""
+    if _recorder.active() is not None:
+        return TracedLock(name)
+    return threading.Lock()
+
+
+def make_event(name: str) -> Union[threading.Event, TracedEvent]:
+    """An event, traced iff a recorder is active at creation time."""
+    if _recorder.active() is not None:
+        return TracedEvent(name)
+    return threading.Event()
+
+
+def make_condition(name: str) -> Union[threading.Condition, TracedCondition]:
+    """A condition, traced iff a recorder is active at creation time."""
+    if _recorder.active() is not None:
+        return TracedCondition(name)
+    return threading.Condition()
+
+
+def new_thread(
+    target: Callable[..., Any],
+    name: str,
+    args: Tuple = (),
+    daemon: bool = True,
+) -> threading.Thread:
+    """A thread, traced iff a recorder is active at creation time."""
+    cls = TracedThread if _recorder.active() is not None else threading.Thread
+    return cls(target=target, name=name, args=args, daemon=daemon)

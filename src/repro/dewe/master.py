@@ -28,6 +28,8 @@ import threading
 import time
 from typing import Dict, List, Optional, Tuple
 
+import repro.analysis.concurrency.recorder as _conc
+from repro.analysis.concurrency import shims as _shims
 from repro.dewe.config import DeweConfig
 from repro.dewe.state import JobStatus, WorkflowState
 from repro.faults.retry import DeadLetterEntry, RetryPolicy
@@ -46,7 +48,27 @@ __all__ = ["MasterDaemon"]
 
 
 class MasterDaemon:
-    """Manages workflow progress over the broker; start()/stop() lifecycle."""
+    """Manages workflow progress over the broker; start()/stop() lifecycle.
+
+    Locking discipline (lint CL005 enforces the ``_guarded_by_`` map):
+    all scheduler state is guarded by ``_state_lock`` so that
+    :meth:`checkpoint` — callable from *any* thread — always sees a
+    consistent cut between message handlers; the completion-event
+    registry has its own ``_events_lock`` (never nested with the state
+    lock).  Private handlers document ``Requires: ``_state_lock``​``
+    instead of re-acquiring it.
+    """
+
+    _guarded_by_ = {
+        "states": "_state_lock",
+        "makespans": "_state_lock",
+        "rejected": "_state_lock",
+        "dropped_acks": "_state_lock",
+        "_submit_times": "_state_lock",
+        "_delayed": "_state_lock",
+        "_delayed_seq": "_state_lock",
+        "_events": "_events_lock",
+    }
 
     def __init__(
         self,
@@ -70,20 +92,25 @@ class MasterDaemon:
         self._delayed: List[Tuple[float, int, str, str, int]] = []
         self._delayed_seq = 0
         self._events: Dict[str, threading.Event] = {}
-        self._events_lock = threading.Lock()
+        self._events_lock = _shims.make_lock("master.events")
         #: Guards scheduler state (states/makespans/_delayed/_submit_times)
         #: so :meth:`checkpoint` sees a consistent cut between handlers.
-        self._state_lock = threading.Lock()
-        self._stop = threading.Event()
+        self._state_lock = _shims.make_lock("master.state")
+        self._stop = _shims.make_event("master.stop")
         self._thread: Optional[threading.Thread] = None
+
+    def _trace(self, op: str, site: str) -> None:
+        """Report a scheduler-state access to the race recorder, if any."""
+        rec = _conc.active()
+        if rec is not None:
+            hook = rec.on_read if op == "read" else rec.on_write
+            hook("master.state", id(self), site)
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> "MasterDaemon":
         if self._thread is not None:
             raise RuntimeError("master daemon already started")
-        self._thread = threading.Thread(
-            target=self._loop, name="dewe-master", daemon=True
-        )
+        self._thread = _shims.new_thread(self._loop, "dewe-master")
         self._thread.start()
         return self
 
@@ -104,7 +131,7 @@ class MasterDaemon:
         with self._events_lock:
             event = self._events.get(workflow_name)
             if event is None:
-                event = threading.Event()
+                event = _shims.make_event(f"master.done.{workflow_name}")
                 self._events[workflow_name] = event
             return event
 
@@ -119,14 +146,18 @@ class MasterDaemon:
 
     def makespan(self, workflow_name: str) -> float:
         """Seconds from submission to settlement (raises if not done)."""
-        return self.makespans[workflow_name]
+        with self._state_lock:
+            self._trace("read", "master.makespan")
+            return self.makespans[workflow_name]
 
     @property
     def dead_letters(self) -> List[DeadLetterEntry]:
         """Dead-lettered jobs across every submitted workflow."""
         out: List[DeadLetterEntry] = []
-        for state in self.states.values():
-            out.extend(state.dead_letters)
+        with self._state_lock:
+            self._trace("read", "master.dead_letters")
+            for state in self.states.values():
+                out.extend(state.dead_letters)
         return out
 
     # -- checkpoint / restore ------------------------------------------------
@@ -143,6 +174,7 @@ class MasterDaemon:
 
         now = time.monotonic()
         with self._state_lock:
+            self._trace("read", "master.checkpoint")
             return MasterCheckpoint(
                 states={
                     name: (state.workflow, state.snapshot())
@@ -200,6 +232,10 @@ class MasterDaemon:
 
     # -- internals ----------------------------------------------------------
     def _dispatch(self, state: WorkflowState, job_id: str) -> None:
+        """Publish one eligible job.
+
+        Requires: ``_state_lock``
+        """
         state.mark_dispatched(job_id, time.monotonic())
         self.broker.publish(
             TOPIC_DISPATCH,
@@ -212,7 +248,11 @@ class MasterDaemon:
         )
 
     def _republish(self, state: WorkflowState, job_id: str) -> None:
-        """Re-dispatch after the policy's backoff (immediately if none)."""
+        """Re-dispatch after the policy's backoff (immediately if none).
+
+        Requires: ``_state_lock``
+        """
+        self._trace("write", "master.republish")
         attempts = state.current_attempt(job_id) - 1  # deliveries so far
         delay = self.retry.backoff(attempts, key=f"{state.name}/{job_id}")
         if delay <= 0:
@@ -231,6 +271,10 @@ class MasterDaemon:
         )
 
     def _drain_delayed(self, now: float) -> None:
+        """Fire backed-off redispatches that have come due.
+
+        Requires: ``_state_lock``
+        """
         while self._delayed and self._delayed[0][0] <= now:
             _due, _seq, name, job_id, attempt = heapq.heappop(self._delayed)
             state = self.states.get(name)
@@ -245,6 +289,11 @@ class MasterDaemon:
                 self._dispatch(state, job_id)
 
     def _handle_submission(self, msg: WorkflowSubmission) -> None:
+        """Validate and admit one submitted workflow.
+
+        Requires: ``_state_lock``
+        """
+        self._trace("write", "master.handle_submission")
         if msg.workflow.name in self.states:
             raise ValueError(f"workflow {msg.workflow.name!r} already submitted")
         state = WorkflowState(
@@ -258,12 +307,22 @@ class MasterDaemon:
             self._finish(state)
 
     def _finish(self, state: WorkflowState) -> None:
+        """Record settlement and release waiters.
+
+        Requires: ``_state_lock``
+        """
         if state.name in self.makespans:
             return
+        self._trace("write", "master.finish")
         self.makespans[state.name] = time.monotonic() - self._submit_times[state.name]
         self.completion_event(state.name).set()
 
     def _handle_ack(self, ack: JobAck) -> None:
+        """Apply one worker acknowledgment to the state machine.
+
+        Requires: ``_state_lock``
+        """
+        self._trace("write", "master.handle_ack")
         state = self.states.get(ack.workflow_name)
         if state is None:
             self.dropped_acks += 1
@@ -283,6 +342,11 @@ class MasterDaemon:
                 self._finish(state)
 
     def _check_timeouts(self) -> None:
+        """Sweep deadlines and the backoff queue.
+
+        Requires: ``_state_lock``
+        """
+        self._trace("write", "master.check_timeouts")
         now = time.monotonic()
         for state in self.states.values():
             for job_id in state.expired(now):
@@ -290,6 +354,18 @@ class MasterDaemon:
             if state.is_settled:
                 self._finish(state)
         self._drain_delayed(now)
+
+    def _reject(self, workflow_name: str, exc: Exception) -> None:
+        """Record a rejected submission.
+
+        Historically this wrote :attr:`rejected` with no lock, racing
+        :meth:`checkpoint`'s snapshot of the same dict from the
+        checkpointer thread — the race detector's fingerprint for it is
+        pinned in ``tests/test_concurrency_detector.py``.
+        """
+        with self._state_lock:
+            self._trace("write", "master.reject")
+            self.rejected[workflow_name] = repr(exc)
 
     def _loop(self) -> None:
         broker = self.broker
@@ -303,7 +379,7 @@ class MasterDaemon:
                 except Exception as exc:  # noqa: BLE001
                     # A malformed or duplicate submission must not kill
                     # the daemon: record the rejection and keep serving.
-                    self.rejected[msg.workflow.name] = repr(exc)
+                    self._reject(msg.workflow.name, exc)
                 busy = True
             while True:
                 ack = broker.consume(TOPIC_ACK)
@@ -315,4 +391,6 @@ class MasterDaemon:
             with self._state_lock:
                 self._check_timeouts()
             if not busy:
-                time.sleep(self.config.master_poll_interval)
+                # Not a bare sleep (lint CL008): a stop() request must
+                # wake the loop immediately.
+                self._stop.wait(self.config.master_poll_interval)

@@ -56,9 +56,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     seen = 0
     try:
         while True:
-            time.sleep(0.05)
-            if worker.jobs_completed + worker.jobs_failed > seen:
-                seen = worker.jobs_completed + worker.jobs_failed
+            # Condition-wait on the worker's progress counters instead of
+            # polling them (lint CL008); wakes on every job outcome.
+            done = worker.wait_progress(seen, timeout=0.25)
+            if done > seen:
+                seen = done
                 last_progress = time.monotonic()
             if args.idle_exit > 0 and time.monotonic() - last_progress > args.idle_exit:
                 break

@@ -31,6 +31,7 @@ from __future__ import annotations
 from enum import Enum
 from typing import Any, Dict, List, Optional, Set
 
+import repro.analysis.concurrency.recorder as _conc
 import repro.analysis.sanitizer as _sanitizer
 from repro.faults.retry import DeadLetterEntry, RetryPolicy
 from repro.workflow.dag import Workflow
@@ -92,9 +93,23 @@ class WorkflowState:
         if san is not None:
             san.check_cow_isolation(self, skeleton)
 
+    def _trace(self, op: str, site: str) -> None:
+        """Report a status-map access to the race recorder, if any.
+
+        The state machine itself is lock-free by design (its callers —
+        master daemon, pull engine — serialize access); registering the
+        accesses lets the happens-before detector prove that claim for
+        every recorded run instead of trusting it.
+        """
+        rec = _conc.active()
+        if rec is not None:
+            hook = rec.on_read if op == "read" else rec.on_write
+            hook("wfstate.status", id(self), site)
+
     # -- lifecycle ---------------------------------------------------------
     def initial_ready(self) -> List[str]:
         """Jobs eligible at submission; marks them QUEUED."""
+        self._trace("write", "state.initial_ready")
         ready = []
         status = self.status
         attempt = self.attempt
@@ -126,6 +141,7 @@ class WorkflowState:
         a dispatch message swallowed by a lossy broker is resubmitted by
         the ordinary timeout sweep.
         """
+        self._trace("write", "state.mark_dispatched")
         if not self.retry.redispatch_lost:
             return
         if self.status[job_id] is JobStatus.QUEUED:
@@ -133,6 +149,7 @@ class WorkflowState:
 
     def on_running(self, job_id: str, attempt: int, now: float) -> bool:
         """Handle a running ack; returns False for stale/duplicate acks."""
+        self._trace("write", "state.on_running")
         status = self.status[job_id]
         if status is JobStatus.COMPLETED or status is JobStatus.DEAD:
             self.duplicate_acks += 1
@@ -152,6 +169,7 @@ class WorkflowState:
         A completion for a job already dead-lettered is likewise dropped:
         its descendants have been cascaded and must not be revived.
         """
+        self._trace("write", "state.on_completed")
         status = self.status[job_id]
         if status is JobStatus.COMPLETED or status is JobStatus.DEAD:
             self.duplicate_acks += 1
@@ -195,6 +213,7 @@ class WorkflowState:
         for jobs whose attempt budget is exhausted (the caller should
         then check :attr:`is_settled`).
         """
+        self._trace("write", "state.on_failed")
         status = self.status[job_id]
         if status is JobStatus.COMPLETED or status is JobStatus.DEAD:
             return None
@@ -228,6 +247,7 @@ class WorkflowState:
         consumer goes back to WAITING on them and is re-queued by
         :meth:`on_completed`'s regeneration path.
         """
+        self._trace("write", "state.on_corrupt")
         status = self.status[job_id]
         if status is JobStatus.COMPLETED or status is JobStatus.DEAD:
             self.duplicate_acks += 1
@@ -284,6 +304,7 @@ class WorkflowState:
         safe (a late completion from the old delivery is absorbed as a
         duplicate).  Jobs out of attempt budget dead-letter instead.
         """
+        self._trace("write", "state.requeue_in_flight")
         out: List[str] = []
         for job_id, status in list(self.status.items()):
             if status is JobStatus.QUEUED or status is JobStatus.RUNNING:
@@ -301,6 +322,7 @@ class WorkflowState:
         """Jobs whose completion ack missed its deadline; re-QUEUED with a
         fresh attempt number, ready to be republished.  Jobs that exhaust
         their attempt budget are dead-lettered instead (and not returned)."""
+        self._trace("write", "state.expired")
         out = []
         for job_id, deadline in list(self.deadline.items()):
             status = self.status[job_id]
@@ -324,6 +346,7 @@ class WorkflowState:
         never become eligible; cascading it keeps the workflow able to
         *settle* (completed + dead == all jobs) instead of hanging.
         """
+        self._trace("write", "state.dead_letter")
         self.status[job_id] = JobStatus.DEAD
         self.deadline.pop(job_id, None)
         self._n_dead += 1
@@ -405,6 +428,7 @@ class WorkflowState:
         """JSON-able snapshot of the full scheduler state for this
         workflow — everything needed to resume after a master crash, and
         the input to the journal's checkpoint digest."""
+        self._trace("read", "state.snapshot")
         return {
             "name": self.name,
             "status": {j: s.value for j, s in self.status.items()},

@@ -12,13 +12,22 @@ stops immediately and acknowledgments of in-flight jobs are suppressed, so
 the master's timeout mechanism must recover them (paper §V.A.3).  A killed
 worker cannot be restarted; start a fresh daemon, exactly like restarting
 the real process.
+
+Locking discipline (lint CL005 enforces the ``_guarded_by_`` map): the
+progress counters are guarded by the ``_progress`` condition — they were
+historically bare ``+= 1`` from concurrent job threads, a lost-update
+race the happens-before detector surfaces (its fingerprint is pinned in
+``tests/test_concurrency_detector.py``).  ``_progress`` also gives
+observers :meth:`wait_progress` instead of polling the counters.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Optional
+from typing import Optional, Tuple
 
+import repro.analysis.concurrency.recorder as _conc
+from repro.analysis.concurrency import shims as _shims
 from repro.dewe.config import DeweConfig
 from repro.dewe.executors import CallableExecutor, Executor
 from repro.mq.broker import Broker
@@ -29,6 +38,13 @@ __all__ = ["WorkerDaemon"]
 
 class WorkerDaemon:
     """Pulls and executes jobs; start()/stop()/kill() lifecycle."""
+
+    _guarded_by_ = {
+        "jobs_started": "_progress",
+        "jobs_completed": "_progress",
+        "jobs_failed": "_progress",
+        "_active": "_active_lock",
+    }
 
     def __init__(
         self,
@@ -45,19 +61,26 @@ class WorkerDaemon:
         self.jobs_completed = 0
         self.jobs_failed = 0
         self._active = 0
-        self._active_lock = threading.Lock()
-        self._stop = threading.Event()
+        self._active_lock = _shims.make_lock(f"{name}.active")
+        #: Guards the progress counters; notified on every job outcome.
+        self._progress = _shims.make_condition(f"{name}.progress")
+        self._stop = _shims.make_event(f"{name}.stop")
         self._killed = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self._job_threads: list = []
+
+    def _trace(self, op: str, site: str) -> None:
+        """Report a counter access to the race recorder, if any."""
+        rec = _conc.active()
+        if rec is not None:
+            hook = rec.on_read if op == "read" else rec.on_write
+            hook("worker.progress", id(self), site)
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> "WorkerDaemon":
         if self._thread is not None:
             raise RuntimeError(f"worker {self.name} already started")
-        self._thread = threading.Thread(
-            target=self._loop, name=f"dewe-{self.name}", daemon=True
-        )
+        self._thread = _shims.new_thread(self._loop, f"dewe-{self.name}")
         self._thread.start()
         return self
 
@@ -79,6 +102,12 @@ class WorkerDaemon:
             self._thread.join()
             self._thread = None
 
+    def join_jobs(self, timeout: Optional[float] = None) -> None:
+        """Wait for in-flight job threads (after :meth:`kill`, the acks
+        are suppressed but the threads still wind down)."""
+        for t in self._job_threads:
+            t.join(timeout)
+
     def __enter__(self) -> "WorkerDaemon":
         return self.start()
 
@@ -89,6 +118,28 @@ class WorkerDaemon:
     def active_jobs(self) -> int:
         with self._active_lock:
             return self._active
+
+    # -- progress observation ----------------------------------------------
+    @property
+    def progress(self) -> Tuple[int, int, int]:
+        """(started, completed, failed) under the progress condition."""
+        with self._progress:
+            self._trace("read", "worker.progress_read")
+            return (self.jobs_started, self.jobs_completed, self.jobs_failed)
+
+    def wait_progress(
+        self, seen: int, timeout: Optional[float] = None
+    ) -> int:
+        """Block until completed+failed exceeds ``seen`` (or timeout);
+        returns the current completed+failed count.  The event-driven
+        replacement for polling the counters with ``time.sleep``."""
+        with self._progress:
+            self._progress.wait_for(
+                lambda: self.jobs_completed + self.jobs_failed > seen,
+                timeout,
+            )
+            self._trace("read", "worker.wait_progress")
+            return self.jobs_completed + self.jobs_failed
 
     # -- internals -----------------------------------------------------------
     def _ack(self, msg: JobDispatch, kind: AckKind, error: str = None) -> None:
@@ -106,14 +157,24 @@ class WorkerDaemon:
             ),
         )
 
+    def _record_outcome(self, failed: bool) -> None:
+        """Count one finished job and wake :meth:`wait_progress` waiters."""
+        with self._progress:
+            self._trace("write", "worker.record_outcome")
+            if failed:
+                self.jobs_failed += 1
+            else:
+                self.jobs_completed += 1
+            self._progress.notify_all()
+
     def _run_job(self, msg: JobDispatch) -> None:
         try:
             self.executor.run(msg.job)
         except Exception as exc:  # noqa: BLE001 - worker must survive any job
-            self.jobs_failed += 1
+            self._record_outcome(failed=True)
             self._ack(msg, AckKind.FAILED, error=repr(exc))
         else:
-            self.jobs_completed += 1
+            self._record_outcome(failed=False)
             self._ack(msg, AckKind.COMPLETED)
         finally:
             with self._active_lock:
@@ -137,12 +198,14 @@ class WorkerDaemon:
                     # Graceful shutdown mid-checkout: hand the job back.
                     self.broker.publish(TOPIC_DISPATCH, msg)
                 break
-            self.jobs_started += 1
+            with self._progress:
+                self._trace("write", "worker.job_started")
+                self.jobs_started += 1
             with self._active_lock:
                 self._active += 1
             self._ack(msg, AckKind.RUNNING)
-            thread = threading.Thread(
-                target=self._run_job, args=(msg,), name=f"{self.name}-job", daemon=True
+            thread = _shims.new_thread(
+                self._run_job, f"{self.name}-job", args=(msg,)
             )
             self._job_threads.append(thread)
             thread.start()

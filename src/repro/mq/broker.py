@@ -6,31 +6,62 @@ the check-out behaviour DEWE v2 relies on ("the job is no longer visible
 to other worker nodes", paper §III.C).  There is no broker-side ack or
 redelivery: lost jobs are recovered by the master daemon's timeout
 mechanism, as in the paper.
+
+Race detection: messages travel internally as ``(seq, message)``
+envelopes, numbered per topic at publish time under the topic lock.  The
+sequence number lets the happens-before detector pair each ``send`` with
+exactly the ``recv`` that took it — even with competing consumers — so
+"the producer's writes are visible to the message's consumer" becomes a
+provable edge instead of an assumption.  Envelopes never escape:
+``consume`` unwraps before returning.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
+
+import repro.analysis.concurrency.recorder as _conc
 
 __all__ = ["Topic", "Broker"]
 
 
 class Topic:
-    """One named FIFO message stream."""
+    """One named FIFO message stream.
+
+    ``_lock`` guards the counters and makes ``seq`` assignment atomic
+    with the enqueue, so envelope numbers are in queue order (the
+    detector's send/recv pairing relies on that).  It is deliberately a
+    *plain* lock even under ``REPRO_RACEDETECT``: tracing it would add
+    publisher→consumer happens-before edges through the counters and
+    mask real races that only the message itself should order.
+    """
+
+    _guarded_by_ = {"published": "_lock", "consumed": "_lock"}
 
     def __init__(self, name: str):
         self.name = name
-        self._queue: "queue.Queue[Any]" = queue.Queue()
+        self._queue: "queue.Queue[Tuple[int, Any]]" = queue.Queue()
         self.published = 0
         self.consumed = 0
         self._lock = threading.Lock()
+        rec = _conc.active()
+        self._key = (
+            rec.new_key("topic", name) if rec is not None
+            else ("topic", name, 0)
+        )
 
     def publish(self, message: Any) -> None:
         with self._lock:
             self.published += 1
-        self._queue.put(message)
+            seq = self.published
+            rec = _conc.active()
+            if rec is not None:
+                rec.on_send(self._key, seq)
+            # Enqueue under the lock: an unbounded put never blocks, and
+            # atomicity keeps envelope numbers in FIFO order.
+            self._queue.put((seq, message))
 
     def consume(self, timeout: Optional[float] = None) -> Optional[Any]:
         """Pop the oldest message; ``None`` when empty after ``timeout``.
@@ -39,13 +70,17 @@ class Topic:
         """
         try:
             if timeout is None:
-                message = self._queue.get_nowait()
+                envelope = self._queue.get_nowait()
             else:
-                message = self._queue.get(timeout=timeout)
+                envelope = self._queue.get(timeout=timeout)
         except queue.Empty:
             return None
+        seq, message = envelope
         with self._lock:
             self.consumed += 1
+            rec = _conc.active()
+            if rec is not None:
+                rec.on_recv(self._key, seq)
         return message
 
     @property
@@ -56,6 +91,8 @@ class Topic:
 
 class Broker:
     """A set of named topics; topics are created on first use."""
+
+    _guarded_by_ = {"_topics": "_lock"}
 
     def __init__(self) -> None:
         self._topics: Dict[str, Topic] = {}

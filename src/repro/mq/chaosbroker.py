@@ -138,6 +138,13 @@ class ChaosBroker(Broker):
     outcome sequence is reproducible.
     """
 
+    _guarded_by_ = {
+        "dropped": "_rng_lock",
+        "duplicated": "_rng_lock",
+        "delayed": "_rng_lock",
+        "_rng": "_rng_lock",
+    }
+
     def __init__(self, chaos: MessageChaos):
         super().__init__()
         self.chaos = chaos

@@ -218,8 +218,13 @@ class RemoteBroker:
 
     Thread-safe (one request at a time per client); daemons that poll
     concurrently should each hold their own RemoteBroker, exactly like
-    separate AMQP connections.
+    separate AMQP connections.  ``_lock`` serializes whole request/
+    response round-trips, so it is deliberately held across the blocking
+    ``readline`` — interleaving two requests on one socket would corrupt
+    the protocol framing.
     """
+
+    _guarded_by_ = {"_sock": "_lock", "_file": "_lock"}
 
     def __init__(self, host: str, port: int, connect_timeout: float = 5.0):
         self.host = host
@@ -229,10 +234,13 @@ class RemoteBroker:
         self._lock = threading.Lock()
 
     def close(self) -> None:
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        # Under the request lock: closing mid-round-trip from another
+        # thread would race _call's use of the socket and file.
+        with self._lock:
+            try:
+                self._file.close()
+            finally:
+                self._sock.close()
 
     def __enter__(self) -> "RemoteBroker":
         return self

@@ -22,6 +22,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.analysis.concurrency import shims as _shims
 from repro.workflow.dag import Workflow
 
 __all__ = ["MasterCheckpoint", "MasterCrashModel"]
@@ -89,7 +90,10 @@ class MasterCrashModel:
         self.crashes = 0
         self._master = None
         self._ticker: Optional[threading.Thread] = None
-        self._halt = threading.Event()
+        # Traced under REPRO_RACEDETECT: the checkpointer is the reader
+        # side of the master's scheduler state, so its accesses need a
+        # logical thread id for the happens-before replay.
+        self._halt = _shims.make_event("checkpointer.halt")
 
     def attach(self, master) -> "MasterCrashModel":
         """Start checkpointing ``master`` every ``checkpoint_interval``
@@ -98,9 +102,7 @@ class MasterCrashModel:
             raise RuntimeError("crash model already attached")
         self._master = master
         self._halt.clear()
-        self._ticker = threading.Thread(
-            target=self._tick, name="master-checkpointer", daemon=True
-        )
+        self._ticker = _shims.new_thread(self._tick, "master-checkpointer")
         self._ticker.start()
         return self
 

@@ -1,0 +1,139 @@
+"""The seeded schedule explorer: exhaustive, PCT sampling, shrinking.
+
+Determinism is the contract under test: the same scenario and seed must
+produce byte-identical exploration outcomes, and any failure must be a
+replayable schedule that still fails when replayed.
+"""
+
+from repro.analysis.concurrency.explorer import (
+    Explorer,
+    replay_picker,
+    shrink_schedule,
+)
+from repro.analysis.concurrency.scenarios import SCENARIOS, get_scenario
+
+import pytest
+
+
+def explorer_for(name: str) -> Explorer:
+    return Explorer(get_scenario(name).build)
+
+
+def test_scenario_registry():
+    assert set(SCENARIOS) == {
+        "counter-locked",
+        "counter-racy",
+        "ack-reorder",
+        "lock-order",
+        "pipeline",
+    }
+    with pytest.raises(KeyError, match="unknown scenario"):
+        get_scenario("nope")
+
+
+def test_exhaustive_finds_lost_update():
+    outcome = explorer_for("counter-racy").explore_exhaustive(
+        max_schedules=200
+    )
+    assert outcome.found_bug
+    assert "lost update" in outcome.failure.failure
+
+
+def test_exhaustive_clean_counter_survives_budget():
+    outcome = explorer_for("counter-locked").explore_exhaustive(
+        max_schedules=200
+    )
+    assert not outcome.found_bug
+
+
+def test_exhaustive_pipeline_is_complete_and_clean():
+    outcome = explorer_for("pipeline").explore_exhaustive(max_schedules=200)
+    assert not outcome.found_bug
+    assert outcome.complete  # the whole state space fit in the budget
+
+
+def test_exhaustive_finds_deadlock():
+    outcome = explorer_for("lock-order").explore_exhaustive(max_schedules=200)
+    assert outcome.found_bug
+    assert "deadlock" in outcome.failure.failure
+
+
+def test_pct_sampling_finds_ack_reorder():
+    outcome = explorer_for("ack-reorder").explore_random(seed=0, schedules=50)
+    assert outcome.found_bug
+    assert "completed" in outcome.failure.failure
+
+
+def test_random_exploration_is_deterministic_per_seed():
+    results = []
+    for _ in range(2):
+        outcome = explorer_for("counter-racy").explore_random(
+            seed=7, schedules=50
+        )
+        results.append(
+            (
+                outcome.found_bug,
+                outcome.schedules_run,
+                outcome.failure.schedule if outcome.failure else None,
+                outcome.failure.trace if outcome.failure else None,
+            )
+        )
+    assert results[0] == results[1]
+
+
+def test_different_seeds_may_differ_but_both_reproduce():
+    exp = explorer_for("counter-racy")
+    a = exp.explore_random(seed=1, schedules=50)
+    b = exp.explore_random(seed=2, schedules=50)
+    for outcome in (a, b):
+        assert outcome.found_bug
+        replay = exp.run_once(replay_picker(outcome.failure.schedule))
+        assert replay.failure == outcome.failure.failure
+
+
+def test_shrinking_reduces_switches_and_still_fails():
+    exp = explorer_for("counter-racy")
+    outcome = exp.explore_exhaustive(max_schedules=200)
+    assert outcome.found_bug
+    shrunk = shrink_schedule(exp, outcome.failure)
+    assert shrunk.failed
+    assert shrunk.switches <= outcome.failure.switches
+    # The shrunken schedule is a full reproduction recipe.
+    replay = exp.run_once(replay_picker(shrunk.schedule))
+    assert replay.failed
+    assert replay.failure == shrunk.failure
+
+
+def test_shrinking_is_deterministic():
+    exp = explorer_for("counter-racy")
+    outcome = exp.explore_exhaustive(max_schedules=200)
+    a = shrink_schedule(exp, outcome.failure)
+    b = shrink_schedule(exp, outcome.failure)
+    assert a.schedule == b.schedule
+    assert a.failure == b.failure
+
+
+def test_minimal_counter_race_needs_two_switches():
+    """The lost update fundamentally needs w1 -> w2 -> w1 (or mirror):
+    shrinking must land on exactly two context switches."""
+    exp = explorer_for("counter-racy")
+    outcome = exp.explore_exhaustive(max_schedules=200)
+    shrunk = shrink_schedule(exp, outcome.failure)
+    assert shrunk.switches == 2
+
+
+def test_render_trace_names_threads_and_ops():
+    exp = explorer_for("counter-racy")
+    outcome = exp.explore_exhaustive(max_schedules=200)
+    rendered = outcome.failure.render_trace()
+    assert "w1:" in rendered or "w2:" in rendered
+    assert "lost update" in rendered
+
+
+def test_replay_picker_fills_gaps():
+    """A truncated schedule still replays to completion (the picker falls
+    back to the first enabled thread past the prefix)."""
+    exp = explorer_for("pipeline")
+    result = exp.run_once(replay_picker([0]))
+    assert not result.failed
+    assert len(result.schedule) > 1

@@ -1,0 +1,302 @@
+"""The lock-discipline lints CL005-CL008, plus the repo dogfood gate."""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.codelint import (
+    CONCURRENCY_RULES,
+    default_rules_for,
+    lint_source,
+)
+
+ALL_CONC = frozenset({"CL005", "CL006", "CL007", "CL008"})
+
+
+def findings(source: str, rules=ALL_CONC):
+    return lint_source(textwrap.dedent(source), "t.py", rules=rules)
+
+
+def rules_of(source: str, rules=ALL_CONC):
+    return [f.rule for f in findings(source, rules)]
+
+
+# ---------------------------------------------------------------------------
+# CL005: guarded attribute without its lock
+# ---------------------------------------------------------------------------
+
+
+def test_cl005_unguarded_access_flagged():
+    fs = findings(
+        """
+        class D:
+            _guarded_by_ = {"count": "_lock"}
+
+            def bump(self):
+                self.count += 1
+        """
+    )
+    assert [f.rule for f in fs] == ["CL005"]
+    assert "D.count" in fs[0].message
+
+
+def test_cl005_with_lock_clean():
+    assert rules_of(
+        """
+        class D:
+            _guarded_by_ = {"count": "_lock"}
+
+            def bump(self):
+                with self._lock:
+                    self.count += 1
+        """
+    ) == []
+
+
+def test_cl005_requires_docstring_clean():
+    assert rules_of(
+        '''
+        class D:
+            _guarded_by_ = {"count": "_lock"}
+
+            def bump(self):
+                """Increment.
+
+                Requires: ``_lock``
+                """
+                self.count += 1
+        '''
+    ) == []
+
+
+def test_cl005_init_exempt():
+    assert rules_of(
+        """
+        class D:
+            _guarded_by_ = {"count": "_lock"}
+
+            def __init__(self):
+                self.count = 0
+        """
+    ) == []
+
+
+def test_cl005_nested_function_loses_lock_context():
+    """A closure may run on another thread: holding the lock at the
+    definition site proves nothing about the call site."""
+    assert rules_of(
+        """
+        class D:
+            _guarded_by_ = {"count": "_lock"}
+
+            def bump(self):
+                with self._lock:
+                    def inner():
+                        self.count += 1
+                    return inner
+        """
+    ) == ["CL005"]
+
+
+def test_cl005_wait_for_predicate_runs_under_the_condition():
+    """Condition.wait_for re-acquires before evaluating its predicate,
+    so the lambda's guarded accesses are properly locked."""
+    assert rules_of(
+        """
+        class D:
+            _guarded_by_ = {"count": "_cond"}
+
+            def wait(self):
+                with self._cond:
+                    self._cond.wait_for(lambda: self.count > 0)
+        """
+    ) == []
+
+
+# ---------------------------------------------------------------------------
+# CL006: inconsistent lock order
+# ---------------------------------------------------------------------------
+
+
+def test_cl006_opposite_orders_flagged():
+    fs = findings(
+        """
+        class D:
+            def ab(self):
+                with self._a:
+                    with self._b:
+                        pass
+
+            def ba(self):
+                with self._b:
+                    with self._a:
+                        pass
+        """
+    )
+    assert all(f.rule == "CL006" for f in fs)
+    assert len(fs) == 2  # each cycle-closing edge is reported
+
+
+def test_cl006_consistent_nesting_clean():
+    assert rules_of(
+        """
+        class D:
+            def ab(self):
+                with self._a:
+                    with self._b:
+                        pass
+
+            def also_ab(self):
+                with self._a:
+                    with self._b:
+                        pass
+        """
+    ) == []
+
+
+# ---------------------------------------------------------------------------
+# CL007: blocking call under a lock
+# ---------------------------------------------------------------------------
+
+
+def test_cl007_sleep_under_lock_flagged():
+    assert rules_of(
+        """
+        import time
+
+        class D:
+            def slow(self):
+                with self._lock:
+                    time.sleep(1.0)
+        """
+    ) == ["CL007"]
+
+
+def test_cl007_thread_join_under_lock_flagged():
+    assert rules_of(
+        """
+        class D:
+            def stop(self):
+                with self._lock:
+                    self._thread.join()
+        """
+    ) == ["CL007"]
+
+
+def test_cl007_condition_wait_on_held_lock_exempt():
+    """Waiting on the condition you hold is the one correct pattern —
+    the wait releases it."""
+    assert rules_of(
+        """
+        class D:
+            def wait(self):
+                with self._cond:
+                    self._cond.wait(1.0)
+        """
+    ) == []
+
+
+def test_cl007_string_join_not_flagged():
+    assert rules_of(
+        """
+        class D:
+            def render(self, parts):
+                with self._lock:
+                    return ",".join(parts)
+        """
+    ) == []
+
+
+def test_cl007_no_lock_no_finding():
+    assert rules_of(
+        """
+        import time
+
+        class D:
+            def nap(self):
+                time.sleep(1.0)
+        """
+    ) == []
+
+
+# ---------------------------------------------------------------------------
+# CL008: sleep-polling loops
+# ---------------------------------------------------------------------------
+
+
+def test_cl008_sleep_in_loop_flagged():
+    assert rules_of(
+        """
+        import time
+
+        def poll(q):
+            while not q:
+                time.sleep(0.05)
+        """
+    ) == ["CL008"]
+
+
+def test_cl008_sleep_outside_loop_clean():
+    assert rules_of(
+        """
+        import time
+
+        def settle():
+            time.sleep(0.05)
+        """
+    ) == []
+
+
+def test_cl008_sleep_after_nested_loop_still_flagged():
+    assert rules_of(
+        """
+        import time
+
+        def poll(items):
+            while True:
+                for item in items:
+                    handle(item)
+                time.sleep(0.05)
+        """
+    ) == ["CL008"]
+
+
+# ---------------------------------------------------------------------------
+# Scoping and dogfood
+# ---------------------------------------------------------------------------
+
+
+def test_threaded_subpackages_get_concurrency_rules():
+    assert CONCURRENCY_RULES == ALL_CONC
+    assert CONCURRENCY_RULES <= default_rules_for("src/repro/dewe/master.py")
+    assert CONCURRENCY_RULES <= default_rules_for("src/repro/mq/broker.py")
+    assert not (
+        CONCURRENCY_RULES & default_rules_for("src/repro/sim/engine.py")
+    )
+
+
+def _repo_root() -> Path:
+    return Path(__file__).resolve().parent.parent
+
+
+def test_threaded_sources_pass_lock_discipline():
+    """Dogfood gate: every threaded production module is clean under the
+    full concurrency rule set (recovery included, beyond its defaults)."""
+    root = _repo_root() / "src" / "repro"
+    problems = []
+    for pkg in ("dewe", "mq", "recovery"):
+        for path in sorted((root / pkg).glob("*.py")):
+            rules = frozenset(default_rules_for(path) | ALL_CONC)
+            problems.extend(lint_source(path.read_text(), str(path), rules=rules))
+    assert problems == [], "\n".join(str(p) for p in problems)
+
+
+def test_threaded_test_suites_have_no_polling_sleeps():
+    """Satellite gate: the daemon/broker tests wait on events and
+    conditions, never on sleep-polling loops (CL008)."""
+    tests = _repo_root() / "tests"
+    for name in ("test_dewe_daemons.py", "test_tcpbroker.py"):
+        path = tests / name
+        fs = lint_source(
+            path.read_text(), str(path), rules=frozenset({"CL008"})
+        )
+        assert fs == [], "\n".join(str(f) for f in fs)

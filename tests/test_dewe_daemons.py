@@ -189,7 +189,7 @@ def test_killed_worker_jobs_recovered_by_timeout():
         assert started.wait(timeout=5.0)
         w1.kill()          # the COMPLETED ack of 'slow' is now suppressed
         release.set()
-        time.sleep(0.05)
+        w1.join_jobs(timeout=5.0)  # job thread winds down, ack suppressed
         w2 = WorkerDaemon(broker, config=cfg, name="node2").start()
         assert master.wait("victim", timeout=10.0)
         w2.stop()
@@ -242,7 +242,6 @@ def test_subprocess_executor_failure_is_failed_ack_then_retry_loops():
 
 
 def test_worker_stop_requeues_checked_out_message():
-    broker = Broker()
     from repro.mq.messages import TOPIC_DISPATCH, JobDispatch
     from repro.workflow.dag import Job
 
@@ -252,9 +251,18 @@ def test_worker_stop_requeues_checked_out_message():
         worker_poll_interval=0.5,  # long poll so we can race the stop
         max_concurrent_jobs=1,
     )
+    in_consume = threading.Event()
+
+    class SignallingBroker(Broker):
+        def consume(self, topic_name, timeout=None):
+            if topic_name == TOPIC_DISPATCH:
+                in_consume.set()
+            return super().consume(topic_name, timeout)
+
+    broker = SignallingBroker()
     worker = WorkerDaemon(broker, config=cfg, name="w")
     worker.start()
-    time.sleep(0.05)  # worker is now blocked in consume()
+    assert in_consume.wait(timeout=5.0)  # worker reached consume()
     worker._stop.set()
     broker.publish(
         TOPIC_DISPATCH,
@@ -302,6 +310,7 @@ def test_master_survives_bad_submissions():
         good2.new_job("only", "t")
         submit_workflow(broker, good2)
         assert master.wait("good-2", timeout=10.0)
-        time.sleep(0.05)
+        # The submission topic is FIFO: good-2 completing proves the two
+        # earlier (rejected) submissions were already processed.
         assert "good-1" in master.rejected
         assert "cyclic" in master.rejected
