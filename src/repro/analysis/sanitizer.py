@@ -288,6 +288,51 @@ class Sanitizer:
                 )
             last_end = max(last_end, end)
 
+    # -- liveness leases (repro.liveness) ---------------------------------
+    def check_lease_fencing(self, workflow: str, job_id: str, worker: str,
+                            stale: bool, detail: str = "",
+                            time: Optional[float] = None) -> None:
+        """A job must never settle from a fenced (stale-epoch) lease —
+        once the master fences a worker, acknowledgments carrying the
+        fenced epoch have to be rejected before they reach the state
+        machine, or a redispatched attempt can settle twice."""
+        if stale:
+            extra = f" ({detail})" if detail else ""
+            self._report(
+                "lease-fencing",
+                f"{workflow}/{job_id}: settled from fenced lease of "
+                f"{worker}{extra}",
+                time=time,
+            )
+
+    def check_failover_billing(self, name: str, spans,
+                               makespan: Optional[float] = None) -> None:
+        """After a master failover the billing record for one node must
+        still be a chronological sequence of non-overlapping rental
+        spans — a standby that re-opened a rental the primary already
+        closed would double-bill the node's lease interval."""
+        last_end = 0.0
+        for start, end in spans:
+            if end < start - 1e-9 or start < -1e-9:
+                self._report(
+                    "failover-billing",
+                    f"{name}: malformed rental span [{start:.6g}, {end:.6g}] "
+                    f"after failover",
+                )
+            if start < last_end - 1e-9:
+                self._report(
+                    "failover-billing",
+                    f"{name}: rental span [{start:.6g}, {end:.6g}] "
+                    f"double-bills the interval before {last_end:.6g}",
+                )
+            if makespan is not None and end > makespan + 1e-6:
+                self._report(
+                    "failover-billing",
+                    f"{name}: rental span [{start:.6g}, {end:.6g}] extends "
+                    f"past makespan {makespan:.6g}",
+                )
+            last_end = max(last_end, end)
+
     # -- chaos recovery (repro.faults.chaos) ------------------------------
     def check_recovery(self, workflow: str, counts: Dict[str, int]) -> None:
         """At settlement every job is completed exactly once or

@@ -229,6 +229,10 @@ def main_chaos(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--scenario", default="smoke",
                         choices=sorted(SCENARIOS) + ["all"],
                         help="built-in scenario name, or 'all'")
+    parser.add_argument("--game-day", action="store_true",
+                        help="shorthand for --scenario game-day: partition "
+                             "+ spot kill + straggler + master failover in "
+                             "one seeded run (docs/FAULTS.md)")
     parser.add_argument("--seed", type=int, default=None,
                         help="override the scenario's fault seed")
     parser.add_argument("--list", action="store_true",
@@ -252,6 +256,8 @@ def main_chaos(argv: Optional[List[str]] = None) -> int:
         for name in sorted(SCENARIOS):
             print(f"{name:12s} {SCENARIOS[name].description}")
         return 0
+    if args.game_day:
+        args.scenario = "game-day"
     if args.journal is not None and args.scenario == "all":
         parser.error("--journal requires a single --scenario")
 

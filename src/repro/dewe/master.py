@@ -29,14 +29,17 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 import repro.analysis.concurrency.recorder as _conc
+import repro.analysis.sanitizer as _sanitizer
 from repro.analysis.concurrency import shims as _shims
 from repro.dewe.config import DeweConfig
 from repro.dewe.state import JobStatus, WorkflowState
 from repro.faults.retry import DeadLetterEntry, RetryPolicy
+from repro.liveness import LeaseConfig, LeaseTable, new_liveness_stats
 from repro.mq.broker import Broker
 from repro.mq.messages import (
     TOPIC_ACK,
     TOPIC_DISPATCH,
+    TOPIC_HEARTBEAT,
     TOPIC_SUBMIT,
     AckKind,
     JobAck,
@@ -67,6 +70,9 @@ class MasterDaemon:
         "_submit_times": "_state_lock",
         "_delayed": "_state_lock",
         "_delayed_seq": "_state_lock",
+        "_assignments": "_state_lock",
+        "liveness": "_state_lock",
+        "shed_submissions": "_state_lock",
         "_events": "_events_lock",
     }
 
@@ -91,6 +97,26 @@ class MasterDaemon:
         #: Backoff queue: (due_time, seq, workflow, job_id, attempt).
         self._delayed: List[Tuple[float, int, str, str, int]] = []
         self._delayed_seq = 0
+        #: Liveness counters (docs/FAULTS.md), shared with the lease table.
+        self.liveness: Dict[str, int] = new_liveness_stats()
+        #: Heartbeat/lease failure detector, or ``None`` when the
+        #: protocol is off (heartbeat_interval == 0).  The *reference*
+        #: is set once here and never rebound; the table's contents are
+        #: only touched under ``_state_lock``.
+        self._lease: Optional[LeaseTable] = None
+        if self.config.heartbeat_interval > 0:
+            self._lease = LeaseTable(
+                LeaseConfig(
+                    heartbeat_interval=self.config.heartbeat_interval,
+                    miss_threshold=self.config.lease_miss_threshold,
+                ),
+                stats=self.liveness,
+            )
+        #: (workflow, job_id) -> (worker, attempt) of RUNNING deliveries,
+        #: so a fenced worker's in-flight jobs can be requeued.
+        self._assignments: Dict[Tuple[str, str], Tuple[str, int]] = {}
+        #: Admission-shed submissions: name -> retry-after hint (seconds).
+        self.shed_submissions: Dict[str, float] = {}
         self._events: Dict[str, threading.Event] = {}
         self._events_lock = _shims.make_lock("master.events")
         #: Guards scheduler state (states/makespans/_delayed/_submit_times)
@@ -149,6 +175,13 @@ class MasterDaemon:
         with self._state_lock:
             self._trace("read", "master.makespan")
             return self.makespans[workflow_name]
+
+    def liveness_stats(self) -> Dict[str, int]:
+        """Snapshot of the robustness counters (docs/FAULTS.md):
+        heartbeat misses, lease fencings/regrants, shed submissions."""
+        with self._state_lock:
+            self._trace("read", "master.liveness_stats")
+            return dict(self.liveness)
 
     @property
     def dead_letters(self) -> List[DeadLetterEntry]:
@@ -236,7 +269,9 @@ class MasterDaemon:
 
         Requires: ``_state_lock``
         """
-        state.mark_dispatched(job_id, time.monotonic())
+        state.mark_dispatched(
+            job_id, time.monotonic(), force=self._lease is not None
+        )
         self.broker.publish(
             TOPIC_DISPATCH,
             JobDispatch(
@@ -296,6 +331,20 @@ class MasterDaemon:
         self._trace("write", "master.handle_submission")
         if msg.workflow.name in self.states:
             raise ValueError(f"workflow {msg.workflow.name!r} already submitted")
+        gate = self.config.admission_max_pending
+        if gate > 0:
+            backlog = self.broker.depth(TOPIC_DISPATCH)
+            if backlog >= gate:
+                # Reject-new before degrade-running: shed the submission
+                # with a retry-after hint rather than letting the backlog
+                # grow and slow every admitted ensemble down.
+                self.liveness["shed_submissions"] += 1
+                retry_after = self.config.admission_retry_after
+                self.shed_submissions[msg.workflow.name] = retry_after
+                raise RuntimeError(
+                    f"admission: dispatch backlog {backlog} >= {gate}; "
+                    f"retry after {retry_after:g}s"
+                )
         state = WorkflowState(
             msg.workflow, self.config.default_timeout, retry=self.retry
         )
@@ -323,19 +372,45 @@ class MasterDaemon:
         Requires: ``_state_lock``
         """
         self._trace("write", "master.handle_ack")
+        now = time.monotonic()
+        if self._lease is not None and ack.worker:
+            # Renew-on-contact: any ack from a live worker renews its
+            # lease, and contact from a fenced or unknown worker
+            # re-admits it under a fresh epoch *before* the ack is
+            # applied.  Exactly-once settlement is carried by attempt
+            # staleness — fencing bumped the attempt of everything the
+            # worker held — so no settlement is ever applied from a
+            # still-fenced lease (the sanitizer hook below verifies it).
+            self._lease.observe(ack.worker, now)
         state = self.states.get(ack.workflow_name)
         if state is None:
             self.dropped_acks += 1
             return  # ack for an unknown workflow: drop (but count)
         if ack.kind is AckKind.RUNNING:
-            state.on_running(ack.job_id, ack.attempt, time.monotonic())
+            accepted = state.on_running(ack.job_id, ack.attempt, now)
+            if accepted and self._lease is not None and ack.worker:
+                self._assignments[(ack.workflow_name, ack.job_id)] = (
+                    ack.worker,
+                    ack.attempt,
+                )
         elif ack.kind is AckKind.COMPLETED:
+            if self._lease is not None and ack.worker:
+                san = _sanitizer._ACTIVE
+                if san is not None:
+                    san.check_lease_fencing(
+                        ack.workflow_name,
+                        ack.job_id,
+                        ack.worker,
+                        stale=self._lease.is_fenced(ack.worker),
+                    )
+            self._assignments.pop((ack.workflow_name, ack.job_id), None)
             for job_id in state.on_completed(ack.job_id, ack.attempt):
                 self._dispatch(state, job_id)
             if state.is_settled:
                 self._finish(state)
         else:  # FAILED: resubmission with backoff, or dead-letter
-            republish = state.on_failed(ack.job_id, ack.attempt, time.monotonic())
+            self._assignments.pop((ack.workflow_name, ack.job_id), None)
+            republish = state.on_failed(ack.job_id, ack.attempt, now)
             if republish is not None:
                 self._republish(state, republish)
             elif state.is_settled:
@@ -354,6 +429,38 @@ class MasterDaemon:
             if state.is_settled:
                 self._finish(state)
         self._drain_delayed(now)
+        if self._lease is not None:
+            for worker in self._lease.expire(now):
+                self._fence_worker(worker, now)
+
+    def _fence_worker(self, worker: str, now: float) -> None:
+        """Fence a lapsed worker's lease and requeue its in-flight jobs.
+
+        The liveness recovery path (docs/FAULTS.md): the worker missed
+        ``lease_miss_threshold`` beats — hung, partitioned, or dead —
+        so every delivery it holds is presumed lost and re-queued
+        through the retry policy with a fresh attempt number (late acks
+        from the fenced delivery become stale).  The worker rejoins on
+        its next contact under a fresh epoch.
+
+        Requires: ``_state_lock``
+        """
+        self._trace("write", "master.fence_worker")
+        self._lease.fence(worker, now)
+        held = sorted(
+            key for key, value in self._assignments.items() if value[0] == worker
+        )
+        for key in held:
+            name, job_id = key
+            _worker, attempt = self._assignments.pop(key)
+            state = self.states.get(name)
+            if state is None:
+                continue
+            republish = state.on_lease_expired(job_id, attempt, now)
+            if republish is not None:
+                self._republish(state, republish)
+            elif state.is_settled:
+                self._finish(state)
 
     def _reject(self, workflow_name: str, exc: Exception) -> None:
         """Record a rejected submission.
@@ -388,6 +495,15 @@ class MasterDaemon:
                 with self._state_lock:
                     self._handle_ack(ack)
                 busy = True
+            if self._lease is not None:
+                while True:
+                    beat = broker.consume(TOPIC_HEARTBEAT)
+                    if beat is None:
+                        break
+                    with self._state_lock:
+                        self._trace("write", "master.handle_heartbeat")
+                        self._lease.observe(beat.worker, time.monotonic())
+                    busy = True
             with self._state_lock:
                 self._check_timeouts()
             if not busy:

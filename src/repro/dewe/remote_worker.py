@@ -43,9 +43,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--executor", choices=sorted(EXECUTORS), default="subprocess")
     parser.add_argument("--idle-exit", type=float, default=0.0,
                         help="exit after this many idle seconds (0 = run forever)")
+    parser.add_argument("--heartbeat", type=float, default=0.0,
+                        help="renew the liveness lease this often in seconds "
+                             "(0 = no heartbeats; docs/FAULTS.md)")
     args = parser.parse_args(argv)
 
-    config = DeweConfig(max_concurrent_jobs=args.slots)
+    config = DeweConfig(
+        max_concurrent_jobs=args.slots, heartbeat_interval=args.heartbeat
+    )
     broker = RemoteBroker(args.host, args.port)
     worker = WorkerDaemon(
         broker, EXECUTORS[args.executor](), config, name=args.name

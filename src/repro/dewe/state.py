@@ -132,7 +132,7 @@ class WorkflowState:
             return limit > 0 and attempts >= limit
         return self.retry.exhausted(attempts)
 
-    def mark_dispatched(self, job_id: str, now: float) -> None:
+    def mark_dispatched(self, job_id: str, now: float, force: bool = False) -> None:
         """Arm the dispatch-loss deadline when the policy asks for it.
 
         Called by the master/engine right before publishing the job.  A
@@ -140,9 +140,16 @@ class WorkflowState:
         running" exactly like "running but never reported completed", so
         a dispatch message swallowed by a lossy broker is resubmitted by
         the ordinary timeout sweep.
+
+        ``force`` arms the deadline regardless of the policy: the lease
+        protocol requires it, because a worker pulling through an
+        asymmetric partition consumes deliveries whose running acks are
+        then rejected as stale — without a deadline such a job would
+        stay QUEUED forever (it never reaches the fencing requeue, which
+        only covers validly-acked assignments).
         """
         self._trace("write", "state.mark_dispatched")
-        if not self.retry.redispatch_lost:
+        if not (force or self.retry.redispatch_lost):
             return
         if self.status[job_id] is JobStatus.QUEUED:
             self.deadline[job_id] = now + self._timeout_of(job_id)
@@ -154,7 +161,10 @@ class WorkflowState:
         if status is JobStatus.COMPLETED or status is JobStatus.DEAD:
             self.duplicate_acks += 1
             return False
-        if attempt != self.attempt[job_id]:
+        # ``.get``: a state rewound to a checkpoint (standby-master
+        # takeover) may see late acks for jobs it has not dispatched yet
+        # — no attempt entry means every real attempt number is stale.
+        if attempt != self.attempt.get(job_id, 0):
             self.duplicate_acks += 1
             return False  # ack from a superseded delivery
         self.status[job_id] = JobStatus.RUNNING
@@ -217,8 +227,8 @@ class WorkflowState:
         status = self.status[job_id]
         if status is JobStatus.COMPLETED or status is JobStatus.DEAD:
             return None
-        if attempt != self.attempt[job_id]:
-            return None
+        if attempt != self.attempt.get(job_id, 0):
+            return None  # stale ack (superseded, or state rewound)
         if self.exhausted(job_id):
             self._dead_letter(job_id, "failed", now)
             return None
@@ -252,9 +262,9 @@ class WorkflowState:
         if status is JobStatus.COMPLETED or status is JobStatus.DEAD:
             self.duplicate_acks += 1
             return None
-        if attempt != self.attempt[job_id]:
+        if attempt != self.attempt.get(job_id, 0):
             self.duplicate_acks += 1
-            return None
+            return None  # stale ack (superseded, or state rewound)
         self.data_recoveries += 1
         # Bump the consumer's attempt so acks from the aborted delivery
         # (or duplicated broker messages) are dropped as stale.
@@ -294,6 +304,34 @@ class WorkflowState:
             # QUEUED / RUNNING / WAITING: already being (re)generated —
             # the waiter registration above is all that is needed.
         return to_dispatch
+
+    def on_lease_expired(
+        self, job_id: str, attempt: int, now: float = 0.0
+    ) -> Optional[str]:
+        """The worker holding ``job_id``'s delivery lost its lease.
+
+        The liveness plane's recovery transition (docs/FAULTS.md): the
+        master fenced the worker's heartbeat lease, so the delivery is
+        presumed lost — hung worker, network partition, silent death —
+        and the job is re-QUEUED with a fresh attempt number, making any
+        late ack from the fenced delivery stale.  Returns the job id to
+        republish; ``None`` for stale calls, already-settled jobs, and
+        exhausted attempt budgets (dead-letter ``lease-expired``).
+        """
+        self._trace("write", "state.on_lease_expired")
+        status = self.status[job_id]
+        if status is not JobStatus.RUNNING and status is not JobStatus.QUEUED:
+            return None
+        if attempt != self.attempt[job_id]:
+            return None
+        if self.exhausted(job_id):
+            self._dead_letter(job_id, "lease-expired", now)
+            return None
+        self.attempt[job_id] += 1
+        self.status[job_id] = JobStatus.QUEUED
+        self.deadline.pop(job_id, None)
+        self.resubmissions += 1
+        return job_id
 
     def requeue_in_flight(self, now: float = 0.0) -> List[str]:
         """Requeue every QUEUED/RUNNING job with a fresh attempt number.

@@ -31,7 +31,15 @@ from repro.analysis.concurrency import shims as _shims
 from repro.dewe.config import DeweConfig
 from repro.dewe.executors import CallableExecutor, Executor
 from repro.mq.broker import Broker
-from repro.mq.messages import TOPIC_ACK, TOPIC_DISPATCH, AckKind, JobAck, JobDispatch
+from repro.mq.messages import (
+    TOPIC_ACK,
+    TOPIC_DISPATCH,
+    TOPIC_HEARTBEAT,
+    AckKind,
+    JobAck,
+    JobDispatch,
+    WorkerHeartbeat,
+)
 
 __all__ = ["WorkerDaemon"]
 
@@ -67,6 +75,7 @@ class WorkerDaemon:
         self._stop = _shims.make_event(f"{name}.stop")
         self._killed = threading.Event()
         self._thread: Optional[threading.Thread] = None
+        self._hb_thread: Optional[threading.Thread] = None
         self._job_threads: list = []
 
     def _trace(self, op: str, site: str) -> None:
@@ -82,6 +91,11 @@ class WorkerDaemon:
             raise RuntimeError(f"worker {self.name} already started")
         self._thread = _shims.new_thread(self._loop, f"dewe-{self.name}")
         self._thread.start()
+        if self.config.heartbeat_interval > 0:
+            self._hb_thread = _shims.new_thread(
+                self._heartbeat_loop, f"dewe-{self.name}-hb"
+            )
+            self._hb_thread.start()
         return self
 
     def stop(self) -> None:
@@ -90,6 +104,9 @@ class WorkerDaemon:
         if self._thread is not None:
             self._thread.join()
             self._thread = None
+        if self._hb_thread is not None:
+            self._hb_thread.join()
+            self._hb_thread = None
         for t in self._job_threads:
             t.join()
         self._job_threads.clear()
@@ -101,6 +118,9 @@ class WorkerDaemon:
         if self._thread is not None:
             self._thread.join()
             self._thread = None
+        if self._hb_thread is not None:
+            self._hb_thread.join()
+            self._hb_thread = None
 
     def join_jobs(self, timeout: Optional[float] = None) -> None:
         """Wait for in-flight job threads (after :meth:`kill`, the acks
@@ -179,6 +199,24 @@ class WorkerDaemon:
         finally:
             with self._active_lock:
                 self._active -= 1
+
+    def _heartbeat_loop(self) -> None:
+        """Renew the liveness lease every ``heartbeat_interval`` seconds.
+
+        The first beat announces the worker (the master grants a lease on
+        first contact); a killed worker stops beating immediately, which
+        is exactly the signal the lease sweep turns into a fence.
+        """
+        seq = 0
+        self.broker.publish(TOPIC_HEARTBEAT, WorkerHeartbeat(worker=self.name))
+        # Event-wait between beats (lint CL008): wakes early on stop/kill.
+        while not self._stop.wait(self.config.heartbeat_interval):
+            if self._killed.is_set():
+                return
+            seq += 1
+            self.broker.publish(
+                TOPIC_HEARTBEAT, WorkerHeartbeat(worker=self.name, seq=seq)
+            )
 
     def _loop(self) -> None:
         slots = self.config.worker_slots

@@ -118,6 +118,11 @@ class EngineResult:
     #: The run's write-ahead journal
     #: (:class:`~repro.recovery.journal.Journal`) when one was attached.
     journal: Optional[object] = None
+    #: Liveness-plane tallies (heartbeat misses, lease fencings, stale
+    #: acks, shed submissions, failovers, partitions, dead-letter depth)
+    #: when the pull engine ran with leases, admission control, failover
+    #: or a partition model (see :mod:`repro.liveness`).
+    liveness_stats: Dict[str, int] = field(default_factory=dict)
 
     # -- aggregate metrics (paper Fig 7) ------------------------------------
     def total_cpu_seconds(self) -> float:

@@ -38,6 +38,13 @@ from repro.dewe.state import JobStatus, WorkflowState
 from repro.engines.base import EngineBase, EngineResult, JobRecord, RunConfig, execute_job
 from repro.faults.models import ChaosAPI, FaultTrace, TransientFaultModel
 from repro.faults.retry import DeadLetterEntry, RetryPolicy
+from repro.liveness import (
+    AdmissionControl,
+    LeaseConfig,
+    LeaseTable,
+    MasterFailoverModel,
+    new_liveness_stats,
+)
 from repro.mq.chaosbroker import ChaosSimBroker, MessageChaos
 from repro.mq.simbroker import SimBroker
 from repro.recovery.journal import Journal, MasterCrash
@@ -49,6 +56,7 @@ __all__ = ["PullEngine"]
 
 _DISPATCH = "job-dispatching"
 _ACK = "job-acknowledgment"
+_HEARTBEAT = "worker-heartbeat"
 _RUNNING = 0
 _COMPLETED = 1
 _FAILED = 2
@@ -113,6 +121,9 @@ class PullEngine(EngineBase):
         fault_trace: Optional[FaultTrace] = None,
         journal: Optional[Journal] = None,
         integrity_models: Sequence = (),
+        liveness: Optional[LeaseConfig] = None,
+        admission: Optional[AdmissionControl] = None,
+        failover: Optional[MasterFailoverModel] = None,
     ):
         """``autoscaler`` is an optional controller — a generator function
         taking an :class:`ElasticAPI` — that may start and (gracefully)
@@ -139,8 +150,24 @@ class PullEngine(EngineBase):
         workers checksum their inputs before running a job and the
         master regenerates damaged files by re-executing the minimal
         ancestor set (data-aware recovery).
+
+        Liveness knobs (docs/FAULTS.md): ``liveness`` is a
+        :class:`~repro.liveness.LeaseConfig` enabling the heartbeat/lease
+        protocol — workers renew time-bounded leases and the master
+        fences a silent worker's lease epoch, requeueing its in-flight
+        jobs through the retry policy while stale-epoch acks are
+        rejected for exactly-once settlement.  ``admission`` is an
+        :class:`~repro.liveness.AdmissionControl` gating new workflow
+        submissions on the dispatch backlog (reject-new before
+        degrade-running).  ``failover`` is a
+        :class:`~repro.liveness.MasterFailoverModel`: the primary master
+        dies mid-run and a warm standby — tailing the write-ahead
+        journal — takes over under a fresh fencing epoch (requires
+        ``journal``).
         """
         super().__init__(spec, config)
+        if failover is not None and journal is None:
+            raise ValueError("master failover requires a write-ahead journal")
         self.broker_latency = broker_latency
         self.fault_schedule = fault_schedule
         self.autoscaler = autoscaler
@@ -152,6 +179,9 @@ class PullEngine(EngineBase):
         self.fault_trace = fault_trace
         self.journal = journal
         self.integrity_models = tuple(integrity_models)
+        self.liveness = liveness
+        self.admission = admission
+        self.failover = failover
 
     def run(self, ensemble: Ensemble) -> EngineResult:
         sim, cluster, thread_logs = self._setup(ensemble)
@@ -172,13 +202,76 @@ class PullEngine(EngineBase):
         spans: Dict[str, Tuple[float, float]] = {}
         records: List[JobRecord] = []
         done = sim.event()
-        remaining = [len(ensemble)]
+        members = list(ensemble)
+        remaining = [len(members)]
         jobs_executed = [0]
         finished: set = set()
         dead_letters: List[DeadLetterEntry] = []
         dead_cursor: Dict[str, int] = {}
         thread_counts = [0] * len(cluster.nodes)
         node_slots: List[List[Process]] = [[] for _ in cluster.nodes]
+
+        # -- liveness / partition / backpressure plane -------------------------
+        n_nodes = len(cluster.nodes)
+        liveness_cfg = self.liveness
+        admission = self.admission
+        failover = self.failover
+        live_stats = new_liveness_stats()
+        lease: Optional[LeaseTable] = (
+            LeaseTable(liveness_cfg, stats=live_stats)
+            if liveness_cfg is not None
+            else None
+        )
+        #: Worker-side view of the node's current lease epoch; stamped on
+        #: every outgoing ack so the master can reject stale deliveries.
+        worker_epoch = [0] * n_nodes
+        #: (workflow, job_id) -> (node, attempt) for in-flight deliveries
+        #: the master accepted as RUNNING; drained when a lease is fenced.
+        assignments: Dict[Tuple[str, str], Tuple[int, int]] = {}
+        #: Per-node partition state: ``None`` (connected) or the active
+        #: :data:`~repro.faults.models.PARTITION_MODES` entry.
+        partition_mode: List[Optional[str]] = [None] * n_nodes
+        #: Worker->master messages held in flight by an uplink partition,
+        #: republished in order when it heals (heartbeats are dropped
+        #: instead — a stale beat carries no information).
+        pending_up: List[List[Tuple[str, tuple]]] = [[] for _ in range(n_nodes)]
+        #: Master->worker control callbacks deferred by a downlink partition.
+        pending_down: List[list] = [[] for _ in range(n_nodes)]
+        heal_events: List = [sim.event() for _ in range(n_nodes)]
+        hb_procs: List[Optional[Process]] = [None] * n_nodes
+        master_procs: List[Process] = []
+
+        def _up_blocked(node_index: int) -> bool:
+            return partition_mode[node_index] in ("full", "to-master")
+
+        def _pull_blocked(node_index: int) -> bool:
+            return partition_mode[node_index] in ("full", "from-master")
+
+        def send_up(
+            node_index: int, topic: str, payload: tuple, drop: bool = False
+        ) -> None:
+            """Worker->master publish, honouring an uplink partition."""
+            if _up_blocked(node_index):
+                if not drop:
+                    pending_up[node_index].append((topic, payload))
+                return
+            broker.publish(topic, payload)
+
+        def send_ack(node_index: int, payload: tuple) -> None:
+            if lease is not None:
+                payload = payload + (node_index, worker_epoch[node_index])
+            send_up(node_index, _ACK, payload)
+
+        def _set_epoch(node_index: int, epoch: int) -> None:
+            worker_epoch[node_index] = epoch
+
+        def route_down(node_index: int, fn, *fn_args) -> None:
+            """Master->worker control delivery, honouring a downlink
+            partition (deferred callbacks fire in order at heal)."""
+            if _pull_blocked(node_index):
+                pending_down[node_index].append((fn, fn_args))
+            else:
+                sim.schedule_call(self.broker_latency, lambda: fn(*fn_args))
 
         # -- data-integrity plane ---------------------------------------------
         integrity: Optional[FileIntegrity] = None
@@ -204,13 +297,28 @@ class PullEngine(EngineBase):
             run_token = object()
             journal.owner = run_token
 
-            def jlog(kind: str, workflow: str = "", job_id: str = "",
-                     attempt: int = 0, detail: str = "") -> None:
-                # Stale writers (a crashed run's generators, finalized by
-                # GC after the resume took over) must not touch the log.
-                if journal.owner is not run_token:
-                    return
-                journal.append(sim.now, kind, workflow, job_id, attempt, detail)
+            def make_jlog():
+                # Each master incarnation logs under the journal epoch it
+                # was born with; after a failover fences the journal, a
+                # revived primary's stragglers append nothing (the stale
+                # epoch is silently refused — no split-brain records).
+                my_epoch = journal.epoch
+
+                def jlog(kind: str, workflow: str = "", job_id: str = "",
+                         attempt: int = 0, detail: str = "") -> None:
+                    # Stale writers (a crashed run's generators, finalized
+                    # by GC after the resume took over) must not touch the
+                    # log.
+                    if journal.owner is not run_token:
+                        return
+                    journal.append(
+                        sim.now, kind, workflow, job_id, attempt, detail,
+                        epoch=my_epoch,
+                    )
+
+                return jlog
+
+            jlog = make_jlog()
 
             def _snapshots() -> Dict[str, Dict]:
                 return {name: states[name].snapshot() for name in sorted(states)}
@@ -229,7 +337,9 @@ class PullEngine(EngineBase):
                     state.name, job_id, state.status[job_id].value, time=sim.now
                 )
             jlog("dispatch", state.name, job_id, state.attempt.get(job_id, 0))
-            state.mark_dispatched(job_id, sim.now)
+            state.mark_dispatched(
+                job_id, sim.now, force=liveness_cfg is not None
+            )
             broker.publish(_DISPATCH, (state.name, job_id, state.attempt[job_id]))
 
         def redispatch(state: WorkflowState, job_id: str) -> None:
@@ -280,19 +390,44 @@ class PullEngine(EngineBase):
                 done.succeed()
 
         # -- master daemon ---------------------------------------------------
-        def submitter():
-            for submit_time, wf in ensemble:
-                if submit_time > sim.now:
-                    yield sim.timeout(submit_time - sim.now)
-                jlog("submit", wf.name, detail=f"jobs={len(wf.jobs)}")
-                state = WorkflowState(
-                    wf, cfg.default_timeout, validate=False, retry=retry_policy
-                )
-                states[wf.name] = state
-                spans[wf.name] = (sim.now, float("nan"))
-                for job_id in state.initial_ready():
-                    dispatch(state, job_id)
-                maybe_finish(state)  # degenerate empty-DAG guard
+        def submitter(skip_admitted: bool = False):
+            try:
+                for submit_time, wf in members:
+                    if skip_admitted and wf.name in states:
+                        continue  # the failed-over primary admitted it
+                    if submit_time > sim.now:
+                        yield sim.timeout(submit_time - sim.now)
+                    # Admission control: reject-new before degrade-running
+                    # — a submission arriving while the dispatch backlog
+                    # is saturated is shed with a retry-after hint, never
+                    # queued on top of the running work.
+                    while admission is not None and not admission.admits(
+                        broker.depth(_DISPATCH)
+                    ):
+                        live_stats["shed_submissions"] += 1
+                        trace.record(
+                            sim.now,
+                            "admission-shed",
+                            detail=f"{wf.name} "
+                            f"retry_after={admission.retry_after:g}",
+                        )
+                        jlog(
+                            "admission-shed", wf.name,
+                            detail=f"retry_after={admission.retry_after:g}",
+                        )
+                        yield sim.timeout(admission.retry_after)
+                    jlog("submit", wf.name, detail=f"jobs={len(wf.jobs)}")
+                    state = WorkflowState(
+                        wf, cfg.default_timeout, validate=False,
+                        retry=retry_policy,
+                    )
+                    states[wf.name] = state
+                    spans.setdefault(wf.name, (sim.now, float("nan")))
+                    for job_id in state.initial_ready():
+                        dispatch(state, job_id)
+                    maybe_finish(state)  # degenerate empty-DAG guard
+            except Interrupt:
+                return  # primary master failed mid-submission
 
         def on_corrupt_ack(
             state: WorkflowState, job_id: str, attempt: int, bad_names
@@ -325,11 +460,30 @@ class PullEngine(EngineBase):
 
         def handle_ack(msg) -> None:
             kind, name, job_id, attempt = msg[:4]
+            if lease is not None:
+                # With the liveness protocol on, every ack carries the
+                # sender's (node, lease epoch); acks from a fenced or
+                # superseded lease are rejected before they can settle a
+                # delivery the master already redispatched.
+                ack_node, ack_epoch = msg[-2], msg[-1]
+                if not lease.valid(ack_node, ack_epoch):
+                    live_stats["stale_epoch_acks"] += 1
+                    trace.record(
+                        sim.now,
+                        "stale-epoch-ack",
+                        ack_node,
+                        f"{name}/{job_id}#{attempt} epoch={ack_epoch}",
+                    )
+                    return
             state = states[name]
             if kind == _RUNNING:
                 jlog("ack-running", name, job_id, attempt)
-                state.on_running(job_id, attempt, sim.now)
+                accepted = state.on_running(job_id, attempt, sim.now)
+                if lease is not None and accepted:
+                    assignments[(name, job_id)] = (msg[-2], attempt)
                 return
+            if lease is not None:
+                assignments.pop((name, job_id), None)
             if kind == _FAILED:
                 jlog("ack-failed", name, job_id, attempt)
                 republish = state.on_failed(job_id, attempt, sim.now)
@@ -345,6 +499,17 @@ class PullEngine(EngineBase):
                 )
                 on_corrupt_ack(state, job_id, attempt, msg[4])
             else:
+                if lease is not None:
+                    san = _sanitizer._ACTIVE
+                    if san is not None:
+                        # Structural tripwire: the epoch check above must
+                        # have rejected any settlement from a fenced lease.
+                        san.check_lease_fencing(
+                            name, job_id,
+                            cluster.nodes[msg[-2]].name,
+                            stale=not lease.valid(msg[-2], msg[-1]),
+                            time=sim.now,
+                        )
                 jlog("ack-complete", name, job_id, attempt)
                 for child_id in state.on_completed(job_id, attempt):
                     dispatch(state, child_id)
@@ -352,7 +517,16 @@ class PullEngine(EngineBase):
 
         def ack_loop():
             while True:
-                msg = yield broker.consume(_ACK)
+                pending = broker.consume(_ACK)
+                try:
+                    msg = yield pending
+                except Interrupt:
+                    # Primary master failed: release the pending consume
+                    # so the standby's ack loop sees every message.
+                    broker.cancel(_ACK, pending)
+                    return
+                if msg is None:
+                    return  # consume cancelled
                 # Drain the whole burst before suspending: same-instant
                 # acks (batched broker deliveries) cost one resume total
                 # instead of one suspend/resume round-trip per message.
@@ -366,7 +540,10 @@ class PullEngine(EngineBase):
 
         def timeout_loop():
             while not done.triggered:
-                yield sim.timeout(cfg.timeout_check_interval)
+                try:
+                    yield sim.timeout(cfg.timeout_check_interval)
+                except Interrupt:
+                    return  # primary master failed
                 for state in states.values():
                     if state.name in finished:
                         continue
@@ -379,10 +556,86 @@ class PullEngine(EngineBase):
                     collect_dead(state)
                     maybe_finish(state)
 
+        # -- liveness protocol (master side) -----------------------------------
+        def on_beat(msg) -> None:
+            """Apply one heartbeat: renew the lease, or re-grant it when
+            the beat is stale (fenced worker back from a partition, or a
+            standby master that inherited no lease state)."""
+            node_index, epoch = msg
+            now = sim.now
+            if lease.beat(node_index, epoch, now):
+                return
+            if slot_alive[node_index] <= 0:
+                return  # a drained/dead node's parting beat
+            new_epoch = lease.grant(node_index, now)
+            trace.record(
+                sim.now, "lease-epoch", node_index, f"epoch={new_epoch}"
+            )
+            jlog("lease-epoch", detail=f"node={node_index} epoch={new_epoch}")
+            route_down(node_index, _set_epoch, node_index, new_epoch)
+
+        def heartbeat_loop():
+            while True:
+                pending = broker.consume(_HEARTBEAT)
+                try:
+                    msg = yield pending
+                except Interrupt:
+                    broker.cancel(_HEARTBEAT, pending)
+                    return
+                if msg is None:
+                    return
+                while msg is not None:
+                    on_beat(msg)
+                    if done.triggered:
+                        return
+                    msg = broker.consume_nowait(_HEARTBEAT)
+
+        def lease_sweep_loop():
+            interval = liveness_cfg.heartbeat_interval
+            while not done.triggered:
+                try:
+                    yield sim.timeout(interval)
+                except Interrupt:
+                    return  # primary master failed
+                for node_index in lease.expire(sim.now):
+                    fence_node(node_index)
+
+        def fence_node(node_index: int) -> None:
+            """Declare a worker dead: fence its lease epoch and requeue
+            its in-flight deliveries through the retry policy.  Any late
+            ack from the fenced lease is now stale (exactly-once
+            settlement is carried by the epoch + attempt checks)."""
+            fenced = lease.fence(node_index, sim.now)
+            trace.record(
+                sim.now,
+                "lease-fence",
+                node_index,
+                f"epoch={fenced} after "
+                f"{liveness_cfg.miss_threshold} missed beats",
+            )
+            jlog("lease-fence", detail=f"node={node_index} epoch={fenced}")
+            held = sorted(
+                key for key, value in assignments.items()
+                if value[0] == node_index
+            )
+            for key in held:
+                wf_name, job_id = key
+                _node, attempt = assignments.pop(key)
+                state = states[wf_name]
+                republish = state.on_lease_expired(job_id, attempt, sim.now)
+                if republish is not None:
+                    jlog(
+                        "lease-requeue", wf_name, job_id,
+                        state.attempt[job_id],
+                    )
+                    redispatch(state, republish)
+                else:
+                    collect_dead(state)
+                    maybe_finish(state)
+
         # -- worker daemons ----------------------------------------------------
         # Rental accounting for elastic provisioning: a node's lease runs
         # from worker start until its last slot exits.
-        n_nodes = len(cluster.nodes)
         leases: List[List[List[float]]] = [[] for _ in range(n_nodes)]
         slot_alive = [0] * n_nodes
         draining: set = set()
@@ -401,6 +654,14 @@ class PullEngine(EngineBase):
             log = thread_logs[node_index]
             try:
                 while node_index not in draining:
+                    if _pull_blocked(node_index):
+                        # Partitioned from the master: no pulling until
+                        # the partition heals (in-flight jobs continue).
+                        try:
+                            yield heal_events[node_index]
+                        except Interrupt:
+                            return
+                        continue
                     pending = broker.consume(_DISPATCH)
                     if pending.triggered:
                         # A job was already queued: take it without a
@@ -417,17 +678,21 @@ class PullEngine(EngineBase):
                         finally:
                             idle_waits[node_index].discard(pending)
                     if msg is None:
+                        if _pull_blocked(node_index):
+                            # Partition onset cancelled the idle pull;
+                            # loop back into the heal wait.
+                            continue
                         return  # consume cancelled (graceful scale-in)
                     name, job_id, attempt = msg
                     job = states[name].workflow.job(job_id)
-                    broker.publish(_ACK, (_RUNNING, name, job_id, attempt))
+                    send_ack(node_index, (_RUNNING, name, job_id, attempt))
                     if integrity is not None:
                         bad = integrity.verify(name, job.inputs, sim.now)
                         if bad:
                             # Don't run on damaged data: report the bad
                             # files so the master can regenerate them.
-                            broker.publish(
-                                _ACK,
+                            send_ack(
+                                node_index,
                                 (_CORRUPT, name, job_id, attempt, tuple(bad)),
                             )
                             continue
@@ -480,11 +745,32 @@ class PullEngine(EngineBase):
                             node_index,
                             f"{name}/{job_id}#{attempt}",
                         )
-                        broker.publish(_ACK, (_FAILED, name, job_id, attempt))
+                        send_ack(node_index, (_FAILED, name, job_id, attempt))
                     else:
-                        broker.publish(_ACK, (_COMPLETED, name, job_id, attempt))
+                        send_ack(
+                            node_index, (_COMPLETED, name, job_id, attempt)
+                        )
             finally:
                 _slot_exit(node_index)
+
+        def heartbeat_agent(node_index: int):
+            """Worker-side liveness: renew the node's lease every
+            heartbeat interval.  Beats are *dropped* (not buffered) by an
+            uplink partition — a stale beat carries no information — so
+            a partitioned worker looks exactly like a dead one until the
+            partition heals."""
+            interval = liveness_cfg.heartbeat_interval
+            try:
+                while slot_alive[node_index] > 0:
+                    send_up(
+                        node_index,
+                        _HEARTBEAT,
+                        (node_index, worker_epoch[node_index]),
+                        drop=True,
+                    )
+                    yield sim.timeout(interval)
+            except Interrupt:
+                return  # worker daemon killed
 
         def start_worker(node_index: int) -> None:
             if slot_alive[node_index] > 0:
@@ -496,6 +782,16 @@ class PullEngine(EngineBase):
             slots.clear()
             capacity = cluster.nodes[node_index].cores.capacity
             slot_alive[node_index] = capacity
+            if lease is not None:
+                # Lease grant is part of the provisioning handshake, so
+                # the node's very first ack already carries a live epoch.
+                epoch = lease.grant(node_index, sim.now)
+                worker_epoch[node_index] = epoch
+                trace.record(
+                    sim.now, "lease-epoch", node_index, f"epoch={epoch}"
+                )
+                jlog("lease-epoch", detail=f"node={node_index} epoch={epoch}")
+                hb_procs[node_index] = sim.process(heartbeat_agent(node_index))
             for _ in range(capacity):
                 slots.append(sim.process(worker_slot(node_index)))
 
@@ -504,6 +800,13 @@ class PullEngine(EngineBase):
             for proc in node_slots[node_index]:
                 proc.interrupt("worker daemon killed")
             node_slots[node_index].clear()
+            hb = hb_procs[node_index]
+            if hb is not None:
+                hb.interrupt("worker daemon killed")
+                hb_procs[node_index] = None
+            # A dead process sends nothing: messages it had in flight
+            # behind a partition die with it.
+            pending_up[node_index].clear()
 
         def stop_worker(node_index: int) -> None:
             """Graceful scale-in: idle slots leave now, busy slots finish
@@ -548,9 +851,136 @@ class PullEngine(EngineBase):
             trace.record(sim.now, "kill", node_index)
             kill_worker(node_index)
 
-        sim.process(submitter())
-        sim.process(ack_loop())
-        sim.process(timeout_loop())
+        # -- network partitions ------------------------------------------------
+        def begin_partition(node_index: int, mode: str) -> None:
+            live_stats["partitions"] += 1
+            partition_mode[node_index] = mode
+            heal_events[node_index] = sim.event()
+            if _pull_blocked(node_index):
+                # Idle slots waiting on the dispatch topic can no longer
+                # hear the master: cancel their pulls (they park on the
+                # heal event; queued jobs go to connected workers).
+                for pending in list(idle_waits[node_index]):
+                    broker.cancel(_DISPATCH, pending)
+
+        def end_partition(node_index: int) -> None:
+            partition_mode[node_index] = None
+            # Uplink messages held in flight arrive now, in send order.
+            flush = pending_up[node_index]
+            pending_up[node_index] = []
+            for topic, payload in flush:
+                broker.publish(topic, payload)
+            deferred = pending_down[node_index]
+            pending_down[node_index] = []
+            for fn, fn_args in deferred:
+                fn(*fn_args)
+            ev = heal_events[node_index]
+            if not ev.triggered:
+                ev.succeed()
+
+        # -- master failover ---------------------------------------------------
+        def start_master(takeover: bool = False) -> None:
+            master_procs[:] = [
+                sim.process(submitter(skip_admitted=takeover)),
+                sim.process(ack_loop()),
+                sim.process(timeout_loop()),
+            ]
+            if lease is not None:
+                master_procs.append(sim.process(heartbeat_loop()))
+                master_procs.append(sim.process(lease_sweep_loop()))
+
+        def _primary_die() -> None:
+            if done.triggered:
+                return
+            trace.record(sim.now, "master-fail", detail="primary stops")
+            # Interrupting a finished process is a no-op, so the whole
+            # roster can be torn down blindly.
+            for proc in master_procs:
+                proc.interrupt("primary master failed")
+            master_procs.clear()
+
+        def _standby_takeover() -> None:
+            if done.triggered:
+                return
+            nonlocal jlog, lease
+            live_stats["failovers"] += 1
+            # Fence the journal first: from here on the standby's epoch
+            # is the only one the log accepts, so a revived primary (or
+            # its straggling callbacks) cannot split-brain the record.
+            new_epoch = journal.fence()
+            jlog = make_jlog()
+            trace.record(sim.now, "failover", detail=f"epoch={new_epoch}")
+            jlog("failover", detail=f"epoch={new_epoch}")
+            # The standby tails the journal: its view of the run is the
+            # last durable checkpoint.  Restore what it has...
+            snaps = (
+                journal.checkpoint.snapshots
+                if journal.checkpoint is not None
+                else {}
+            )
+            wf_by_name = {wf.name: wf for _t, wf in members}
+            states.clear()
+            for name in sorted(snaps):
+                if name in wf_by_name:
+                    states[name] = WorkflowState.restore(
+                        wf_by_name[name], snaps[name],
+                        cfg.default_timeout, retry_policy,
+                    )
+            # ...and re-admit workflows submitted after that checkpoint
+            # (at-least-once execution; settlement stays exactly-once
+            # because the state machine absorbs duplicate acks).
+            readmitted: set = set()
+            for submit_time, wf in members:
+                if submit_time <= sim.now and wf.name not in states:
+                    jlog("submit", wf.name, detail=f"jobs={len(wf.jobs)}")
+                    states[wf.name] = WorkflowState(
+                        wf, cfg.default_timeout, validate=False,
+                        retry=retry_policy,
+                    )
+                    spans.setdefault(wf.name, (sim.now, float("nan")))
+                    readmitted.add(wf.name)
+            # Rebuild the dead-letter ledger and settlement bookkeeping
+            # from the restored states.
+            dead_letters[:] = []
+            dead_cursor.clear()
+            finished.clear()
+            for name in sorted(states):
+                state = states[name]
+                dead_cursor[name] = len(state.dead_letters)
+                dead_letters.extend(state.dead_letters)
+                if state.is_settled:
+                    finished.add(name)
+            remaining[0] = len(members) - len(finished)
+            # In-flight deliveries from the primary era are unaccounted:
+            # requeue them (late acks go stale via the attempt number —
+            # and, with leases on, via the fresh epoch fence below).
+            assignments.clear()
+            for name in sorted(states):
+                state = states[name]
+                if name in readmitted:
+                    for job_id in state.initial_ready():
+                        dispatch(state, job_id)
+                    maybe_finish(state)
+                elif not state.is_settled:
+                    for job_id in state.requeue_in_flight(sim.now):
+                        jlog("requeue", name, job_id, state.attempt[job_id])
+                        redispatch(state, job_id)
+                    collect_dead(state)
+                    maybe_finish(state)
+            if lease is not None:
+                # The standby inherits no lease state; epochs stay
+                # globally monotonic so every primary-era ack is stale.
+                # Workers re-register on their next heartbeat.
+                lease = LeaseTable(
+                    liveness_cfg,
+                    epoch_floor=lease.max_epoch,
+                    stats=live_stats,
+                )
+            start_master(takeover=True)
+            if remaining[0] == 0 and not done.triggered:
+                done.succeed()
+
+        start_master()
         initially_down = set(self.initially_down)
         if self.fault_schedule is not None:
             initially_down |= set(self.fault_schedule.initially_down)
@@ -566,9 +996,16 @@ class PullEngine(EngineBase):
                 set_cpu_factor=set_cpu_factor,
                 mark_spot_terminated=mark_spot_terminated,
                 trace=trace,
+                begin_partition=begin_partition,
+                end_partition=end_partition,
             )
             for model in self.chaos_models:
                 model.install(api)
+        if failover is not None:
+            sim.schedule_call(failover.at, _primary_die)
+            sim.schedule_call(
+                failover.at + failover.detection, _standby_takeover
+            )
         for i in range(n_nodes):
             if i not in initially_down:
                 start_worker(i)
@@ -622,6 +1059,22 @@ class PullEngine(EngineBase):
         if san is not None:
             for i, node_spans in rental_spans.items():
                 san.check_leases(cluster.nodes[i].name, node_spans, makespan)
+            if live_stats["failovers"]:
+                # A standby takeover must not have re-opened a rental the
+                # primary already closed (no double-billed lease interval).
+                for i, node_spans in rental_spans.items():
+                    san.check_failover_billing(
+                        cluster.nodes[i].name, node_spans, makespan
+                    )
+        liveness_stats: Dict[str, int] = {}
+        if (
+            liveness_cfg is not None
+            or admission is not None
+            or failover is not None
+            or live_stats["partitions"]
+        ):
+            liveness_stats = dict(live_stats)
+            liveness_stats["dead_letter_depth"] = len(dead_letters)
         return EngineResult(
             engine=self.name,
             spec=self.spec,
@@ -644,6 +1097,7 @@ class PullEngine(EngineBase):
             integrity_stats=dict(integrity.stats) if integrity is not None else {},
             data_recoveries=sum(s.data_recoveries for s in states.values()),
             journal=journal,
+            liveness_stats=liveness_stats,
         )
 
     def resume_from(self, journal: Journal, ensemble: Ensemble) -> EngineResult:

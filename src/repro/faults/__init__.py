@@ -25,6 +25,8 @@ from repro.faults.models import (
     Degradation,
     FaultEvent,
     FaultTrace,
+    NetworkPartitionModel,
+    PartitionWindow,
     SpotTerminationModel,
     StragglerModel,
     TransientFaultModel,
@@ -42,6 +44,8 @@ __all__ = [
     "FaultEvent",
     "FaultSchedule",
     "FaultTrace",
+    "NetworkPartitionModel",
+    "PartitionWindow",
     "RetryPolicy",
     "SCENARIOS",
     "SpotTerminationModel",

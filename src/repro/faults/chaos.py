@@ -41,11 +41,13 @@ from repro.faults.models import (
     FaultTrace,
     FileCorruptionModel,
     FileLossModel,
+    NetworkPartitionModel,
     SpotTerminationModel,
     StragglerModel,
     TransientFaultModel,
 )
 from repro.faults.retry import RetryPolicy
+from repro.liveness import AdmissionControl, LeaseConfig, MasterFailoverModel
 from repro.mq.chaosbroker import MessageChaos
 from repro.recovery.crash import resume_until_complete
 from repro.recovery.journal import Journal
@@ -60,6 +62,7 @@ _SALT_STRAGGLER = 3
 _SALT_MQ = 4
 _SALT_CORRUPT = 5
 _SALT_LOSS = 6
+_SALT_PARTITION = 7
 
 
 @dataclass(frozen=True)
@@ -107,6 +110,33 @@ class ChaosScenario:
     p_duplicate: float = 0.0
     p_delay: float = 0.0
     mq_delay: float = 0.5
+    # -- network partitions (repro.faults.models.NetworkPartitionModel) ----
+    p_partition: float = 0.0
+    partition_duration: Tuple[float, float] = (3.0, 8.0)
+    p_partition_asymmetric: float = 0.0
+    partition_protected: Tuple[int, ...] = ()
+    #: Latest partition onset (sim seconds).  The default (None) samples
+    #: onsets over the stretched fault horizon, which for short runs puts
+    #: most windows after settlement; cap it near the baseline makespan
+    #: when the scenario should reliably cut a link mid-run.
+    partition_horizon: Optional[float] = None
+    # -- control-plane liveness (repro.liveness; docs/FAULTS.md) -----------
+    #: Worker heartbeat cadence; 0 disables the lease protocol entirely
+    #: (partitioned workers then recover via the job timeout alone).
+    heartbeat_interval: float = 0.0
+    lease_miss_threshold: int = 3
+    #: Kill the primary master at this sim time and have the warm standby
+    #: take over (``failover_detection`` seconds later) by fencing the
+    #: journal and rebuilding state from the latest checkpoint.
+    failover_at: Optional[float] = None
+    failover_detection: float = 1.0
+    #: Admission gate: defer new workflow submissions while the dispatch
+    #: backlog holds this many jobs (0 = unbounded, no gate).
+    admission_max_pending: int = 0
+    admission_retry_after: float = 1.0
+    #: Price-indexed spot hazard breakpoints ``(time, multiplier)``;
+    #: empty keeps the flat-rate hazard (byte-identical traces).
+    price_hazard: Tuple[Tuple[float, float], ...] = ()
     # -- data-plane faults (repro.storage.integrity) ----------------------
     p_corrupt: float = 0.0
     p_file_loss: float = 0.0
@@ -181,6 +211,19 @@ class ChaosScenario:
                     notice=self.spot_notice,
                     replacement_delay=self.spot_replacement_delay,
                     protected=self.spot_protected,
+                    price_hazard=self.price_hazard or None,
+                )
+            )
+        if self.p_partition > 0:
+            models.append(
+                NetworkPartitionModel.sample(
+                    seed + _SALT_PARTITION,
+                    self.n_nodes,
+                    min(self.partition_horizon or horizon, horizon),
+                    self.p_partition,
+                    duration=self.partition_duration,
+                    p_asymmetric=self.p_partition_asymmetric,
+                    protected=self.partition_protected,
                 )
             )
         if self.p_straggler > 0:
@@ -225,6 +268,27 @@ class ChaosScenario:
                     targets=self.loss_targets,
                 )
             )
+        liveness = (
+            LeaseConfig(
+                heartbeat_interval=self.heartbeat_interval,
+                miss_threshold=self.lease_miss_threshold,
+            )
+            if self.heartbeat_interval > 0
+            else None
+        )
+        admission = (
+            AdmissionControl(
+                max_pending_jobs=self.admission_max_pending,
+                retry_after=self.admission_retry_after,
+            )
+            if self.admission_max_pending > 0
+            else None
+        )
+        failover = (
+            MasterFailoverModel(self.failover_at, detection=self.failover_detection)
+            if self.failover_at is not None
+            else None
+        )
         return PullEngine(
             self.spec(),
             config=self.run_config(),
@@ -235,6 +299,9 @@ class ChaosScenario:
             fault_trace=FaultTrace(),
             journal=journal,
             integrity_models=integrity_models,
+            liveness=liveness,
+            admission=admission,
+            failover=failover,
         )
 
 
@@ -263,6 +330,10 @@ class ChaosReport:
     #: Data-plane recovery counters (``p_corrupt`` / ``p_file_loss``).
     data_recoveries: int = 0
     integrity_stats: Dict[str, int] = field(default_factory=dict)
+    #: Liveness-plane tallies (heartbeat misses, lease fencings, stale
+    #: acks, shed submissions, failovers, partitions, dead-letter depth)
+    #: when the scenario enabled leases/partitions/failover/admission.
+    liveness_stats: Dict[str, int] = field(default_factory=dict)
     #: The certified run's :class:`~repro.recovery.journal.Journal`
     #: (``crash_after`` scenarios only) — exportable via ``to_jsonl``.
     journal: Optional[Journal] = None
@@ -303,6 +374,13 @@ class ChaosReport:
                 f"  journal: {self.journal_records} record(s), "
                 f"{self.checkpoints} checkpoint(s), "
                 f"{self.crashes} crash(es) survived"
+            )
+        if self.liveness_stats:
+            lines.append(
+                "  liveness: "
+                + ", ".join(
+                    f"{k} {v}" for k, v in sorted(self.liveness_stats.items())
+                )
             )
         if self.integrity_stats:
             lines.append(
@@ -418,6 +496,10 @@ def run_chaos(scenario: ChaosScenario, seed: Optional[int] = None) -> ChaosRepor
     :mod:`repro.recovery.journal`).
     """
     seed = scenario.seed if seed is None else seed
+    if scenario.crash_after is not None and scenario.failover_at is not None:
+        # The standby IS the crash recovery; replaying the same run with
+        # a second, journal-offset crash would fence the fence.
+        raise ValueError("crash_after and failover_at are mutually exclusive")
     baseline = PullEngine(scenario.spec(), config=scenario.run_config()).run(
         scenario.ensemble()
     )
@@ -427,7 +509,7 @@ def run_chaos(scenario: ChaosScenario, seed: Optional[int] = None) -> ChaosRepor
     horizon = baseline.makespan * (scenario.max_slowdown or 2.0)
     journal = (
         Journal(checkpoint_every=scenario.checkpoint_every)
-        if scenario.crash_after is not None
+        if scenario.crash_after is not None or scenario.failover_at is not None
         else None
     )
     engine = scenario.build_engine(seed, horizon, journal=journal)
@@ -473,6 +555,7 @@ def run_chaos(scenario: ChaosScenario, seed: Optional[int] = None) -> ChaosRepor
         checkpoints=len(journal.checkpoint_history) if journal is not None else 0,
         data_recoveries=result.data_recoveries,
         integrity_stats=dict(result.integrity_stats),
+        liveness_stats=dict(result.liveness_stats),
         journal=journal,
     )
 
@@ -555,6 +638,58 @@ SCENARIOS: Dict[str, ChaosScenario] = {
             p_corrupt=0.02,
             p_file_loss=0.02,
             max_slowdown=4.0,
+        ),
+        ChaosScenario(
+            name="partition",
+            description="Network partitions under heartbeat leases: "
+            "isolated workers are fenced after missed beats and their "
+            "in-flight jobs redispatched; healed uplinks replay buffered "
+            "acks into the stale-epoch rejection path.",
+            n_nodes=3,
+            n_workflows=3,
+            interval=0.5,
+            timeout=8.0,
+            heartbeat_interval=0.25,
+            p_partition=0.9,
+            partition_duration=(2.0, 5.0),
+            p_partition_asymmetric=0.4,
+            partition_horizon=6.0,
+            max_slowdown=5.0,
+        ),
+        ChaosScenario(
+            name="game-day",
+            description="Game day: a partition, a spot reclamation, a "
+            "straggling disk and a primary-master crash in one seeded "
+            "run — leases fence the silent worker, the warm standby "
+            "takes over behind a fencing token, admission control sheds "
+            "load, and every job still settles exactly once.",
+            # 24 slots against a 25-wide mProjectPP wave: the dispatch
+            # backlog is real, so the admission gate actually sheds.
+            instance_type="m3.2xlarge",
+            size=0.8,
+            n_nodes=3,
+            n_workflows=3,
+            interval=0.5,
+            timeout=15.0,
+            spot_rate_per_hour=200.0,
+            spot_notice=1.0,
+            spot_replacement_delay=5.0,
+            p_straggler=0.5,
+            straggler_disk=(0.2, 0.5),
+            straggler_duration=(3.0, 8.0),
+            heartbeat_interval=0.25,
+            p_partition=0.9,
+            partition_duration=(3.0, 6.0),
+            p_partition_asymmetric=0.3,
+            partition_horizon=20.0,
+            failover_at=8.0,
+            failover_detection=0.5,
+            admission_max_pending=8,
+            admission_retry_after=0.5,
+            checkpoint_every=15,
+            price_hazard=((0.0, 1.0), (60.0, 3.0)),
+            max_slowdown=6.0,
+            slowdown_slack=60.0,
         ),
         ChaosScenario(
             name="stragglers",

@@ -37,6 +37,8 @@ __all__ = [
     "TransientFaultModel",
     "Degradation",
     "StragglerModel",
+    "PartitionWindow",
+    "NetworkPartitionModel",
     "FileCorruptionModel",
     "FileLossModel",
 ]
@@ -103,6 +105,12 @@ class ChaosAPI:
     / ``set_cpu_factor`` scale a node's disk bandwidth / CPU speed
     relative to its nominal capacity.  ``mark_spot_terminated`` flags
     the node's current lease as provider-interrupted for billing.
+
+    ``begin_partition`` / ``end_partition`` (optional — engines without
+    a network model leave them ``None``) cut and restore a node's
+    connectivity to the control plane: mode ``"full"`` severs both
+    directions, ``"to-master"`` only the worker's uplink (acks buffered,
+    heartbeats dropped), ``"from-master"`` only the dispatch downlink.
     """
 
     sim: "object"
@@ -114,6 +122,56 @@ class ChaosAPI:
     set_cpu_factor: Callable[[int, float], None]
     mark_spot_terminated: Callable[[int], None]
     trace: FaultTrace
+    begin_partition: Optional[Callable[[int, str], None]] = None
+    end_partition: Optional[Callable[[int], None]] = None
+
+
+def _hazard_steps(
+    price_hazard: Optional[Sequence[Tuple[float, float]]],
+) -> Optional[Tuple[Tuple[float, float], ...]]:
+    """Normalize a price-hazard series to sorted steps covering t=0."""
+    if not price_hazard:
+        return None
+    steps = sorted((float(t), float(m)) for t, m in price_hazard)
+    for t, mult in steps:
+        if t < 0:
+            raise ValueError(f"hazard breakpoint time must be >= 0, got {t}")
+        if mult < 0:
+            raise ValueError(f"hazard multiplier must be >= 0, got {mult}")
+    if steps[0][0] > 0.0:
+        steps.insert(0, (0.0, 1.0))  # flat 1x before the first breakpoint
+    if all(mult == 1.0 for _t, mult in steps):
+        # Flat at 1x is the identity: skip the generic inversion so the
+        # traces are byte-identical to the pre-hazard sampler (a float
+        # round-trip through the piecewise accumulator costs an ulp).
+        return None
+    return tuple(steps)
+
+
+def _invert_hazard(
+    unit: float,
+    base_rate: float,
+    steps: Tuple[Tuple[float, float], ...],
+    horizon: float,
+) -> float:
+    """Map an Exp(1) draw through the inverse piecewise cumulative hazard.
+
+    With instantaneous rate ``base_rate * mult(t)`` stepwise constant,
+    the event lands where the accumulated hazard reaches ``unit``;
+    accumulation beyond ``horizon`` means the node survives the run.
+    """
+    acc = 0.0
+    for i, (start, mult) in enumerate(steps):
+        end = steps[i + 1][0] if i + 1 < len(steps) else horizon
+        end = min(end, horizon)
+        if end <= start:
+            continue
+        rate = base_rate * mult
+        seg = rate * (end - start)
+        if acc + seg >= unit:
+            return start + (unit - acc) / rate if rate > 0 else horizon
+        acc += seg
+    return horizon  # survives: cumulative hazard over [0, horizon) < unit
 
 
 class SpotTerminationModel:
@@ -158,6 +216,7 @@ class SpotTerminationModel:
         notice: float = 120.0,
         replacement_delay: Optional[float] = None,
         protected: Sequence[int] = (),
+        price_hazard: Optional[Sequence[Tuple[float, float]]] = None,
     ) -> "SpotTerminationModel":
         """Draw at most one reclamation per node from a Poisson process.
 
@@ -165,18 +224,32 @@ class SpotTerminationModel:
         with ``rate_per_hour``; draws beyond ``horizon`` mean the node
         survives the run.  Nodes are visited in index order so the trace
         is a pure function of the seed.
+
+        ``price_hazard`` indexes the hazard to a price series (ROADMAP
+        item 5): a stepwise-constant sequence of ``(time, multiplier)``
+        breakpoints scaling the instantaneous rate from each breakpoint
+        onward, so reclamation risk spikes when the spot price does.
+        The exponential unit draw per node is unchanged — only the
+        inverse cumulative hazard mapping it to a time differs — so the
+        default (``None``/empty, hazard flat at 1x) reproduces the
+        pre-hazard fault traces byte-for-byte.
         """
         if rate_per_hour < 0:
             raise ValueError(f"rate_per_hour must be >= 0, got {rate_per_hour}")
         if horizon <= 0:
             raise ValueError(f"horizon must be positive, got {horizon}")
+        steps = _hazard_steps(price_hazard)
         rng = random.Random(seed)
         shielded = frozenset(protected)
         terminations = []
         for node in range(n_nodes):
             if node in shielded or rate_per_hour == 0:
                 continue
-            t = rng.expovariate(rate_per_hour) * 3600.0
+            unit = rng.expovariate(1.0)  # Exp(1): rate applied below
+            if steps is None:
+                t = unit / rate_per_hour * 3600.0
+            else:
+                t = _invert_hazard(unit, rate_per_hour / 3600.0, steps, horizon)
             if t < horizon:
                 terminations.append((t, node))
         return cls(terminations, notice=notice, replacement_delay=replacement_delay)
@@ -341,6 +414,120 @@ class StragglerModel:
         api.trace.record(api.sim.now, "degrade-end", d.node)
         api.set_disk_factor(d.node, 1.0)
         api.set_cpu_factor(d.node, 1.0)
+
+
+#: Valid partition directions.  ``full`` severs both directions;
+#: ``to-master`` only the worker's uplink (its acks are in flight /
+#: buffered, its heartbeats lost); ``from-master`` only the downlink
+#: (it stops receiving dispatches but its acks still arrive).
+PARTITION_MODES = ("full", "to-master", "from-master")
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """One node's connectivity loss over ``[start, start + duration)``."""
+
+    node: int
+    start: float
+    duration: float
+    mode: str = "full"
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError(f"node must be >= 0, got {self.node}")
+        if self.start < 0 or self.duration <= 0:
+            raise ValueError(f"bad partition window ({self.start}, {self.duration})")
+        if self.mode not in PARTITION_MODES:
+            raise ValueError(f"mode must be one of {PARTITION_MODES}, got {self.mode!r}")
+
+
+class NetworkPartitionModel:
+    """Node-scoped network partitions with seeded onset/healing windows.
+
+    The failure mode spot kills don't cover: the worker is *alive* —
+    still burning its lease, maybe still computing — but the control
+    plane can't see it.  Without a liveness protocol its in-flight jobs
+    hang until the job timeout; with heartbeat leases the master fences
+    it after ``miss_threshold`` beats and redispatches.  On healing,
+    buffered uplink traffic is redelivered in order, exercising the
+    duplicate-ack and stale-epoch rejection paths.
+    """
+
+    def __init__(self, windows: Sequence[PartitionWindow]):
+        ordered = sorted(windows, key=lambda w: (w.node, w.start))
+        for a, b in zip(ordered, ordered[1:]):
+            if a.node == b.node and b.start < a.start + a.duration:
+                raise ValueError(
+                    f"overlapping partitions on node {a.node}: "
+                    f"[{a.start}, {a.start + a.duration}) and [{b.start}, ...)"
+                )
+        self.windows: Tuple[PartitionWindow, ...] = tuple(ordered)
+
+    @classmethod
+    def sample(
+        cls,
+        seed: int,
+        n_nodes: int,
+        horizon: float,
+        p_partition: float,
+        duration: Tuple[float, float] = (10.0, 60.0),
+        p_asymmetric: float = 0.0,
+        protected: Sequence[int] = (),
+    ) -> "NetworkPartitionModel":
+        """Each node independently partitions with ``p_partition`` for one
+        window of uniformly drawn start/duration; with ``p_asymmetric``
+        the cut is one-directional (uplink or downlink, a further coin
+        flip).  Nodes are visited in index order — pure function of seed.
+        """
+        if not 0.0 <= p_partition <= 1.0:
+            raise ValueError(f"p_partition must be in [0, 1], got {p_partition}")
+        if not 0.0 <= p_asymmetric <= 1.0:
+            raise ValueError(f"p_asymmetric must be in [0, 1], got {p_asymmetric}")
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        rng = random.Random(seed)
+        shielded = frozenset(protected)
+        windows = []
+        for node in range(n_nodes):
+            if rng.random() >= p_partition:
+                continue
+            dur = rng.uniform(*duration)
+            start = rng.uniform(0.0, max(horizon - dur, 0.0))
+            mode = "full"
+            if rng.random() < p_asymmetric:
+                mode = "to-master" if rng.random() < 0.5 else "from-master"
+            if node in shielded:
+                continue  # draws burned above keep traces seed-stable
+            windows.append(
+                PartitionWindow(node=node, start=start, duration=dur, mode=mode)
+            )
+        return cls(windows)
+
+    def install(self, api: ChaosAPI) -> None:
+        if api.begin_partition is None or api.end_partition is None:
+            raise ValueError(
+                "engine does not expose partition hooks "
+                "(ChaosAPI.begin_partition/end_partition)"
+            )
+        for w in self.windows:
+            if w.node >= api.n_nodes:
+                raise ValueError(
+                    f"partition targets node {w.node} of a "
+                    f"{api.n_nodes}-node cluster"
+                )
+            api.sim.schedule_call(w.start, self._begin, api, w)
+
+    def _begin(self, api: ChaosAPI, w: PartitionWindow) -> None:
+        api.trace.record(
+            api.sim.now, "partition-start", w.node,
+            f"mode={w.mode} for {w.duration:g}s",
+        )
+        api.begin_partition(w.node, w.mode)
+        api.sim.schedule_call(w.duration, self._end, api, w)
+
+    def _end(self, api: ChaosAPI, w: PartitionWindow) -> None:
+        api.trace.record(api.sim.now, "partition-heal", w.node)
+        api.end_partition(w.node)
 
 
 class _FileFaultModel:

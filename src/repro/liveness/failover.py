@@ -1,0 +1,41 @@
+"""Warm-standby master failover schedule.
+
+PR 3 made a crashed master resumable *offline*: re-run from the journal
+and the result is byte-identical.  This model makes the same machinery
+work *online*: a warm standby tails the write-ahead journal, notices the
+primary's heartbeat lapse ``detection`` seconds after it dies at ``at``,
+fences the journal epoch (the PR-3 owner-token guard extended into
+monotonic fencing tokens — see :meth:`repro.recovery.journal.Journal.fence`)
+and takes over mid-run from the last durable checkpoint.  A revived old
+primary cannot split-brain: its journal appends carry a stale epoch and
+are refused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MasterFailoverModel"]
+
+
+@dataclass(frozen=True)
+class MasterFailoverModel:
+    """Kill the primary master at ``at``; standby takes over after ``detection``.
+
+    ``at``
+        Simulated time at which the primary dies (all its scheduler
+        loops stop; nothing more is journaled under its epoch).
+    ``detection``
+        The standby's failure-detection latency — the gap between the
+        primary's death and the takeover, during which acks pile up
+        unprocessed in the broker.
+    """
+
+    at: float
+    detection: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("failover time must be non-negative")
+        if self.detection <= 0:
+            raise ValueError("detection latency must be positive")

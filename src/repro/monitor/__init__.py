@@ -14,7 +14,12 @@ resamples them into the same time series:
 """
 
 from repro.monitor.export import ascii_gantt, metrics_to_csv, to_chrome_trace
-from repro.monitor.metrics import NodeMetrics, cluster_metrics, node_metrics
+from repro.monitor.metrics import (
+    NodeMetrics,
+    cluster_metrics,
+    node_metrics,
+    robustness_metrics,
+)
 from repro.monitor.report import format_series, run_summary, summary_table
 from repro.monitor.timeline import SlotSegment, slot_timeline
 
@@ -26,6 +31,7 @@ __all__ = [
     "format_series",
     "metrics_to_csv",
     "node_metrics",
+    "robustness_metrics",
     "run_summary",
     "slot_timeline",
     "summary_table",

@@ -103,6 +103,8 @@ def to_chrome_trace(result: EngineResult, path: Optional[_PathLike] = None) -> d
         }
     if result.integrity_stats:
         other["integrity"] = dict(result.integrity_stats)
+    if getattr(result, "liveness_stats", None):
+        other["liveness"] = dict(result.liveness_stats)
     document = {
         "traceEvents": events,
         "displayTimeUnit": "ms",

@@ -8,12 +8,14 @@ paper's background monitoring process (§IV.A).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict
 
 import numpy as np
 
 from repro.engines.base import EngineResult
+from repro.liveness import new_liveness_stats
 
-__all__ = ["NodeMetrics", "node_metrics", "cluster_metrics"]
+__all__ = ["NodeMetrics", "node_metrics", "cluster_metrics", "robustness_metrics"]
 
 #: The paper's sampling interval (seconds).
 SAMPLE_INTERVAL = 3.0
@@ -68,6 +70,20 @@ def node_metrics(
         disk_read=reads / 1e6,
         threads=threads,
     )
+
+
+def robustness_metrics(result: EngineResult) -> Dict[str, int]:
+    """Control-plane robustness counters of one run.
+
+    Always returns the full counter set (zeros when the liveness plane
+    was off) so dashboards get a stable schema: heartbeat misses, lease
+    fencings/regrants, stale-epoch acks, shed submissions, failovers,
+    partitions, and the final dead-letter queue depth.
+    """
+    stats = new_liveness_stats()
+    stats["dead_letter_depth"] = len(result.dead_letters)
+    stats.update(getattr(result, "liveness_stats", None) or {})
+    return stats
 
 
 def cluster_metrics(

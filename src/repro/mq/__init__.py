@@ -22,10 +22,12 @@ from repro.mq.tcpbroker import BrokerServer, RemoteBroker
 from repro.mq.messages import (
     TOPIC_ACK,
     TOPIC_DISPATCH,
+    TOPIC_HEARTBEAT,
     TOPIC_SUBMIT,
     AckKind,
     JobAck,
     JobDispatch,
+    WorkerHeartbeat,
     WorkflowSubmission,
 )
 from repro.mq.simbroker import SimBroker
@@ -43,7 +45,9 @@ __all__ = [
     "SimBroker",
     "TOPIC_ACK",
     "TOPIC_DISPATCH",
+    "TOPIC_HEARTBEAT",
     "TOPIC_SUBMIT",
     "Topic",
+    "WorkerHeartbeat",
     "WorkflowSubmission",
 ]

@@ -38,13 +38,25 @@ class Topic:
     mask real races that only the message itself should order.
     """
 
-    _guarded_by_ = {"published": "_lock", "consumed": "_lock"}
+    _guarded_by_ = {
+        "published": "_lock",
+        "consumed": "_lock",
+        "shed": "_lock",
+        "capacity": "_lock",
+    }
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.name = name
         self._queue: "queue.Queue[Tuple[int, Any]]" = queue.Queue()
         self.published = 0
         self.consumed = 0
+        #: Backlog bound; ``None`` = unbounded.  Publishes at the bound
+        #: are shed (``publish`` returns ``False``) rather than blocked:
+        #: the backpressure is explicit so publishers can back off.
+        self.capacity = capacity
+        self.shed = 0
         self._lock = threading.Lock()
         rec = _conc.active()
         self._key = (
@@ -52,8 +64,11 @@ class Topic:
             else ("topic", name, 0)
         )
 
-    def publish(self, message: Any) -> None:
+    def publish(self, message: Any) -> bool:
         with self._lock:
+            if self.capacity is not None and self._queue.qsize() >= self.capacity:
+                self.shed += 1
+                return False
             self.published += 1
             seq = self.published
             rec = _conc.active()
@@ -62,6 +77,7 @@ class Topic:
             # Enqueue under the lock: an unbounded put never blocks, and
             # atomicity keeps envelope numbers in FIFO order.
             self._queue.put((seq, message))
+        return True
 
     def consume(self, timeout: Optional[float] = None) -> Optional[Any]:
         """Pop the oldest message; ``None`` when empty after ``timeout``.
@@ -92,22 +108,24 @@ class Topic:
 class Broker:
     """A set of named topics; topics are created on first use."""
 
-    _guarded_by_ = {"_topics": "_lock"}
+    _guarded_by_ = {"_topics": "_lock", "_limits": "_lock"}
 
-    def __init__(self) -> None:
+    def __init__(self, topic_limits: Optional[Dict[str, int]] = None) -> None:
         self._topics: Dict[str, Topic] = {}
+        #: Capacity applied to a topic when it is first created.
+        self._limits: Dict[str, int] = dict(topic_limits or {})
         self._lock = threading.Lock()
 
     def topic(self, name: str) -> Topic:
         with self._lock:
             topic = self._topics.get(name)
             if topic is None:
-                topic = Topic(name)
+                topic = Topic(name, capacity=self._limits.get(name))
                 self._topics[name] = topic
             return topic
 
-    def publish(self, topic_name: str, message: Any) -> None:
-        self.topic(topic_name).publish(message)
+    def publish(self, topic_name: str, message: Any) -> bool:
+        return self.topic(topic_name).publish(message)
 
     def consume(self, topic_name: str, timeout: Optional[float] = None) -> Optional[Any]:
         return self.topic(topic_name).consume(timeout)
@@ -122,6 +140,7 @@ class Broker:
                     "published": t.published,
                     "consumed": t.consumed,
                     "depth": t.depth,
+                    "shed": t.shed,
                 }
                 for name, t in self._topics.items()
             }

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
 from repro.mq.broker import Broker
+from repro.mq.messages import TOPIC_ACK, TOPIC_HEARTBEAT
 from repro.mq.simbroker import SimBroker
 
 __all__ = ["MessageChaos", "ChaosSimBroker", "ChaosBroker"]
@@ -102,22 +103,21 @@ class ChaosSimBroker(SimBroker):
                 self.sim.now, kind, detail=_describe(topic_name, message)
             )
 
-    def publish(self, topic_name: str, message: Any) -> None:
+    def publish(self, topic_name: str, message: Any) -> bool:
         chaos = self.chaos
         if not chaos.applies_to(topic_name):
-            super().publish(topic_name, message)
-            return
+            return super().publish(topic_name, message)
         u = self._rng.random()
         if u < chaos.p_drop:
             self.dropped += 1
             self._record("mq-drop", topic_name, message)
-            return
+            return True  # accepted by the broker, then lost — not backpressure
         if u < chaos.p_drop + chaos.p_duplicate:
             self.duplicated += 1
             self._record("mq-duplicate", topic_name, message)
+            ok = super().publish(topic_name, message)
             super().publish(topic_name, message)
-            super().publish(topic_name, message)
-            return
+            return ok
         if u < chaos.p_drop + chaos.p_duplicate + chaos.p_delay:
             self.delayed += 1
             self._record("mq-delay", topic_name, message)
@@ -125,8 +125,8 @@ class ChaosSimBroker(SimBroker):
             self.sim.schedule_call(
                 self.latency + chaos.delay, self.topic(topic_name).put, message
             )
-            return
-        super().publish(topic_name, message)
+            return True
+        return super().publish(topic_name, message)
 
 
 class ChaosBroker(Broker):
@@ -136,6 +136,18 @@ class ChaosBroker(Broker):
     draw order is serialized under a lock, so with a single publisher
     thread (the usual master + one worker topology of the tests) the
     outcome sequence is reproducible.
+
+    Partition shim: :meth:`begin_partition` cuts named workers off the
+    control plane — their publishes to the partitioned topics (by
+    default the uplink: acks and heartbeats, i.e. the threaded shim
+    realizes the ``to-master`` direction of
+    :class:`~repro.faults.models.NetworkPartitionModel`; cutting the
+    dispatch downlink would need per-worker queues the shared
+    work-queue topic model doesn't have) are *held* in publish order
+    instead of delivered.  :meth:`heal_partition` releases the held
+    messages back through the ordinary chaos band, preserving their
+    order, which is what lets tests exercise duplicate-ack idempotency
+    and redelivery ordering across a heal.
     """
 
     _guarded_by_ = {
@@ -143,7 +155,15 @@ class ChaosBroker(Broker):
         "duplicated": "_rng_lock",
         "delayed": "_rng_lock",
         "_rng": "_rng_lock",
+        "_partitioned": "_partition_lock",
+        "_held": "_partition_lock",
+        "held": "_partition_lock",
+        "flushed": "_partition_lock",
     }
+
+    #: Topics cut by a partition unless the caller names others: the
+    #: worker uplink (job acks and heartbeat renewals).
+    PARTITION_TOPICS: Tuple[str, ...] = (TOPIC_ACK, TOPIC_HEARTBEAT)
 
     def __init__(self, chaos: MessageChaos):
         super().__init__()
@@ -153,20 +173,90 @@ class ChaosBroker(Broker):
         self.dropped = 0
         self.duplicated = 0
         self.delayed = 0
+        self._partition_lock = threading.Lock()
+        #: worker name -> tuple of topics cut for it.
+        self._partitioned: dict = {}
+        #: Held (topic, message) pairs in publish order.
+        self._held: list = []
+        self.held = 0
+        self.flushed = 0
 
     def chaos_stats(self) -> dict:
         with self._rng_lock:
-            return {
+            stats = {
                 "dropped": self.dropped,
                 "duplicated": self.duplicated,
                 "delayed": self.delayed,
             }
+        with self._partition_lock:
+            stats["held"] = self.held
+            stats["flushed"] = self.flushed
+        return stats
 
-    def publish(self, topic_name: str, message: Any) -> None:
+    # -- partition shim --------------------------------------------------
+    def begin_partition(
+        self, workers, topics: Optional[Tuple[str, ...]] = None
+    ) -> None:
+        """Cut ``workers`` (names or one name) off ``topics``."""
+        if isinstance(workers, str):
+            workers = (workers,)
+        cut = tuple(topics) if topics is not None else self.PARTITION_TOPICS
+        with self._partition_lock:
+            for worker in workers:
+                self._partitioned[worker] = cut
+
+    def heal_partition(self, workers=None) -> int:
+        """Heal ``workers`` (default: all); redeliver their held messages.
+
+        Held messages re-enter through the normal chaos band in their
+        original publish order — a healed partition looks to the master
+        like a burst of late, possibly duplicated traffic, exactly the
+        at-least-once story the state machine must absorb.  Returns the
+        number of messages released.
+        """
+        if isinstance(workers, str):
+            workers = (workers,)
+        with self._partition_lock:
+            if workers is None:
+                healed = set(self._partitioned)
+                self._partitioned.clear()
+            else:
+                healed = set()
+                for worker in workers:
+                    if self._partitioned.pop(worker, None) is not None:
+                        healed.add(worker)
+            flush = []
+            kept = []
+            for topic_name, message in self._held:
+                if getattr(message, "worker", None) in healed:
+                    flush.append((topic_name, message))
+                else:
+                    kept.append((topic_name, message))
+            self._held = kept
+            self.flushed += len(flush)
+        # Re-publish outside the lock (the chaos band takes its own).
+        for topic_name, message in flush:
+            self.publish(topic_name, message)
+        return len(flush)
+
+    def _hold_if_partitioned(self, topic_name: str, message: Any) -> bool:
+        worker = getattr(message, "worker", None)
+        if worker is None:
+            return False
+        with self._partition_lock:
+            cut = self._partitioned.get(worker)
+            if cut is None or topic_name not in cut:
+                return False
+            self._held.append((topic_name, message))
+            self.held += 1
+            return True
+
+    def publish(self, topic_name: str, message: Any) -> bool:
         chaos = self.chaos
+        if self._hold_if_partitioned(topic_name, message):
+            return True  # in flight until the partition heals
         if not chaos.applies_to(topic_name):
-            super().publish(topic_name, message)
-            return
+            return super().publish(topic_name, message)
         with self._rng_lock:
             u = self._rng.random()
             if u < chaos.p_drop:
@@ -181,16 +271,16 @@ class ChaosBroker(Broker):
             else:
                 outcome = "deliver"
         if outcome == "drop":
-            return
+            return True  # accepted, then lost — chaos, not backpressure
         if outcome == "duplicate":
+            ok = super().publish(topic_name, message)
             super().publish(topic_name, message)
-            super().publish(topic_name, message)
-            return
+            return ok
         if outcome == "delay":
             timer = threading.Timer(
                 chaos.delay, super().publish, args=(topic_name, message)
             )
             timer.daemon = True
             timer.start()
-            return
-        super().publish(topic_name, message)
+            return True
+        return super().publish(topic_name, message)

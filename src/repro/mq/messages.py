@@ -12,15 +12,20 @@ __all__ = [
     "TOPIC_SUBMIT",
     "TOPIC_DISPATCH",
     "TOPIC_ACK",
+    "TOPIC_HEARTBEAT",
     "AckKind",
     "WorkflowSubmission",
     "JobDispatch",
     "JobAck",
+    "WorkerHeartbeat",
 ]
 
 TOPIC_SUBMIT = "workflow-submission"
 TOPIC_DISPATCH = "job-dispatching"
 TOPIC_ACK = "job-acknowledgment"
+#: Liveness plane (not in the paper, which assumes reachable workers):
+#: workers renew their heartbeat leases here (docs/FAULTS.md).
+TOPIC_HEARTBEAT = "worker-heartbeat"
 
 
 class AckKind(Enum):
@@ -70,3 +75,18 @@ class JobAck:
     worker: str = ""
     attempt: int = 1
     error: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class WorkerHeartbeat:
+    """Worker -> master: lease renewal.
+
+    ``seq`` counts the worker's beats (diagnostics only); ``epoch`` is
+    the lease epoch the worker believes it holds — the threaded daemons
+    leave it 0 and rely on the master-side renew-on-contact variant of
+    the protocol (:meth:`repro.liveness.lease.LeaseTable.observe`).
+    """
+
+    worker: str
+    epoch: int = 0
+    seq: int = 0

@@ -5,11 +5,17 @@ returns a DES event.  An optional per-message ``latency`` models broker
 round-trip time; the default of a few milliseconds matches a co-located
 RabbitMQ node and is deliberately negligible next to job runtimes — the
 pull model's point is that coordination is cheap.
+
+Topics may be *bounded* (``limits``): a publish that would exceed a
+topic's backlog capacity is deterministically shed — ``publish`` returns
+``False`` and the per-topic ``shed`` counter advances.  This is the
+broker half of the backpressure story; the polite half is the master's
+:class:`~repro.liveness.admission.AdmissionControl` gate.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.sim import Event, FifoStore, Simulator
 
@@ -19,11 +25,21 @@ __all__ = ["SimBroker"]
 class SimBroker:
     """Topic broker living inside a :class:`~repro.sim.Simulator`."""
 
-    def __init__(self, sim: Simulator, latency: float = 0.002):
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: float = 0.002,
+        limits: Optional[Dict[str, int]] = None,
+    ):
         if latency < 0:
             raise ValueError(f"latency must be >= 0, got {latency}")
+        for name, cap in (limits or {}).items():
+            if cap < 1:
+                raise ValueError(f"limit for {name!r} must be >= 1, got {cap}")
         self.sim = sim
         self.latency = latency
+        #: Per-topic backlog capacity; absent topics are unbounded.
+        self.limits: Dict[str, int] = dict(limits or {})
         self._topics: Dict[str, FifoStore] = {}
         #: Per-topic in-flight delivery batch: messages published at the
         #: same instant share one agenda entry (they all arrive at
@@ -31,6 +47,8 @@ class SimBroker:
         self._pending: Dict[str, Any] = {}
         self.published = 0
         self.consumed = 0
+        #: Per-topic count of publishes shed at the capacity bound.
+        self.shed: Dict[str, int] = {}
 
     def topic(self, name: str) -> FifoStore:
         store = self._topics.get(name)
@@ -39,20 +57,36 @@ class SimBroker:
             self._topics[name] = store
         return store
 
-    def publish(self, topic_name: str, message: Any) -> None:
-        """Deliver ``message`` to the topic after the broker latency."""
+    def publish(self, topic_name: str, message: Any) -> bool:
+        """Deliver ``message`` to the topic after the broker latency.
+
+        Returns ``False`` (and counts a shed) when the topic is bounded
+        and its backlog — queued plus in-flight deliveries — is at
+        capacity; the message is dropped and the publisher is expected
+        to back off and retry.
+        """
+        limit = self.limits.get(topic_name)
+        if limit is not None:
+            backlog = len(self.topic(topic_name))
+            pending = self._pending.get(topic_name)
+            if pending is not None:
+                backlog += len(pending[1])
+            if backlog >= limit:
+                self.shed[topic_name] = self.shed.get(topic_name, 0) + 1
+                return False
         self.published += 1
         if self.latency == 0:
             self.topic(topic_name).put(message)
-            return
+            return True
         now = self.sim.now
         pending = self._pending.get(topic_name)
         if pending is not None and pending[0] == now:
             pending[1].append(message)
-            return
+            return True
         batch = (now, [message])
         self._pending[topic_name] = batch
         self.sim.schedule_call(self.latency, self._deliver, topic_name, batch)
+        return True
 
     def _deliver(self, topic_name: str, batch) -> None:
         if self._pending.get(topic_name) is batch:

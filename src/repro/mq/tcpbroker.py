@@ -34,7 +34,13 @@ import threading
 from typing import Any, Optional, Tuple
 
 from repro.mq.broker import Broker
-from repro.mq.messages import AckKind, JobAck, JobDispatch, WorkflowSubmission
+from repro.mq.messages import (
+    AckKind,
+    JobAck,
+    JobDispatch,
+    WorkerHeartbeat,
+    WorkflowSubmission,
+)
 from repro.workflow.dag import Job
 from repro.workflow.serialize import workflow_from_dict, workflow_to_dict
 
@@ -100,6 +106,13 @@ def encode_message(message: Any) -> dict:
             "attempt": message.attempt,
             "error": message.error,
         }
+    if isinstance(message, WorkerHeartbeat):
+        return {
+            "type": "heartbeat",
+            "worker": message.worker,
+            "epoch": message.epoch,
+            "seq": message.seq,
+        }
     raise TypeError(f"cannot encode message of type {type(message).__name__}")
 
 
@@ -126,6 +139,12 @@ def decode_message(data: dict) -> Any:
             worker=data.get("worker", ""),
             attempt=data.get("attempt", 1),
             error=data.get("error"),
+        )
+    if kind == "heartbeat":
+        return WorkerHeartbeat(
+            worker=data["worker"],
+            epoch=data.get("epoch", 0),
+            seq=data.get("seq", 0),
         )
     raise ValueError(f"unknown message type: {kind!r}")
 

@@ -199,6 +199,13 @@ class Journal:
         #: crashed run's abandoned coroutines (finalized by GC at an
         #: arbitrary later point) cannot pollute the resumed run's log.
         self.owner: Optional[object] = None
+        #: Fencing epoch: the owner-token guard extended across master
+        #: *incarnations within one run*.  A standby taking over bumps
+        #: the epoch with :meth:`fence`; appends stamped with an older
+        #: epoch are silently refused (a fenced primary's writes go
+        #: nowhere), counted in ``fenced_appends``.
+        self.epoch = 0
+        self.fenced_appends = 0
         # -- replay state (armed by resume()) -----------------------------
         self._expected: List[JournalRecord] = []
         self._expected_checkpoint: Optional[Checkpoint] = None
@@ -230,8 +237,18 @@ class Journal:
         job_id: str = "",
         attempt: int = 0,
         detail: str = "",
-    ) -> JournalRecord:
-        """Durably record one transition; write-ahead of its side effects."""
+        epoch: Optional[int] = None,
+    ) -> Optional[JournalRecord]:
+        """Durably record one transition; write-ahead of its side effects.
+
+        ``epoch`` is the writer's fencing epoch: when given and older
+        than the journal's current epoch the append is refused (returns
+        ``None``) — this is what prevents a revived old primary from
+        split-braining the log after a standby took over.
+        """
+        if epoch is not None and epoch != self.epoch:
+            self.fenced_appends += 1
+            return None
         if self.crashed:
             raise MasterCrash(
                 f"master is down (crashed after {self.seq} journal records)"
@@ -262,6 +279,17 @@ class Journal:
             ):
                 self.take_checkpoint(time)
         return record
+
+    def fence(self) -> int:
+        """Advance the fencing epoch (standby takeover).
+
+        Every writer still holding the previous epoch — the possibly
+        -only-partitioned old primary — is fenced: its subsequent
+        appends are refused.  Returns the new epoch, the takeover's
+        monotonic fencing token.
+        """
+        self.epoch += 1
+        return self.epoch
 
     def take_checkpoint(self, time: float) -> Checkpoint:
         """Snapshot the master state and compact the journal."""
@@ -299,6 +327,7 @@ class Journal:
         self.seq = 0
         self.crashed = False
         self.crash_after = None
+        self.epoch = 0  # a fresh run re-fences from scratch (replay determinism)
         self.resumes += 1
         return self
 

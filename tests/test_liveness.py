@@ -1,0 +1,410 @@
+"""Partition-tolerant control plane: heartbeat leases, partitions,
+standby-master failover, admission control, and the game-day harness.
+
+The DES tests double as determinism checks: every scenario is run twice
+and the fault traces must match byte for byte.
+"""
+
+import pytest
+
+import repro.analysis.sanitizer as sanitizer
+from repro.cloud import ClusterSpec
+from repro.engines import PullEngine, RunConfig
+from repro.faults import RetryPolicy
+from repro.faults.chaos import get_scenario, run_chaos
+from repro.faults.models import (
+    FaultTrace,
+    NetworkPartitionModel,
+    PartitionWindow,
+    SpotTerminationModel,
+)
+from repro.generators import montage_workflow
+from repro.liveness import (
+    AdmissionControl,
+    LeaseConfig,
+    LeaseTable,
+    MasterFailoverModel,
+    new_liveness_stats,
+)
+from repro.monitor import robustness_metrics, to_chrome_trace
+from repro.mq.simbroker import SimBroker
+from repro.recovery.journal import Journal
+from repro.sim import Simulator
+from repro.workflow import Ensemble
+
+
+def small_spec(n_nodes: int = 2) -> ClusterSpec:
+    fs = "local" if n_nodes == 1 else "moosefs"
+    return ClusterSpec("c3.8xlarge", n_nodes, filesystem=fs)
+
+
+def fast_cfg(timeout: float = 6.0, record: bool = False) -> RunConfig:
+    return RunConfig(
+        default_timeout=timeout, timeout_check_interval=0.25, record_jobs=record
+    )
+
+
+def trace_lines(result) -> str:
+    return "\n".join(e.line() for e in result.fault_events)
+
+
+# -- lease table -------------------------------------------------------------
+def test_lease_config_validation():
+    with pytest.raises(ValueError):
+        LeaseConfig(heartbeat_interval=0.0)
+    with pytest.raises(ValueError):
+        LeaseConfig(miss_threshold=0)
+    assert LeaseConfig(heartbeat_interval=0.5, miss_threshold=4).lease_timeout == 2.0
+
+
+def test_lease_grant_beat_fence_cycle():
+    table = LeaseTable(LeaseConfig(heartbeat_interval=1.0, miss_threshold=2))
+    epoch = table.grant("w0", 0.0)
+    assert epoch == 1 and table.valid("w0", epoch)
+    assert table.beat("w0", epoch, 1.0)
+    # Silent past the miss threshold: expire names it, fence stales it.
+    assert table.expire(1.5) == []
+    assert table.expire(3.5) == ["w0"]
+    assert table.stats["heartbeat_misses"] == 2
+    assert table.fence("w0", 3.5) == epoch
+    assert table.is_fenced("w0")
+    assert not table.valid("w0", epoch)
+    assert not table.beat("w0", epoch, 4.0)
+    # Fencing is idempotent and a regrant re-admits under a newer epoch.
+    table.fence("w0", 5.0)
+    assert table.stats["lease_fencings"] == 1
+    fresh = table.grant("w0", 6.0)
+    assert fresh > epoch and table.valid("w0", fresh)
+    assert table.stats["lease_regrants"] == 1
+
+
+def test_lease_observe_renews_and_readmits():
+    table = LeaseTable(LeaseConfig(heartbeat_interval=1.0))
+    assert table.observe("w0", 0.0) == 1  # unknown worker: admitted
+    assert table.observe("w0", 1.0) is None  # renewed in place
+    table.fence("w0", 5.0)
+    assert table.observe("w0", 6.0) == 2  # fenced worker: fresh epoch
+
+
+def test_lease_epoch_floor_orders_master_incarnations():
+    primary = LeaseTable(LeaseConfig())
+    for worker in ("a", "b", "c"):
+        primary.grant(worker, 0.0)
+    standby = LeaseTable(LeaseConfig(), epoch_floor=primary.max_epoch)
+    # Every epoch the standby issues post-dates every primary-era epoch,
+    # so a single comparison fences the whole previous incarnation.
+    assert standby.grant("a", 1.0) > primary.max_epoch
+    assert not standby.valid("b", primary.current_epoch("b"))
+
+
+def test_admission_control_gate():
+    with pytest.raises(ValueError):
+        AdmissionControl(max_pending_jobs=0)
+    with pytest.raises(ValueError):
+        AdmissionControl(retry_after=0.0)
+    gate = AdmissionControl(max_pending_jobs=4, retry_after=0.5)
+    assert gate.admits(3)
+    assert not gate.admits(4)
+
+
+def test_failover_model_validation():
+    with pytest.raises(ValueError):
+        MasterFailoverModel(-1.0)
+    with pytest.raises(ValueError):
+        MasterFailoverModel(1.0, detection=0.0)
+
+
+# -- partition model ---------------------------------------------------------
+def test_partition_window_validation():
+    with pytest.raises(ValueError):
+        PartitionWindow(node=0, start=-1.0, duration=1.0)
+    with pytest.raises(ValueError):
+        PartitionWindow(node=0, start=0.0, duration=0.0)
+    with pytest.raises(ValueError):
+        PartitionWindow(node=0, start=0.0, duration=1.0, mode="sideways")
+
+
+def test_partition_model_rejects_overlapping_windows():
+    with pytest.raises(ValueError, match="overlap"):
+        NetworkPartitionModel(
+            [
+                PartitionWindow(node=0, start=0.0, duration=5.0),
+                PartitionWindow(node=0, start=3.0, duration=2.0),
+            ]
+        )
+
+
+def test_partition_model_sampling_is_seed_deterministic():
+    a = NetworkPartitionModel.sample(3, 8, 600.0, 0.8, p_asymmetric=0.5)
+    b = NetworkPartitionModel.sample(3, 8, 600.0, 0.8, p_asymmetric=0.5)
+    c = NetworkPartitionModel.sample(4, 8, 600.0, 0.8, p_asymmetric=0.5)
+    assert a.windows == b.windows
+    assert a.windows != c.windows
+    assert all(w.mode in ("full", "to-master", "from-master") for w in a.windows)
+    shielded = NetworkPartitionModel.sample(3, 8, 600.0, 1.0, protected=(0, 1))
+    assert {w.node for w in shielded.windows} <= set(range(2, 8))
+
+
+# -- price-indexed spot hazard -----------------------------------------------
+def test_spot_price_hazard_default_preserves_traces():
+    flat = SpotTerminationModel.sample(5, 6, 3600.0, rate_per_hour=40.0)
+    default = SpotTerminationModel.sample(
+        5, 6, 3600.0, rate_per_hour=40.0, price_hazard=None
+    )
+    unit = SpotTerminationModel.sample(
+        5, 6, 3600.0, rate_per_hour=40.0, price_hazard=((0.0, 1.0),)
+    )
+    # A flat 1x hazard is the identity mapping: byte-for-byte the same
+    # reclamations as the pre-hazard sampler.
+    assert default.terminations == flat.terminations
+    assert unit.terminations == flat.terminations
+
+
+def test_spot_price_hazard_pulls_reclamations_into_the_spike():
+    flat = SpotTerminationModel.sample(5, 6, 3600.0, rate_per_hour=40.0)
+    spiky = SpotTerminationModel.sample(
+        5, 6, 3600.0, rate_per_hour=40.0, price_hazard=((0.0, 1.0), (10.0, 50.0))
+    )
+    assert spiky.terminations != flat.terminations
+    # More hazard can only move each node's reclamation earlier.
+    flat_by_node = dict((n, t) for t, n in flat.terminations)
+    for t, node in spiky.terminations:
+        assert t <= flat_by_node.get(node, 3600.0) + 1e-9
+
+
+# -- journal fencing ---------------------------------------------------------
+def test_journal_fence_refuses_stale_epoch_appends():
+    journal = Journal()
+    assert journal.append(0.0, "submit", "wf", epoch=0) is not None
+    token = journal.fence()
+    assert token == 1
+    # The fenced primary's write goes nowhere; the standby's lands.
+    assert journal.append(1.0, "dispatch", "wf", "job", epoch=0) is None
+    assert journal.fenced_appends == 1
+    assert journal.append(1.0, "dispatch", "wf", "job", epoch=token) is not None
+    assert len(journal) == 2
+
+
+# -- bounded broker topics ---------------------------------------------------
+def test_simbroker_bounded_topic_sheds_deterministically():
+    sim = Simulator()
+    broker = SimBroker(sim, limits={"work": 2})
+    assert broker.publish("work", "a")
+    assert broker.publish("work", "b")
+    assert not broker.publish("work", "c")  # at capacity: shed
+    assert broker.shed == {"work": 1}
+    assert broker.publish("other", "unbounded")
+
+
+# -- sanitizer hooks ---------------------------------------------------------
+def test_sanitizer_flags_settlement_from_fenced_lease():
+    san = sanitizer.Sanitizer(strict=False)
+    san.check_lease_fencing("wf", "job", "w0", stale=False, time=1.0)
+    assert not san.violations
+    san.check_lease_fencing("wf", "job", "w0", stale=True, time=2.0)
+    assert [v.check for v in san.violations] == ["lease-fencing"]
+    assert "fenced lease" in str(san.violations[0])
+
+
+def test_sanitizer_flags_overlapping_rental_spans():
+    san = sanitizer.Sanitizer(strict=False)
+    san.check_failover_billing("node-0", [(0.0, 5.0), (5.0, 9.0)], makespan=10.0)
+    assert not san.violations
+    # A failover that double-billed the same wall-clock interval.
+    san.check_failover_billing("node-0", [(0.0, 5.0), (4.0, 9.0)], makespan=10.0)
+    assert [v.check for v in san.violations] == ["failover-billing"]
+
+
+# -- DES: partitions under leases --------------------------------------------
+def _partition_engine(windows, liveness=True, timeout=6.0):
+    # Two 8-vCPU nodes against a 25-wide mProjectPP wave: the dispatch
+    # queue wakes the oldest idle slot, so with fewer ready jobs than
+    # node 0 has slots the second node would never hold any work and a
+    # partition there would be vacuous.
+    return PullEngine(
+        ClusterSpec("m3.2xlarge", 2, filesystem="moosefs"),
+        config=fast_cfg(timeout),
+        retry=RetryPolicy(max_attempts=6),
+        chaos_models=[NetworkPartitionModel(windows)],
+        fault_trace=FaultTrace(),
+        liveness=(
+            LeaseConfig(heartbeat_interval=0.25, miss_threshold=3)
+            if liveness
+            else None
+        ),
+    )
+
+
+def _montage_ensemble(n: int = 1) -> Ensemble:
+    return Ensemble.replicated(montage_workflow(degree=0.3), n)
+
+
+def _wide_ensemble() -> Ensemble:
+    return Ensemble([montage_workflow(degree=0.8)])
+
+
+def test_des_full_partition_fences_and_redispatches():
+    windows = [PartitionWindow(node=1, start=1.0, duration=4.0)]
+    results = [
+        _partition_engine(windows).run(_wide_ensemble()) for _ in range(2)
+    ]
+    result = results[0]
+    counts = next(iter(result.job_counts.values()))
+    assert counts["completed"] == 143 and counts["dead"] == 0
+    stats = result.liveness_stats
+    # The silent worker was fenced well before the 6 s job timeout and
+    # its in-flight jobs redispatched to the surviving node.
+    assert stats["partitions"] == 1
+    assert stats["lease_fencings"] >= 1
+    assert stats["heartbeat_misses"] >= 3
+    assert result.resubmissions > 0
+    kinds = {e.kind for e in result.fault_events}
+    assert {"partition-start", "partition-heal", "lease-fence"} <= kinds
+    # Byte-identical replay: same seed-free schedule, same trace.
+    assert trace_lines(results[0]) == trace_lines(results[1])
+    assert results[0].makespan == results[1].makespan
+
+
+def test_des_asymmetric_partition_black_holed_dispatches_recover():
+    # ``to-master``: the worker keeps pulling but its acks are buffered,
+    # then rejected as stale once the lease is fenced.  Those deliveries
+    # never reach the fencing requeue (no validly-acked assignment), so
+    # recovery leans on the always-armed dispatch deadline.
+    windows = [PartitionWindow(node=1, start=1.0, duration=4.0, mode="to-master")]
+    result = _partition_engine(windows).run(_wide_ensemble())
+    counts = next(iter(result.job_counts.values()))
+    assert counts["completed"] == 143 and counts["dead"] == 0
+    assert result.liveness_stats["stale_epoch_acks"] > 0
+    assert result.liveness_stats["lease_fencings"] >= 1
+
+
+def test_des_partition_without_leases_recovers_via_job_timeout():
+    windows = [PartitionWindow(node=1, start=1.0, duration=4.0)]
+    result = _partition_engine(windows, liveness=False).run(_wide_ensemble())
+    counts = next(iter(result.job_counts.values()))
+    assert counts["completed"] == 143 and counts["dead"] == 0
+    # No lease plane: the only liveness evidence is the partition tally.
+    assert result.liveness_stats["lease_fencings"] == 0
+    assert result.liveness_stats["partitions"] == 1
+
+
+# -- DES: standby-master failover --------------------------------------------
+def _failover_engine(liveness: bool):
+    return PullEngine(
+        small_spec(2),
+        config=fast_cfg(),
+        retry=RetryPolicy(max_attempts=6),
+        fault_trace=FaultTrace(),
+        journal=Journal(checkpoint_every=10),
+        failover=MasterFailoverModel(at=1.5, detection=0.5),
+        liveness=(
+            LeaseConfig(heartbeat_interval=0.25, miss_threshold=3)
+            if liveness
+            else None
+        ),
+    )
+
+
+@pytest.mark.parametrize("liveness", [False, True])
+def test_des_failover_settles_every_job_exactly_once(liveness):
+    results = [
+        _failover_engine(liveness).run(_montage_ensemble(2)) for _ in range(2)
+    ]
+    result = results[0]
+    assert result.liveness_stats["failovers"] == 1
+    for counts in result.job_counts.values():
+        assert counts["completed"] == 20 and counts["dead"] == 0
+        assert counts["queued"] == counts["running"] == counts["waiting"] == 0
+    # At-least-once execution, exactly-once settlement: the takeover may
+    # re-run work, never lose it.
+    assert result.jobs_executed >= 40
+    kinds = {e.kind for e in result.fault_events}
+    assert {"master-fail", "failover"} <= kinds
+    # The fenced primary's late appends were refused, not interleaved.
+    assert result.journal is not None and result.journal.epoch == 1
+    # Deterministic: two identically-seeded runs agree byte for byte.
+    assert trace_lines(results[0]) == trace_lines(results[1])
+    assert results[0].makespan == results[1].makespan
+
+
+def test_des_failover_requires_journal():
+    with pytest.raises(ValueError, match="journal"):
+        PullEngine(small_spec(2), failover=MasterFailoverModel(at=1.0))
+
+
+# -- DES: admission control --------------------------------------------------
+def test_des_admission_gate_sheds_then_admits():
+    engine = PullEngine(
+        ClusterSpec("m3.2xlarge", 1, filesystem="local"),
+        config=fast_cfg(timeout=30.0),
+        fault_trace=FaultTrace(),
+        admission=AdmissionControl(max_pending_jobs=4, retry_after=0.5),
+    )
+    # 25 ready mProjectPP jobs against 8 slots: the second workflow's
+    # submission meets a real dispatch backlog and is shed, then admitted
+    # once the backlog drains.  Everything still settles.
+    ensemble = Ensemble.replicated(
+        montage_workflow(degree=0.8), 2, interval=0.25
+    )
+    result = engine.run(ensemble)
+    assert result.liveness_stats["shed_submissions"] > 0
+    for counts in result.job_counts.values():
+        assert counts["completed"] == 143 and counts["dead"] == 0
+    assert {e.kind for e in result.fault_events} >= {"admission-shed"}
+
+
+# -- robustness counters in monitor exports ----------------------------------
+def test_robustness_metrics_schema_is_stable():
+    plain = PullEngine(small_spec(1), config=fast_cfg()).run(_montage_ensemble())
+    stats = robustness_metrics(plain)
+    assert stats == dict(new_liveness_stats(), dead_letter_depth=0)
+
+    windows = [PartitionWindow(node=1, start=1.0, duration=3.0)]
+    chaotic = _partition_engine(windows).run(_montage_ensemble())
+    stats = robustness_metrics(chaotic)
+    assert stats["lease_fencings"] >= 1
+    assert stats["dead_letter_depth"] == 0
+
+
+def test_chrome_trace_carries_liveness_counters():
+    windows = [PartitionWindow(node=1, start=1.0, duration=3.0)]
+    engine = PullEngine(
+        ClusterSpec("m3.2xlarge", 2, filesystem="moosefs"),
+        config=fast_cfg(record=True),
+        retry=RetryPolicy(max_attempts=6),
+        chaos_models=[NetworkPartitionModel(windows)],
+        fault_trace=FaultTrace(),
+        liveness=LeaseConfig(heartbeat_interval=0.25, miss_threshold=3),
+    )
+    result = engine.run(_montage_ensemble())
+    document = to_chrome_trace(result)
+    liveness = document["otherData"]["liveness"]
+    assert liveness == result.liveness_stats
+    fault_names = {
+        e["name"] for e in document["traceEvents"] if e.get("cat") == "fault"
+    }
+    assert {"partition-start", "partition-heal", "lease-fence"} <= fault_names
+
+
+# -- game day ----------------------------------------------------------------
+def test_game_day_scenario_settles_and_is_deterministic():
+    reports = [run_chaos(get_scenario("game-day")) for _ in range(2)]
+    report = reports[0]
+    assert report.ok, report.summary()
+    stats = report.liveness_stats
+    assert stats["failovers"] == 1
+    assert stats["partitions"] >= 1
+    assert stats["lease_fencings"] >= 1
+    assert stats["shed_submissions"] >= 1
+    assert stats["stale_epoch_acks"] >= 1
+    assert report.fault_counts.get("spot-termination", 0) >= 1
+    assert report.n_dead == 0
+    assert reports[0].trace_text == reports[1].trace_text
+    assert reports[0].makespan == reports[1].makespan
+
+
+def test_partition_scenario_ok():
+    report = run_chaos(get_scenario("partition"))
+    assert report.ok, report.summary()
+    assert report.liveness_stats["partitions"] >= 1
+    assert report.liveness_stats["lease_fencings"] >= 1
