@@ -13,12 +13,17 @@ Five commands mirror the system's main user journeys:
   the repo code lint (``--code``).  See docs/STATIC_ANALYSIS.md.
 * ``repro-chaos`` — run an ensemble under a named fault scenario and
   verify the recovery invariants.  See docs/FAULTS.md.
-* ``repro-bench`` — kernel benchmark harness: measure event-loop and
-  engine throughput, write or compare the ``BENCH_kernel.json``
-  regression snapshot.  See docs/PERFORMANCE.md.
+* ``repro-bench`` — benchmark harness: the ``kernel`` suite measures
+  event-loop and engine throughput (``BENCH_kernel.json``); the
+  ``service`` suite gates the soak's deterministic admission counters
+  (``BENCH_service.json``).  See docs/PERFORMANCE.md.
 * ``repro-schedules`` — seeded schedule explorer: run bounded concurrency
   scenarios under exhaustive/PCT-sampled interleavings and shrink any
   failing schedule to a minimal trace.  See docs/STATIC_ANALYSIS.md.
+* ``repro-service`` — multi-tenant open-loop soak: seeded arrival
+  processes through the quota/fair-share/brownout admission ladder,
+  reporting per-tenant per-class slowdown and shed counts.  See
+  docs/FAULTS.md ("Overload and graceful degradation").
 """
 
 from __future__ import annotations
@@ -480,10 +485,13 @@ def main_schedules(argv: Optional[List[str]] = None) -> int:
 
 
 def main_bench(argv: Optional[List[str]] = None) -> int:
-    """Kernel benchmark harness (docs/PERFORMANCE.md).
+    """Benchmark harness (docs/PERFORMANCE.md).
 
-    Exit codes: 0 pass, 1 regression or determinism failure against the
-    snapshot given to ``--compare``, 2 usage error.
+    ``--suite kernel`` (default) measures wall-clock throughput of the
+    DES layers; ``--suite service`` runs the multi-tenant soak and gates
+    its deterministic admission counters.  Exit codes: 0 pass, 1
+    regression or determinism failure against the snapshot given to
+    ``--compare``, 2 usage error.
     """
     import os
 
@@ -495,22 +503,34 @@ def main_bench(argv: Optional[List[str]] = None) -> int:
         run_benchmarks,
         save_snapshot,
     )
+    from repro.service.bench import (
+        BENCH_SERVICE_FILENAME,
+        run_service_benchmarks,
+    )
 
     parser = argparse.ArgumentParser(
         prog="repro-bench",
-        description="Measure kernel/engine throughput; write or compare "
-                    f"the {BENCH_FILENAME} regression snapshot.",
+        description="Measure kernel/engine throughput or service soak "
+                    f"behaviour; write or compare the {BENCH_FILENAME} / "
+                    f"{BENCH_SERVICE_FILENAME} regression snapshots.",
     )
+    parser.add_argument("--suite", choices=("kernel", "service"),
+                        default="kernel",
+                        help="kernel: wall-clock throughput; service: "
+                             "deterministic soak admission counters")
     parser.add_argument("--quick", action="store_true",
                         help="fewer repetitions and smaller workloads "
                              "(CI mode)")
     parser.add_argument("--workers", type=int, default=4,
                         help="process-pool size for the parallel-runner "
-                             "benchmark")
-    parser.add_argument("--write", nargs="?", const=BENCH_FILENAME,
+                             "benchmark (kernel suite)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="soak seed (service suite)")
+    parser.add_argument("--write", nargs="?", const="__default__",
                         default=None, metavar="PATH",
-                        help=f"save the snapshot (default {BENCH_FILENAME}); "
-                             "an existing file's 'baseline' section is "
+                        help=f"save the snapshot (default {BENCH_FILENAME} "
+                             f"or {BENCH_SERVICE_FILENAME} per suite); an "
+                             "existing file's 'baseline' section is "
                              "preserved")
     parser.add_argument("--mark-baseline", action="store_true",
                         help="with --write: also store this run's numbers "
@@ -523,10 +543,24 @@ def main_bench(argv: Optional[List[str]] = None) -> int:
                              "(default 0.50)")
     args = parser.parse_args(argv)
 
-    payload = run_benchmarks(quick=args.quick, workers=args.workers)
+    if args.write == "__default__":
+        args.write = (
+            BENCH_FILENAME if args.suite == "kernel"
+            else BENCH_SERVICE_FILENAME
+        )
+    if args.suite == "service":
+        payload = run_service_benchmarks(quick=args.quick, seed=args.seed)
+    else:
+        payload = run_benchmarks(quick=args.quick, workers=args.workers)
     print(render_report(payload))
 
     status = 0
+    soak_problems = (
+        payload["benchmarks"].get("service_soak", {}).get("problems", [])
+    )
+    for problem in soak_problems:
+        print(f"SOAK INVARIANT VIOLATED {problem}", file=sys.stderr)
+        status = 1
     if args.compare is not None:
         try:
             committed = load_snapshot(args.compare)
@@ -556,6 +590,79 @@ def main_bench(argv: Optional[List[str]] = None) -> int:
                 pass
         save_snapshot(payload, args.write)
         print(f"snapshot written to {args.write}")
+    return status
+
+
+def main_service(argv: Optional[List[str]] = None) -> int:
+    """Multi-tenant open-loop service soak (docs/FAULTS.md).
+
+    Runs seeded arrival processes from N simulated tenants (gold /
+    silver / best_effort SLA classes) through the quota -> fair-share ->
+    brownout -> admission ladder in front of the DES pull engine, and
+    prints the per-tenant per-class report.  The run is a pure function
+    of the config, so ``--check-determinism`` re-runs it and requires a
+    byte-identical report.  Exit codes: 0 all soak invariants held, 1 an
+    invariant or the determinism check failed, 2 usage error.
+    """
+    from repro.service import SoakConfig, run_soak
+
+    parser = argparse.ArgumentParser(
+        prog="repro-service",
+        description="Soak the DEWE v2 service front end under open-loop "
+                    "multi-tenant overload and report graceful "
+                    "degradation per SLA class (docs/FAULTS.md).",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized soak (a few simulated minutes "
+                             "instead of hours)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed for the tenants' arrival processes")
+    parser.add_argument("--horizon", type=float, default=None,
+                        help="override the simulated arrival window "
+                             "(seconds)")
+    parser.add_argument("--load", type=float, default=None,
+                        help="override offered load as a multiple of "
+                             "probed capacity (default 2.0)")
+    parser.add_argument("--nodes", type=int, default=None,
+                        help="override the cluster size")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the report as JSON")
+    parser.add_argument("--check-determinism", action="store_true",
+                        help="run the soak twice and require "
+                             "byte-identical reports")
+    args = parser.parse_args(argv)
+
+    cfg = SoakConfig.quick(seed=args.seed) if args.quick else SoakConfig(
+        seed=args.seed
+    )
+    overrides = {}
+    if args.horizon is not None:
+        overrides["horizon"] = args.horizon
+    if args.load is not None:
+        overrides["load_factor"] = args.load
+    if args.nodes is not None:
+        overrides["n_nodes"] = args.nodes
+    if overrides:
+        cfg = dataclasses.replace(cfg, **overrides)
+
+    report = run_soak(cfg)
+    print(report.render())
+    status = 0 if report.ok else 1
+    if args.check_determinism:
+        again = run_soak(cfg)
+        if again.to_json() != report.to_json():
+            print(
+                "DETERMINISM FAILURE: two soaks with the same config "
+                "rendered different reports",
+                file=sys.stderr,
+            )
+            status = 1
+        else:
+            print("determinism: second run byte-identical — OK")
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+        print(f"report written to {args.json}")
     return status
 
 

@@ -34,7 +34,12 @@ from repro.analysis.concurrency import shims as _shims
 from repro.dewe.config import DeweConfig
 from repro.dewe.state import JobStatus, WorkflowState
 from repro.faults.retry import DeadLetterEntry, RetryPolicy
-from repro.liveness import LeaseConfig, LeaseTable, new_liveness_stats
+from repro.liveness import (
+    AdmissionControl,
+    LeaseConfig,
+    LeaseTable,
+    new_liveness_stats,
+)
 from repro.mq.broker import Broker
 from repro.mq.messages import (
     TOPIC_ACK,
@@ -115,7 +120,16 @@ class MasterDaemon:
         #: (workflow, job_id) -> (worker, attempt) of RUNNING deliveries,
         #: so a fenced worker's in-flight jobs can be requeued.
         self._assignments: Dict[Tuple[str, str], Tuple[str, int]] = {}
-        #: Admission-shed submissions: name -> retry-after hint (seconds).
+        #: The shared backlog gate (repro.liveness), or ``None`` when
+        #: admission control is off.  Set once here, never rebound.
+        self._admission: Optional[AdmissionControl] = None
+        if self.config.admission_max_pending > 0:
+            self._admission = AdmissionControl(
+                max_pending_jobs=self.config.admission_max_pending,
+                retry_after=self.config.admission_retry_after,
+            )
+        #: Admission-shed submissions: name -> retry-after hint (seconds,
+        #: scaled with backlog overshoot — see AdmissionControl.retry_hint).
         self.shed_submissions: Dict[str, float] = {}
         self._events: Dict[str, threading.Event] = {}
         self._events_lock = _shims.make_lock("master.events")
@@ -280,6 +294,7 @@ class MasterDaemon:
                 attempt=state.current_attempt(job_id),
                 job=state.workflow.job(job_id),
             ),
+            tag=(state.tenant, state.sla) if state.tenant else None,
         )
 
     def _republish(self, state: WorkflowState, job_id: str) -> None:
@@ -331,22 +346,27 @@ class MasterDaemon:
         self._trace("write", "master.handle_submission")
         if msg.workflow.name in self.states:
             raise ValueError(f"workflow {msg.workflow.name!r} already submitted")
-        gate = self.config.admission_max_pending
-        if gate > 0:
+        if self._admission is not None:
             backlog = self.broker.depth(TOPIC_DISPATCH)
-            if backlog >= gate:
+            if not self._admission.admits(backlog):
                 # Reject-new before degrade-running: shed the submission
-                # with a retry-after hint rather than letting the backlog
-                # grow and slow every admitted ensemble down.
+                # with a retry-after hint scaled by the backlog overshoot
+                # rather than letting the backlog grow and slow every
+                # admitted ensemble down.
                 self.liveness["shed_submissions"] += 1
-                retry_after = self.config.admission_retry_after
+                if msg.sla:
+                    key = f"shed_{msg.sla}"
+                    self.liveness[key] = self.liveness.get(key, 0) + 1
+                retry_after = self._admission.retry_hint(backlog)
                 self.shed_submissions[msg.workflow.name] = retry_after
                 raise RuntimeError(
-                    f"admission: dispatch backlog {backlog} >= {gate}; "
+                    f"admission: dispatch backlog {backlog} >= "
+                    f"{self._admission.max_pending_jobs}; "
                     f"retry after {retry_after:g}s"
                 )
         state = WorkflowState(
-            msg.workflow, self.config.default_timeout, retry=self.retry
+            msg.workflow, self.config.default_timeout, retry=self.retry,
+            tenant=msg.tenant, sla=msg.sla,
         )
         self.states[state.name] = state
         self._submit_times[state.name] = time.monotonic()

@@ -57,6 +57,8 @@ class WorkflowState:
         default_timeout: float = 600.0,
         validate: bool = True,
         retry: Optional[RetryPolicy] = None,
+        tenant: str = "",
+        sla: str = "",
     ):
         if default_timeout <= 0:
             raise ValueError(f"default_timeout must be positive, got {default_timeout}")
@@ -66,6 +68,11 @@ class WorkflowState:
         self.name = workflow.name
         self.default_timeout = default_timeout
         self.retry = retry or RetryPolicy()
+        #: Service-plane attribution (empty for single-owner runs):
+        #: stamped on every dead-letter entry so post-mortems can say
+        #: *whose* work was lost and at which SLA class.
+        self.tenant = tenant
+        self.sla = sla
         self.pending: Dict[str, int]
         self.status: Dict[str, JobStatus]
         self.attempt: Dict[str, int] = {}
@@ -389,7 +396,10 @@ class WorkflowState:
         self.deadline.pop(job_id, None)
         self._n_dead += 1
         self.dead_letters.append(
-            DeadLetterEntry(self.name, job_id, self.attempt.get(job_id, 0), reason, now)
+            DeadLetterEntry(
+                self.name, job_id, self.attempt.get(job_id, 0), reason, now,
+                self.tenant, self.sla,
+            )
         )
         self._dead_letter_waiters(job_id, now)
         stack = list(self.workflow.job(job_id).children)
@@ -400,7 +410,10 @@ class WorkflowState:
             self.status[child_id] = JobStatus.DEAD
             self._n_dead += 1
             self.dead_letters.append(
-                DeadLetterEntry(self.name, child_id, 0, "upstream-dead", now)
+                DeadLetterEntry(
+                    self.name, child_id, 0, "upstream-dead", now,
+                    self.tenant, self.sla,
+                )
             )
             self._dead_letter_waiters(child_id, now)
             stack.extend(self.workflow.job(child_id).children)
@@ -417,6 +430,7 @@ class WorkflowState:
                     DeadLetterEntry(
                         self.name, waiter_id,
                         self.attempt.get(waiter_id, 0), "upstream-dead", now,
+                        self.tenant, self.sla,
                     )
                 )
                 self._dead_letter_waiters(waiter_id, now)
@@ -469,6 +483,8 @@ class WorkflowState:
         self._trace("read", "state.snapshot")
         return {
             "name": self.name,
+            "tenant": self.tenant,
+            "sla": self.sla,
             "status": {j: s.value for j, s in self.status.items()},
             "attempt": dict(self.attempt),
             "pending": dict(self.pending),
@@ -477,7 +493,8 @@ class WorkflowState:
             "duplicate_acks": self.duplicate_acks,
             "data_recoveries": self.data_recoveries,
             "dead_letters": [
-                [e.workflow, e.job_id, e.attempts, e.reason, e.time]
+                [e.workflow, e.job_id, e.attempts, e.reason, e.time,
+                 e.tenant, e.sla]
                 for e in self.dead_letters
             ],
             "regen_waiters": {
@@ -506,6 +523,7 @@ class WorkflowState:
         state = cls(
             workflow, default_timeout=default_timeout,
             validate=False, retry=retry,
+            tenant=snapshot.get("tenant", ""), sla=snapshot.get("sla", ""),
         )
         state.status = {
             j: JobStatus(v) for j, v in snapshot["status"].items()
@@ -516,9 +534,14 @@ class WorkflowState:
         state.resubmissions = int(snapshot["resubmissions"])
         state.duplicate_acks = int(snapshot["duplicate_acks"])
         state.data_recoveries = int(snapshot.get("data_recoveries", 0))
+        # Pre-service snapshots hold 5-element dead-letter rows (no
+        # tenant/class attribution); both shapes load.
         state.dead_letters = [
-            DeadLetterEntry(wf, job, int(att), reason, float(t))
-            for wf, job, att, reason, t in snapshot["dead_letters"]
+            DeadLetterEntry(
+                row[0], row[1], int(row[2]), row[3], float(row[4]),
+                *[str(x) for x in row[5:7]],
+            )
+            for row in snapshot["dead_letters"]
         ]
         state.regen_waiters = {
             j: set(w) for j, w in snapshot.get("regen_waiters", {}).items()

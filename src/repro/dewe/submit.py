@@ -16,11 +16,24 @@ from repro.workflow.dag import Workflow
 __all__ = ["submit_workflow"]
 
 
-def submit_workflow(broker: Broker, workflow: Workflow, folder: str = "") -> str:
+def submit_workflow(
+    broker: Broker,
+    workflow: Workflow,
+    folder: str = "",
+    tenant: str = "",
+    sla: str = "",
+) -> str:
     """Publish ``workflow`` for execution; returns its name immediately.
 
     The master daemon picks the submission up asynchronously; use
     :meth:`~repro.dewe.master.MasterDaemon.wait` to block on completion.
+    ``tenant``/``sla`` tag the submission for the multi-tenant service
+    plane (attribution on shed records and dead letters).
     """
-    broker.publish(TOPIC_SUBMIT, WorkflowSubmission(workflow=workflow, folder=folder))
+    broker.publish(
+        TOPIC_SUBMIT,
+        WorkflowSubmission(
+            workflow=workflow, folder=folder, tenant=tenant, sla=sla
+        ),
+    )
     return workflow.name

@@ -43,6 +43,7 @@ from repro.liveness import (
     LeaseConfig,
     LeaseTable,
     MasterFailoverModel,
+    ServiceAdmissionPolicy,
     new_liveness_stats,
 )
 from repro.mq.chaosbroker import ChaosSimBroker, MessageChaos
@@ -124,6 +125,7 @@ class PullEngine(EngineBase):
         liveness: Optional[LeaseConfig] = None,
         admission: Optional[AdmissionControl] = None,
         failover: Optional[MasterFailoverModel] = None,
+        service: Optional[ServiceAdmissionPolicy] = None,
     ):
         """``autoscaler`` is an optional controller — a generator function
         taking an :class:`ElasticAPI` — that may start and (gracefully)
@@ -164,10 +166,26 @@ class PullEngine(EngineBase):
         dies mid-run and a warm standby — tailing the write-ahead
         journal — takes over under a fresh fencing epoch (requires
         ``journal``).
+
+        Service knob: ``service`` is a
+        :class:`~repro.liveness.ServiceAdmissionPolicy` turning the
+        submitter into the *open-loop* multi-tenant front door: instead
+        of blocking at the admission gate, each arriving submission runs
+        the quota -> fair-share -> brownout -> backlog ladder and is
+        either admitted (with its SLA class's deadline slack) or shed
+        with a deterministic retry-after hint.  Mutually exclusive with
+        ``admission`` (the policy embeds its own gate).  The policy
+        object outlives master incarnations, so quota and fair-share
+        state survive a failover.
         """
         super().__init__(spec, config)
         if failover is not None and journal is None:
             raise ValueError("master failover requires a write-ahead journal")
+        if service is not None and admission is not None:
+            raise ValueError(
+                "pass either admission= (closed-loop gate) or service= "
+                "(open-loop policy, embeds its own gate), not both"
+            )
         self.broker_latency = broker_latency
         self.fault_schedule = fault_schedule
         self.autoscaler = autoscaler
@@ -182,6 +200,7 @@ class PullEngine(EngineBase):
         self.liveness = liveness
         self.admission = admission
         self.failover = failover
+        self.service = service
 
     def run(self, ensemble: Ensemble) -> EngineResult:
         sim, cluster, thread_logs = self._setup(ensemble)
@@ -216,7 +235,16 @@ class PullEngine(EngineBase):
         liveness_cfg = self.liveness
         admission = self.admission
         failover = self.failover
+        service = self.service
         live_stats = new_liveness_stats()
+        if service is not None:
+            # The policy accumulates its counters straight into the
+            # run-level stats dict (stable new_liveness_stats schema);
+            # effective per-workflow timeouts are remembered so a
+            # standby can rebuild states with their admitted deadline
+            # slack intact.
+            service.stats = live_stats
+        wf_timeouts: Dict[str, float] = {}
         lease: Optional[LeaseTable] = (
             LeaseTable(liveness_cfg, stats=live_stats)
             if liveness_cfg is not None
@@ -340,7 +368,18 @@ class PullEngine(EngineBase):
             state.mark_dispatched(
                 job_id, sim.now, force=liveness_cfg is not None
             )
-            broker.publish(_DISPATCH, (state.name, job_id, state.attempt[job_id]))
+            message = (state.name, job_id, state.attempt[job_id])
+            if service is not None:
+                # Class-aware backstop: a bounded dispatch topic at
+                # capacity evicts the most sheddable queued job in favor
+                # of a less sheddable one (gold displaces best-effort).
+                broker.publish(
+                    _DISPATCH, message,
+                    klass=service.rank_of(state.name),
+                    tag=(state.tenant, state.sla),
+                )
+            else:
+                broker.publish(_DISPATCH, message)
 
         def redispatch(state: WorkflowState, job_id: str) -> None:
             """Re-dispatch after the retry policy's backoff."""
@@ -385,18 +424,82 @@ class PullEngine(EngineBase):
                 return
             finished.add(state.name)
             spans[state.name] = (spans[state.name][0], sim.now)
+            if service is not None:
+                service.settle(state.name)  # release the fair-share charge
             remaining[0] -= 1
             if remaining[0] == 0 and not done.triggered:
                 done.succeed()
 
         # -- master daemon ---------------------------------------------------
+        def admit(wf, timeout_factor: float = 1.0,
+                  tenant: str = "", sla: str = "") -> None:
+            """Create and launch one admitted workflow's state machine."""
+            timeout = cfg.default_timeout * timeout_factor
+            wf_timeouts[wf.name] = timeout
+            state = WorkflowState(
+                wf, timeout, validate=False, retry=retry_policy,
+                tenant=tenant, sla=sla,
+            )
+            states[wf.name] = state
+            spans.setdefault(wf.name, (sim.now, float("nan")))
+            for job_id in state.initial_ready():
+                dispatch(state, job_id)
+            maybe_finish(state)  # degenerate empty-DAG guard
+
+        def service_shed(name: str) -> None:
+            """Account one open-loop shed: the workflow will never run,
+            so it leaves the remaining count (else ``done`` never
+            fires) — its retry is the *client's* problem, signalled by
+            the deterministic retry-after hint in the shed record."""
+            record = service.sheds[-1]
+            trace.record(
+                sim.now,
+                "service-shed",
+                detail=f"{name} tenant={record.tenant} sla={record.sla} "
+                f"reason={record.reason} retry_after={record.retry_after:g}",
+            )
+            jlog(
+                "service-shed", name,
+                detail=f"tenant={record.tenant} sla={record.sla} "
+                f"reason={record.reason} retry_after={record.retry_after:g}",
+            )
+            remaining[0] -= 1
+            if remaining[0] == 0 and not done.triggered:
+                done.succeed()
+
         def submitter(skip_admitted: bool = False):
             try:
                 for submit_time, wf in members:
-                    if skip_admitted and wf.name in states:
-                        continue  # the failed-over primary admitted it
+                    if skip_admitted and (
+                        wf.name in states
+                        or (service is not None and wf.name in service.shed_names)
+                    ):
+                        continue  # the failed-over primary decided it
                     if submit_time > sim.now:
                         yield sim.timeout(submit_time - sim.now)
+                    if service is not None:
+                        # Open-loop front door: each arrival runs the
+                        # quota -> fair-share -> brownout -> backlog
+                        # ladder exactly once — admitted or shed, never
+                        # blocked (offered load is not ours to pause).
+                        decision = service.decide(
+                            wf.name, len(wf.jobs),
+                            broker.depth(_DISPATCH), sim.now,
+                        )
+                        if not decision.admit:
+                            service_shed(wf.name)
+                            continue
+                        tenant, sla = service.tag_of(wf.name)
+                        jlog(
+                            "submit", wf.name,
+                            detail=f"jobs={len(wf.jobs)} tenant={tenant} "
+                            f"sla={sla} factor={decision.timeout_factor:g}",
+                        )
+                        admit(
+                            wf, decision.timeout_factor,
+                            tenant=tenant, sla=sla,
+                        )
+                        continue
                     # Admission control: reject-new before degrade-running
                     # — a submission arriving while the dispatch backlog
                     # is saturated is shed with a retry-after hint, never
@@ -404,28 +507,20 @@ class PullEngine(EngineBase):
                     while admission is not None and not admission.admits(
                         broker.depth(_DISPATCH)
                     ):
+                        hint = admission.retry_hint(broker.depth(_DISPATCH))
                         live_stats["shed_submissions"] += 1
                         trace.record(
                             sim.now,
                             "admission-shed",
-                            detail=f"{wf.name} "
-                            f"retry_after={admission.retry_after:g}",
+                            detail=f"{wf.name} retry_after={hint:g}",
                         )
                         jlog(
                             "admission-shed", wf.name,
-                            detail=f"retry_after={admission.retry_after:g}",
+                            detail=f"retry_after={hint:g}",
                         )
-                        yield sim.timeout(admission.retry_after)
+                        yield sim.timeout(hint)
                     jlog("submit", wf.name, detail=f"jobs={len(wf.jobs)}")
-                    state = WorkflowState(
-                        wf, cfg.default_timeout, validate=False,
-                        retry=retry_policy,
-                    )
-                    states[wf.name] = state
-                    spans.setdefault(wf.name, (sim.now, float("nan")))
-                    for job_id in state.initial_ready():
-                        dispatch(state, job_id)
-                    maybe_finish(state)  # degenerate empty-DAG guard
+                    admit(wf)
             except Interrupt:
                 return  # primary master failed mid-submission
 
@@ -924,18 +1019,31 @@ class PullEngine(EngineBase):
                 if name in wf_by_name:
                     states[name] = WorkflowState.restore(
                         wf_by_name[name], snaps[name],
-                        cfg.default_timeout, retry_policy,
+                        wf_timeouts.get(name, cfg.default_timeout),
+                        retry_policy,
                     )
             # ...and re-admit workflows submitted after that checkpoint
             # (at-least-once execution; settlement stays exactly-once
-            # because the state machine absorbs duplicate acks).
+            # because the state machine absorbs duplicate acks).  In
+            # service mode the primary's *decisions* are authoritative:
+            # shed workflows stay shed, admitted ones are re-created
+            # with their admitted deadline slack — the policy object
+            # survived the failover, so quota and fair-share charges
+            # carry over unchanged.
             readmitted: set = set()
             for submit_time, wf in members:
                 if submit_time <= sim.now and wf.name not in states:
+                    if service is not None and wf.name in service.shed_names:
+                        continue
+                    tenant, sla = (
+                        service.tag_of(wf.name)
+                        if service is not None else ("", "")
+                    )
                     jlog("submit", wf.name, detail=f"jobs={len(wf.jobs)}")
                     states[wf.name] = WorkflowState(
-                        wf, cfg.default_timeout, validate=False,
-                        retry=retry_policy,
+                        wf, wf_timeouts.get(wf.name, cfg.default_timeout),
+                        validate=False, retry=retry_policy,
+                        tenant=tenant, sla=sla,
                     )
                     spans.setdefault(wf.name, (sim.now, float("nan")))
                     readmitted.add(wf.name)
@@ -951,6 +1059,11 @@ class PullEngine(EngineBase):
                 if state.is_settled:
                     finished.add(name)
             remaining[0] = len(members) - len(finished)
+            if service is not None:
+                # Shed workflows already left the remaining count when
+                # the primary shed them; they are neither in states nor
+                # in finished, so subtract them here too.
+                remaining[0] -= len(service.shed_names)
             # In-flight deliveries from the primary era are unaccounted:
             # requeue them (late acks go stale via the attempt number —
             # and, with leases on, via the fresh epoch fence below).
@@ -1044,7 +1157,11 @@ class PullEngine(EngineBase):
         if cfg.drain_caches:
             sim.run_until(fs.drained())
 
-        makespan = max(end for _start, end in spans.values())
+        # Under an open-loop service every member may have been shed, in
+        # which case nothing ever ran and the makespan is simply "now".
+        makespan = max(
+            (end for _start, end in spans.values()), default=sim.now
+        )
         rental_spans = {
             i: [(s, e if e is not None else makespan) for s, e in leases[i]]
             for i in range(n_nodes)
@@ -1070,6 +1187,7 @@ class PullEngine(EngineBase):
         if (
             liveness_cfg is not None
             or admission is not None
+            or service is not None
             or failover is not None
             or live_stats["partitions"]
         ):

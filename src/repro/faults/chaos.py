@@ -47,7 +47,13 @@ from repro.faults.models import (
     TransientFaultModel,
 )
 from repro.faults.retry import RetryPolicy
-from repro.liveness import AdmissionControl, LeaseConfig, MasterFailoverModel
+from repro.liveness import (
+    AdmissionControl,
+    BrownoutController,
+    LeaseConfig,
+    MasterFailoverModel,
+    ServiceAdmissionPolicy,
+)
 from repro.mq.chaosbroker import MessageChaos
 from repro.recovery.crash import resume_until_complete
 from repro.recovery.journal import Journal
@@ -134,6 +140,22 @@ class ChaosScenario:
     #: backlog holds this many jobs (0 = unbounded, no gate).
     admission_max_pending: int = 0
     admission_retry_after: float = 1.0
+    # -- multi-tenant open-loop service (repro.service; docs/FAULTS.md) ----
+    #: Arrival window in sim seconds; > 0 switches the scenario to
+    #: open-loop service mode: the ensemble is built from seeded tenant
+    #: arrival processes (one tenant per SLA class) and the engine runs
+    #: behind a :class:`~repro.liveness.ServiceAdmissionPolicy` instead
+    #: of the closed-loop admission gate.
+    service_horizon: float = 0.0
+    service_gold_rate: float = 0.0
+    service_silver_rate: float = 0.0
+    #: best_effort arrives in ON-OFF bursts at this ON-window rate.
+    service_burst_rate: float = 0.0
+    service_burst_on: float = 5.0
+    service_burst_off: float = 5.0
+    #: The service policy's embedded backlog gate (jobs).
+    service_max_pending: int = 24
+    service_brownout_sustain: float = 2.0
     #: Price-indexed spot hazard breakpoints ``(time, multiplier)``;
     #: empty keeps the flat-rate hazard (byte-identical traces).
     price_hazard: Tuple[Tuple[float, float], ...] = ()
@@ -172,7 +194,7 @@ class ChaosScenario:
         fs = self.filesystem or ("local" if self.n_nodes == 1 else "moosefs")
         return ClusterSpec(self.instance_type, self.n_nodes, filesystem=fs)
 
-    def ensemble(self) -> Ensemble:
+    def _template(self):
         from repro.generators import (
             cybershake_workflow,
             ligo_workflow,
@@ -180,14 +202,68 @@ class ChaosScenario:
         )
 
         if self.workflow == "montage":
-            template = montage_workflow(degree=self.size)
-        elif self.workflow == "ligo":
-            template = ligo_workflow(blocks=max(1, int(self.size)))
-        elif self.workflow == "cybershake":
-            template = cybershake_workflow(ruptures=max(1, int(self.size)))
-        else:
-            raise ValueError(f"unknown workflow kind {self.workflow!r}")
-        return Ensemble.replicated(template, self.n_workflows, interval=self.interval)
+            return montage_workflow(degree=self.size)
+        if self.workflow == "ligo":
+            return ligo_workflow(blocks=max(1, int(self.size)))
+        if self.workflow == "cybershake":
+            return cybershake_workflow(ruptures=max(1, int(self.size)))
+        raise ValueError(f"unknown workflow kind {self.workflow!r}")
+
+    @property
+    def is_service(self) -> bool:
+        return self.service_horizon > 0
+
+    def service_workload(self):
+        """The open-loop multi-tenant workload (service mode only).
+
+        A pure function of the scenario fields and its seed, so the two
+        :func:`run_chaos` calls to :meth:`ensemble` (baseline and chaos)
+        see identical member names and submission times.
+        """
+        from repro.service.arrivals import OnOffArrivals, PoissonArrivals
+        from repro.service.workload import TenantSpec, build_workload
+
+        tenants = [
+            TenantSpec(
+                tenant="gold-0", sla="gold",
+                arrivals=PoissonArrivals(self.service_gold_rate),
+                quota_rate=3.0 * self.service_gold_rate,
+                # Weight chosen so gold's fair-share bound saturates at
+                # 1.0 (max_share 0.5 x weight 3 x 3 tenants / weight sum
+                # 4.5): a share can never exceed 1, so gold is
+                # structurally exempt from fair-share shedding and its
+                # only bound is the quota — "zero gold sheds" holds even
+                # when everyone else's work is being shed.
+                quota_burst=20.0, weight=3.0,
+            ),
+            TenantSpec(
+                tenant="silver-0", sla="silver",
+                arrivals=PoissonArrivals(self.service_silver_rate),
+                quota_rate=2.0 * self.service_silver_rate,
+                quota_burst=10.0, weight=1.0,
+            ),
+            TenantSpec(
+                tenant="best_effort-0", sla="best_effort",
+                arrivals=OnOffArrivals(
+                    on_rate=self.service_burst_rate,
+                    on_duration=self.service_burst_on,
+                    off_duration=self.service_burst_off,
+                ),
+                quota_rate=self.service_burst_rate,
+                quota_burst=5.0, weight=0.5,
+            ),
+        ]
+        return build_workload(
+            tenants, self._template(), self.service_horizon, self.seed,
+            name=f"{self.name}-service",
+        )
+
+    def ensemble(self) -> Ensemble:
+        if self.is_service:
+            return self.service_workload().ensemble
+        return Ensemble.replicated(
+            self._template(), self.n_workflows, interval=self.interval
+        )
 
     def run_config(self) -> RunConfig:
         return RunConfig(
@@ -276,14 +352,33 @@ class ChaosScenario:
             if self.heartbeat_interval > 0
             else None
         )
-        admission = (
-            AdmissionControl(
+        service = None
+        admission = None
+        if self.is_service:
+            # Open-loop service mode: the policy embeds its own backlog
+            # gate, so the closed-loop admission knob is ignored.
+            service = ServiceAdmissionPolicy(
+                admission=AdmissionControl(
+                    max_pending_jobs=self.service_max_pending,
+                    retry_after=self.admission_retry_after,
+                ),
+                brownout=BrownoutController(
+                    thresholds=(0.5, 1.0, 1.5),
+                    sustain=self.service_brownout_sustain,
+                ),
+                # Members are ~20 jobs, so the policy's default floor of
+                # 8 would make fair-share bind on the very first member
+                # and clamp the backlog before it can overshoot — the
+                # brownout ladder would never engage.  Keep fair-share
+                # as the tail guard behind brownout and the gate.
+                fair_share_floor=6 * self.service_max_pending,
+            )
+            self.service_workload().wire(service)
+        elif self.admission_max_pending > 0:
+            admission = AdmissionControl(
                 max_pending_jobs=self.admission_max_pending,
                 retry_after=self.admission_retry_after,
             )
-            if self.admission_max_pending > 0
-            else None
-        )
         failover = (
             MasterFailoverModel(self.failover_at, detection=self.failover_detection)
             if self.failover_at is not None
@@ -302,6 +397,7 @@ class ChaosScenario:
             liveness=liveness,
             admission=admission,
             failover=failover,
+            service=service,
         )
 
 
@@ -435,6 +531,21 @@ def _check_invariants(
             problems.append(
                 f"dead-lettered jobs {sorted(direct)} != expected "
                 f"{sorted(expected)}"
+            )
+    # Graceful degradation by class (open-loop service scenarios): the
+    # ladder must have protected gold absolutely while best_effort
+    # absorbed the overload.
+    if scenario.is_service:
+        stats = result.liveness_stats
+        if stats.get("shed_gold", 0):
+            problems.append(
+                f"service shed {stats['shed_gold']} gold submission(s); "
+                f"gold must never be shed"
+            )
+        if not stats.get("shed_best_effort", 0):
+            problems.append(
+                "overloaded service scenario shed no best_effort work "
+                "(the admission ladder never engaged)"
             )
     # Bounded degradation (skipped when the scenario kills jobs outright:
     # a dead-lettered workflow settles early, so its makespan is not
@@ -688,6 +799,30 @@ SCENARIOS: Dict[str, ChaosScenario] = {
             admission_retry_after=0.5,
             checkpoint_every=15,
             price_hazard=((0.0, 1.0), (60.0, 3.0)),
+            max_slowdown=6.0,
+            slowdown_slack=60.0,
+        ),
+        ChaosScenario(
+            name="overload",
+            description="Overload game day: open-loop multi-tenant "
+            "arrival bursts composed with spot reclamations — while "
+            "capacity comes and goes, the quota/fair-share/brownout "
+            "ladder sheds best_effort first and keeps gold at zero "
+            "sheds.",
+            size=0.3,
+            n_nodes=2,
+            timeout=20.0,
+            check_interval=0.5,
+            spot_rate_per_hour=200.0,
+            spot_notice=1.0,
+            spot_replacement_delay=5.0,
+            service_horizon=20.0,
+            service_gold_rate=1.0,
+            service_silver_rate=1.6,
+            service_burst_rate=10.0,
+            service_burst_on=4.0,
+            service_burst_off=4.0,
+            service_max_pending=24,
             max_slowdown=6.0,
             slowdown_slack=60.0,
         ),

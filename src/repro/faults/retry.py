@@ -115,6 +115,11 @@ class DeadLetterEntry:
     ``"timeout"`` (budget exhausted by missed deadlines) or
     ``"upstream-dead"`` (an ancestor was dead-lettered, so this job can
     never become eligible).  ``attempts`` is 0 for cascaded entries.
+
+    ``tenant``/``sla`` attribute the loss in multi-tenant service runs
+    (docs/FAULTS.md); both default empty so records from single-owner
+    runs — and snapshots written before the fields existed — construct
+    and load unchanged.
     """
 
     workflow: str
@@ -122,10 +127,13 @@ class DeadLetterEntry:
     attempts: int
     reason: str
     time: float
+    tenant: str = ""
+    sla: str = ""
 
     def __str__(self) -> str:
+        who = f" [{self.tenant}/{self.sla}]" if self.tenant else ""
         return (
-            f"{self.workflow}/{self.job_id}: {self.reason} after "
+            f"{self.workflow}/{self.job_id}{who}: {self.reason} after "
             f"{self.attempts} attempt(s) at t={self.time:g}"
         )
 

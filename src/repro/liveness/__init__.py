@@ -13,7 +13,12 @@ package holds the engine-agnostic pieces of the answer:
 * :class:`~repro.liveness.admission.AdmissionControl` — the master-side
   admission gate (reject-new before degrade-running);
 * :class:`~repro.liveness.failover.MasterFailoverModel` — the seeded
-  primary-death/standby-takeover schedule for warm-standby failover.
+  primary-death/standby-takeover schedule for warm-standby failover;
+* :class:`~repro.liveness.policy.ServiceAdmissionPolicy` — the
+  multi-tenant generalization of the admission gate: per-tenant
+  token-bucket quotas, weighted fair share, and a brownout controller
+  that degrades by SLA class under sustained overload
+  (docs/FAULTS.md, "Overload and graceful degradation").
 
 Both halves of the stack consume these: the deterministic DES pull
 engine (`repro.engines.pull`, simulated time) and the threaded
@@ -25,11 +30,27 @@ serialize access — so one implementation serves both worlds.
 from repro.liveness.admission import AdmissionControl
 from repro.liveness.failover import MasterFailoverModel
 from repro.liveness.lease import LeaseConfig, LeaseTable, new_liveness_stats
+from repro.liveness.policy import (
+    DEFAULT_CLASSES,
+    AdmissionDecision,
+    BrownoutController,
+    ServiceAdmissionPolicy,
+    ShedRecord,
+    SlaClass,
+    TokenBucket,
+)
 
 __all__ = [
     "AdmissionControl",
+    "AdmissionDecision",
+    "BrownoutController",
+    "DEFAULT_CLASSES",
     "LeaseConfig",
     "LeaseTable",
     "MasterFailoverModel",
+    "ServiceAdmissionPolicy",
+    "ShedRecord",
+    "SlaClass",
+    "TokenBucket",
     "new_liveness_stats",
 ]

@@ -40,3 +40,15 @@ class AdmissionControl:
     def admits(self, backlog: int) -> bool:
         """True iff a submission may enter given the current backlog."""
         return backlog < self.max_pending_jobs
+
+    def retry_hint(self, backlog: int) -> float:
+        """Retry-after hint for a submission shed at ``backlog``.
+
+        Scales ``retry_after`` with the backlog *overshoot* — a client
+        shed at twice the bound is told to wait twice as long as one
+        shed right at it — so honest backoff spreads retries in
+        proportion to how deep the overload actually is, instead of the
+        thundering-herd a flat constant invites.  Deterministic: same
+        backlog, same hint.
+        """
+        return self.retry_after * max(1.0, backlog / self.max_pending_jobs)

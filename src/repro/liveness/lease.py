@@ -26,7 +26,13 @@ __all__ = ["LeaseConfig", "LeaseTable", "new_liveness_stats"]
 
 
 def new_liveness_stats() -> Dict[str, int]:
-    """A zeroed counter dict shared by a run's successive lease tables."""
+    """A zeroed counter dict shared by a run's successive lease tables.
+
+    The service-plane counters (``quota_sheds`` … ``shed_best_effort``)
+    are part of the same stable schema so
+    :func:`repro.monitor.metrics.robustness_metrics` reports zeros —
+    not missing keys — for runs without the multi-tenant front end.
+    """
     return {
         "heartbeat_misses": 0,
         "lease_fencings": 0,
@@ -35,6 +41,14 @@ def new_liveness_stats() -> Dict[str, int]:
         "shed_submissions": 0,
         "failovers": 0,
         "partitions": 0,
+        # -- multi-tenant service plane (repro.liveness.policy) --------
+        "quota_sheds": 0,
+        "fair_share_sheds": 0,
+        "brownout_sheds": 0,
+        "deadline_stretches": 0,
+        "shed_gold": 0,
+        "shed_silver": 0,
+        "shed_best_effort": 0,
     }
 
 

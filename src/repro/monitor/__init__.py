@@ -18,6 +18,7 @@ from repro.monitor.metrics import (
     NodeMetrics,
     cluster_metrics,
     node_metrics,
+    percentile,
     robustness_metrics,
 )
 from repro.monitor.report import format_series, run_summary, summary_table
@@ -31,6 +32,7 @@ __all__ = [
     "format_series",
     "metrics_to_csv",
     "node_metrics",
+    "percentile",
     "robustness_metrics",
     "run_summary",
     "slot_timeline",

@@ -15,7 +15,13 @@ import numpy as np
 from repro.engines.base import EngineResult
 from repro.liveness import new_liveness_stats
 
-__all__ = ["NodeMetrics", "node_metrics", "cluster_metrics", "robustness_metrics"]
+__all__ = [
+    "NodeMetrics",
+    "node_metrics",
+    "cluster_metrics",
+    "robustness_metrics",
+    "percentile",
+]
 
 #: The paper's sampling interval (seconds).
 SAMPLE_INTERVAL = 3.0
@@ -70,6 +76,23 @@ def node_metrics(
         disk_read=reads / 1e6,
         threads=threads,
     )
+
+
+def percentile(values, q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 1]) of a finite sample.
+
+    Deterministic and interpolation-free — the reported p50/p99 is always
+    an actually observed value, and two runs over the same sample render
+    the same bytes (no float blending), which the service soak report's
+    byte-identity contract relies on.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = int(np.ceil(q * len(ordered)))
+    return float(ordered[max(0, min(len(ordered) - 1, rank - 1))])
 
 
 def robustness_metrics(result: EngineResult) -> Dict[str, int]:

@@ -42,6 +42,7 @@ class Topic:
         "published": "_lock",
         "consumed": "_lock",
         "shed": "_lock",
+        "shed_records": "_lock",
         "capacity": "_lock",
     }
 
@@ -57,6 +58,10 @@ class Topic:
         #: the backpressure is explicit so publishers can back off.
         self.capacity = capacity
         self.shed = 0
+        #: Attribution tags of shed publishes (service plane: the
+        #: ``(tenant, sla)`` of each message lost at the capacity bound),
+        #: in shed order, for post-mortems.
+        self.shed_records: list = []
         self._lock = threading.Lock()
         rec = _conc.active()
         self._key = (
@@ -64,10 +69,11 @@ class Topic:
             else ("topic", name, 0)
         )
 
-    def publish(self, message: Any) -> bool:
+    def publish(self, message: Any, tag: Any = None) -> bool:
         with self._lock:
             if self.capacity is not None and self._queue.qsize() >= self.capacity:
                 self.shed += 1
+                self.shed_records.append(tag)
                 return False
             self.published += 1
             seq = self.published
@@ -124,8 +130,8 @@ class Broker:
                 self._topics[name] = topic
             return topic
 
-    def publish(self, topic_name: str, message: Any) -> bool:
-        return self.topic(topic_name).publish(message)
+    def publish(self, topic_name: str, message: Any, tag: Any = None) -> bool:
+        return self.topic(topic_name).publish(message, tag=tag)
 
     def consume(self, topic_name: str, timeout: Optional[float] = None) -> Optional[Any]:
         return self.topic(topic_name).consume(timeout)

@@ -103,10 +103,12 @@ class ChaosSimBroker(SimBroker):
                 self.sim.now, kind, detail=_describe(topic_name, message)
             )
 
-    def publish(self, topic_name: str, message: Any) -> bool:
+    def publish(
+        self, topic_name: str, message: Any, klass=None, tag=None
+    ) -> bool:
         chaos = self.chaos
         if not chaos.applies_to(topic_name):
-            return super().publish(topic_name, message)
+            return super().publish(topic_name, message, klass=klass, tag=tag)
         u = self._rng.random()
         if u < chaos.p_drop:
             self.dropped += 1
@@ -115,8 +117,8 @@ class ChaosSimBroker(SimBroker):
         if u < chaos.p_drop + chaos.p_duplicate:
             self.duplicated += 1
             self._record("mq-duplicate", topic_name, message)
-            ok = super().publish(topic_name, message)
-            super().publish(topic_name, message)
+            ok = super().publish(topic_name, message, klass=klass, tag=tag)
+            super().publish(topic_name, message, klass=klass, tag=tag)
             return ok
         if u < chaos.p_drop + chaos.p_duplicate + chaos.p_delay:
             self.delayed += 1
@@ -126,7 +128,7 @@ class ChaosSimBroker(SimBroker):
                 self.latency + chaos.delay, self.topic(topic_name).put, message
             )
             return True
-        return super().publish(topic_name, message)
+        return super().publish(topic_name, message, klass=klass, tag=tag)
 
 
 class ChaosBroker(Broker):
@@ -251,12 +253,12 @@ class ChaosBroker(Broker):
             self.held += 1
             return True
 
-    def publish(self, topic_name: str, message: Any) -> bool:
+    def publish(self, topic_name: str, message: Any, tag: Any = None) -> bool:
         chaos = self.chaos
         if self._hold_if_partitioned(topic_name, message):
             return True  # in flight until the partition heals
         if not chaos.applies_to(topic_name):
-            return super().publish(topic_name, message)
+            return super().publish(topic_name, message, tag=tag)
         with self._rng_lock:
             u = self._rng.random()
             if u < chaos.p_drop:
@@ -273,8 +275,8 @@ class ChaosBroker(Broker):
         if outcome == "drop":
             return True  # accepted, then lost — chaos, not backpressure
         if outcome == "duplicate":
-            ok = super().publish(topic_name, message)
-            super().publish(topic_name, message)
+            ok = super().publish(topic_name, message, tag=tag)
+            super().publish(topic_name, message, tag=tag)
             return ok
         if outcome == "delay":
             timer = threading.Timer(
@@ -283,4 +285,4 @@ class ChaosBroker(Broker):
             timer.daemon = True
             timer.start()
             return True
-        return super().publish(topic_name, message)
+        return super().publish(topic_name, message, tag=tag)

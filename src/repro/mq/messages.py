@@ -40,10 +40,17 @@ class AckKind(Enum):
 class WorkflowSubmission:
     """Submission application -> master: meta data about the workflow
     ("the name of the workflow, as well as the path to the related folder
-    on the shared file system", §III.C)."""
+    on the shared file system", §III.C).
+
+    ``tenant``/``sla`` are the multi-tenant service tags (empty for the
+    paper's single-owner submissions): the master stamps them onto the
+    workflow's state so shed records and dead letters stay attributable.
+    """
 
     workflow: Workflow
     folder: str = ""
+    tenant: str = ""
+    sla: str = ""
 
 
 @dataclass(frozen=True)

@@ -10,12 +10,24 @@ Topics may be *bounded* (``limits``): a publish that would exceed a
 topic's backlog capacity is deterministically shed — ``publish`` returns
 ``False`` and the per-topic ``shed`` counter advances.  This is the
 broker half of the backpressure story; the polite half is the master's
-:class:`~repro.liveness.admission.AdmissionControl` gate.
+:class:`~repro.liveness.admission.AdmissionControl` gate (and, for
+multi-tenant runs, the :class:`~repro.liveness.policy.ServiceAdmissionPolicy`
+ladder in front of it).
+
+Service plane: publishes may carry a sheddability ``klass`` (the SLA
+class rank — higher is more sheddable) and an attribution ``tag``
+(``(tenant, sla)``).  At capacity a classed publish *evicts* the newest
+strictly-more-sheddable message already in the topic instead of being
+dropped itself — a gold dispatch arriving at a full topic displaces a
+queued best-effort one, never the other way around — and every shed is
+recorded on ``shed_records`` with its tag for post-mortems.  Untagged
+messages (``klass=None``) are never evicted.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.sim import Event, FifoStore, Simulator
 
@@ -43,12 +55,22 @@ class SimBroker:
         self._topics: Dict[str, FifoStore] = {}
         #: Per-topic in-flight delivery batch: messages published at the
         #: same instant share one agenda entry (they all arrive at
-        #: ``now + latency`` anyway, in publish order).
+        #: ``now + latency`` anyway, in publish order).  Batches are
+        #: ``(now, [messages], [metas])``; metas mirror messages for
+        #: bounded topics only.
         self._pending: Dict[str, Any] = {}
+        #: Bounded topics only: ``(klass, tag)`` metas aligned 1:1 with
+        #: the store's queued messages so eviction can rank them.
+        self._metas: Dict[str, Deque[Tuple[Optional[int], Any]]] = {}
         self.published = 0
         self.consumed = 0
-        #: Per-topic count of publishes shed at the capacity bound.
+        #: Per-topic count of publishes shed at the capacity bound
+        #: (including evictions — something was still dropped).
         self.shed: Dict[str, int] = {}
+        #: ``(topic, tag, kind)`` per shed message; ``kind`` is
+        #: ``"incoming"`` (the publish itself was dropped) or
+        #: ``"evicted"`` (a queued lower-priority message made room).
+        self.shed_records: List[Tuple[str, Any, str]] = []
 
     def topic(self, name: str) -> FifoStore:
         store = self._topics.get(name)
@@ -57,48 +79,126 @@ class SimBroker:
             self._topics[name] = store
         return store
 
-    def publish(self, topic_name: str, message: Any) -> bool:
+    # -- bounded-topic bookkeeping ----------------------------------------
+    def _evict(self, topic_name: str, klass: int) -> bool:
+        """Drop the newest message strictly more sheddable than ``klass``
+        from the topic's backlog (in-flight batch first — it is the
+        newest — then the queue).  Returns ``True`` if room was made."""
+        best: Optional[int] = None
+        pending = self._pending.get(topic_name)
+        if pending is not None:
+            for _msg, (k, _tag) in zip(pending[1], pending[2]):
+                if k is not None and k > klass and (best is None or k > best):
+                    best = k
+        metas = self._metas.get(topic_name)
+        if metas is not None:
+            for k, _tag in metas:
+                if k is not None and k > klass and (best is None or k > best):
+                    best = k
+        if best is None:
+            return False
+        if pending is not None:
+            for i in range(len(pending[1]) - 1, -1, -1):
+                if pending[2][i][0] == best:
+                    tag = pending[2][i][1]
+                    del pending[1][i]
+                    del pending[2][i]
+                    self._count_shed(topic_name, tag, "evicted")
+                    return True
+        store = self._topics[topic_name]
+        for i in range(len(metas) - 1, -1, -1):
+            if metas[i][0] == best:
+                tag = metas[i][1]
+                del metas[i]
+                del store._items[i]
+                self._count_shed(topic_name, tag, "evicted")
+                return True
+        return False
+
+    def _count_shed(self, topic_name: str, tag: Any, kind: str) -> None:
+        self.shed[topic_name] = self.shed.get(topic_name, 0) + 1
+        self.shed_records.append((topic_name, tag, kind))
+
+    def publish(
+        self,
+        topic_name: str,
+        message: Any,
+        klass: Optional[int] = None,
+        tag: Any = None,
+    ) -> bool:
         """Deliver ``message`` to the topic after the broker latency.
 
         Returns ``False`` (and counts a shed) when the topic is bounded
         and its backlog — queued plus in-flight deliveries — is at
-        capacity; the message is dropped and the publisher is expected
+        capacity and nothing more sheddable than ``klass`` could be
+        evicted; the message is dropped and the publisher is expected
         to back off and retry.
         """
         limit = self.limits.get(topic_name)
-        if limit is not None:
+        bounded = limit is not None
+        if bounded:
             backlog = len(self.topic(topic_name))
             pending = self._pending.get(topic_name)
             if pending is not None:
                 backlog += len(pending[1])
-            if backlog >= limit:
-                self.shed[topic_name] = self.shed.get(topic_name, 0) + 1
+            if backlog >= limit and (
+                klass is None or not self._evict(topic_name, klass)
+            ):
+                self._count_shed(topic_name, tag, "incoming")
                 return False
         self.published += 1
         if self.latency == 0:
             self.topic(topic_name).put(message)
+            if bounded:
+                self._meta_put(topic_name, klass, tag)
             return True
         now = self.sim.now
         pending = self._pending.get(topic_name)
         if pending is not None and pending[0] == now:
             pending[1].append(message)
+            if bounded:
+                pending[2].append((klass, tag))
             return True
-        batch = (now, [message])
+        batch = (now, [message], [(klass, tag)] if bounded else [])
         self._pending[topic_name] = batch
         self.sim.schedule_call(self.latency, self._deliver, topic_name, batch)
         return True
 
+    def _meta_put(self, topic_name: str, klass, tag) -> None:
+        """Mirror one queued message's meta — only when it actually
+        queued (a waiting getter consumes the put synchronously)."""
+        store = self._topics[topic_name]
+        metas = self._metas.get(topic_name)
+        if metas is None:
+            metas = self._metas[topic_name] = deque()
+        if len(store._items) > len(metas):
+            metas.append((klass, tag))
+
     def _deliver(self, topic_name: str, batch) -> None:
         if self._pending.get(topic_name) is batch:
             del self._pending[topic_name]
-        put = self.topic(topic_name).put
-        for message in batch[1]:
-            put(message)
+        store = self.topic(topic_name)
+        put = store.put
+        if topic_name in self.limits:
+            for message, (klass, tag) in zip(batch[1], batch[2]):
+                put(message)
+                self._meta_put(topic_name, klass, tag)
+        else:
+            for message in batch[1]:
+                put(message)
+
+    def _meta_pop(self, topic_name: str) -> None:
+        metas = self._metas.get(topic_name)
+        if metas:
+            metas.popleft()
 
     def consume(self, topic_name: str) -> Event:
         """Event that fires with the next message of the topic."""
         self.consumed += 1
-        return self.topic(topic_name).get()
+        store = self.topic(topic_name)
+        if topic_name in self.limits and store._items:
+            self._meta_pop(topic_name)
+        return store.get()
 
     def consume_nowait(self, topic_name: str) -> Any:
         """Pop the next queued message synchronously, or ``None``.
@@ -109,6 +209,8 @@ class SimBroker:
         store = self.topic(topic_name)
         if store._items:
             self.consumed += 1
+            if topic_name in self.limits:
+                self._meta_pop(topic_name)
             return store._items.popleft()
         return None
 

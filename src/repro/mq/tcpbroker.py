@@ -282,7 +282,10 @@ class RemoteBroker:
         return response
 
     # -- Broker interface ----------------------------------------------------
-    def publish(self, topic_name: str, message: Any) -> None:
+    def publish(self, topic_name: str, message: Any, tag: Any = None) -> None:
+        # ``tag`` (service-plane shed attribution) is accepted for
+        # interface parity; the wire protocol has no bounded topics, so
+        # there is nothing to attribute on this side.
         self._call(
             {"op": "publish", "topic": topic_name, "message": encode_message(message)}
         )

@@ -197,8 +197,10 @@ def compare_benchmarks(current: Dict, committed: Dict,
     """Regression gate: return a list of failure messages (empty = pass).
 
     * rates may drop at most ``tolerance`` relative to the snapshot;
-    * deterministic counters (``jobs``, ``digests_identical``) must match
-      exactly — a drift means simulated behaviour changed;
+    * deterministic counters (``jobs``, ``digests_identical``, and any
+      key inside a benchmark's ``exact`` block — the service suite's
+      admitted/shed tallies) must match exactly — a drift means
+      simulated behaviour changed;
     * the parallel speedup is only gated on machines with >=2 CPUs.
     """
     failures: List[str] = []
@@ -228,6 +230,16 @@ def compare_benchmarks(current: Dict, committed: Dict,
                 f"({cur.get('jobs')} vs snapshot {snap['jobs']}) — "
                 f"regenerate {BENCH_FILENAME} if intentional"
             )
+        if same_workload and "exact" in snap:
+            cur_exact = cur.get("exact", {})
+            for key in sorted(snap["exact"]):
+                if cur_exact.get(key) != snap["exact"][key]:
+                    failures.append(
+                        f"{name}: deterministic counter {key!r} changed "
+                        f"({cur_exact.get(key)} vs snapshot "
+                        f"{snap['exact'][key]}) — simulated behaviour "
+                        f"drifted; regenerate the snapshot if intentional"
+                    )
     par = current["benchmarks"].get("parallel_runner")
     if par is not None:
         if not par.get("digests_identical", False):

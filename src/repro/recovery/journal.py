@@ -86,9 +86,14 @@ class JournalRecord:
     ``kind`` is the transition name (``submit``, ``dispatch``,
     ``ack-running``, ``ack-complete``, ``ack-failed``, ``ack-corrupt``,
     ``timeout-requeue``, ``dead-letter``, ``lease-grant``,
-    ``lease-expiry``, ``billing-spot``); ``time`` is the master's clock
-    (simulated seconds in the DES).  :meth:`line` is the canonical byte
-    representation used by the replay comparison.
+    ``lease-expiry``, ``billing-spot``, and — in multi-tenant service
+    runs — ``service-shed``, whose ``workflow`` names the shed
+    submission and whose ``detail`` carries its tenant/SLA/reason and
+    retry-after hint, so a replayed post-mortem can reconstruct who
+    lost what, why, and what backoff the client was told);
+    ``time`` is the master's clock (simulated seconds in the DES).
+    :meth:`line` is the canonical byte representation used by the
+    replay comparison.
     """
 
     seq: int

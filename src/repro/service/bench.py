@@ -1,0 +1,78 @@
+"""Service-suite benchmark payload (``BENCH_service.json``).
+
+The kernel suite (:mod:`repro.parallel.bench`) gates *wall-clock*
+throughput; this suite gates *service behaviour*: the sustained arrival
+rate the soak absorbs at saturation and the shed fraction per SLA class.
+Those numbers come out of the deterministic DES, so they carry no
+machine noise — the ``repro-bench --compare`` gate still allows the
+usual rate tolerance, but the interesting guard is the ``exact`` block:
+admitted/shed counters that must match the committed snapshot bit for
+bit.  A drift there means the admission ladder's behaviour changed and
+the snapshot must be regenerated deliberately.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+import time
+from typing import Dict
+
+from repro.service.soak import SoakConfig, run_soak
+
+__all__ = ["BENCH_SERVICE_FILENAME", "run_service_benchmarks"]
+
+BENCH_SERVICE_FILENAME = "BENCH_service.json"
+SCHEMA_VERSION = 1
+
+
+def run_service_benchmarks(quick: bool = False, seed: int = 0) -> Dict:
+    """Run the soak; return the ``BENCH_service.json`` payload (same
+    envelope as the kernel suite so ``compare_benchmarks`` applies)."""
+    cfg = SoakConfig.quick(seed=seed) if quick else SoakConfig(seed=seed)
+    t0 = time.perf_counter()
+    report = run_soak(cfg)
+    wall = time.perf_counter() - t0
+    classes = report.classes
+    totals = {
+        key: sum(row[key] for row in classes.values())
+        for key in ("submitted", "admitted", "shed", "completed")
+    }
+    sample = {
+        "rate": report.sustained_rate(),
+        "unit": "wf/s (simulated)",
+        "wall_s": wall,
+        "capacity_wf_per_s": report.capacity_wf_per_s,
+        "shed_fraction": report.shed_fractions(),
+        "p99_slowdown": {
+            sla: row["p99_slowdown"] for sla, row in sorted(classes.items())
+        },
+        "problems": list(report.problems),
+        # Deterministic counters: exact-matched by the compare gate.
+        "exact": {
+            "submitted": totals["submitted"],
+            "admitted": totals["admitted"],
+            "shed": totals["shed"],
+            "completed": totals["completed"],
+            "shed_gold": classes.get("gold", {}).get("shed", 0),
+            "shed_silver": classes.get("silver", {}).get("shed", 0),
+            "shed_best_effort": classes.get("best_effort", {}).get("shed", 0),
+            "peak_backlog": report.peak_backlog,
+            "brownout_transitions": len(report.brownout_transitions),
+        },
+    }
+    return {
+        "schema": SCHEMA_VERSION,
+        "generated_by": "repro-bench --suite service",
+        "suite": "service",
+        "quick": quick,
+        "seed": seed,
+        "machine": {
+            "python": platform.python_version(),
+            "implementation": sys.implementation.name,
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count() or 1,
+        },
+        "benchmarks": {"service_soak": sample},
+    }
