@@ -30,6 +30,11 @@ CL007     a blocking call (``time.sleep``, ``subprocess``, thread
           ``join``/foreign ``wait``) is made while holding a lock
 CL008     bare ``time.sleep`` polling inside a loop where an ``Event`` /
           ``Condition`` wait belongs
+CL009     an element of *another* class's guarded state — reached through
+          an annotated container (``self._topics: Dict[str, Topic]``) —
+          has a ``_guarded_by_`` attribute accessed outside that
+          element's own lock (holding the container's lock is not
+          enough; the ``Broker.stats()`` regression was exactly this)
 ========  ==================================================================
 
 Run via ``repro-lint --code`` or the tier-1 test
@@ -62,6 +67,7 @@ RULES: Dict[str, str] = {
     "CL006": "inconsistent lock-acquisition order (deadlock-prone)",
     "CL007": "blocking call while holding a lock",
     "CL008": "time.sleep polling where an Event/Condition wait belongs",
+    "CL009": "container element's guarded attribute accessed outside its lock",
 }
 
 ALL_RULES: FrozenSet[str] = frozenset(RULES)
@@ -69,7 +75,7 @@ ALL_RULES: FrozenSet[str] = frozenset(RULES)
 #: The lock-discipline rules, implemented in
 #: :mod:`repro.analysis.concurrency.lints` (imported lazily).
 CONCURRENCY_RULES: FrozenSet[str] = frozenset(
-    {"CL005", "CL006", "CL007", "CL008"}
+    {"CL005", "CL006", "CL007", "CL008", "CL009"}
 )
 
 #: Sub-packages that must be bit-deterministic (CL001/CL002).

@@ -1,11 +1,19 @@
-"""Lock-discipline AST lints (CL005–CL008).
+"""Lock-discipline AST lints (CL005–CL009).
 
 Dispatched from :mod:`repro.analysis.codelint` for the threaded
 sub-packages (``repro/dewe``, ``repro/mq``); rule ids live in that
 module's ``RULES`` table.  The analyses are lexical over one class at a
 time — deliberately so: the daemons keep their locking self-contained,
 and a lexical checker stays precise enough to run with zero suppressions
-in the tier-1 suite.
+in the tier-1 suite.  The one exception is CL009, which is a
+*module-level* pass: CL005's per-class view is structurally blind to a
+method of class A reading ``b.attr`` where ``b`` is an element of class
+B reached through a container (the ``Broker.stats()`` regression read
+``topic.published`` under only the broker's lock); CL009 infers element
+classes from ``__init__`` container annotations
+(``self._topics: Dict[str, Topic] = {}``) and requires every guarded
+attribute of such an element to be accessed under the *element's* own
+lock.
 
 CL005 uses two in-code annotations, in the spirit of clang's
 thread-safety analysis:
@@ -309,10 +317,237 @@ def _cycle_findings(
     return findings
 
 
+# -- CL009: cross-object guarded access through containers -------------------
+def _element_types(
+    class_def: ast.ClassDef, guarded_classes: Dict[str, Dict[str, str]]
+) -> Dict[str, str]:
+    """``self.<attr>`` -> guarded element class, from ``__init__``
+    annotations (``self._topics: Dict[str, Topic] = {}``).  Direct
+    references (``self._topic: Topic = ...``) count too."""
+    out: Dict[str, str] = {}
+    for stmt in class_def.body:
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if stmt.name != "__init__":
+            continue
+        self_name = _self_name(stmt)
+        if self_name is None:
+            continue
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.AnnAssign):
+                continue
+            target = node.target
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == self_name
+            ):
+                continue
+            for name_node in ast.walk(node.annotation):
+                if (
+                    isinstance(name_node, ast.Name)
+                    and name_node.id in guarded_classes
+                ):
+                    out[target.attr] = name_node.id
+                    break
+    return out
+
+
+class _CrossObjectScan:
+    """One method pass binding container elements to their classes.
+
+    Tracks locals that provably alias an element of an annotated guarded
+    container — ``t = self._topics[name]``, ``for _n, t in
+    self._topics.items()``, comprehension generators — and flags any
+    access to one of the element's ``_guarded_by_`` attributes made
+    outside a lexical ``with t.<its lock>:`` block.
+    """
+
+    #: Container methods whose iteration/return yields (key, element).
+    _ITEMS = frozenset({"items"})
+    #: Container methods whose iteration/return yields elements.
+    _VALUES = frozenset({"values"})
+    #: Container methods returning one element.
+    _GETTERS = frozenset({"get", "pop", "setdefault"})
+
+    def __init__(
+        self,
+        class_name: str,
+        path: str,
+        self_name: str,
+        elements: Dict[str, str],
+        guarded_classes: Dict[str, Dict[str, str]],
+    ) -> None:
+        self.class_name = class_name
+        self.path = path
+        self.self_name = self_name
+        self.elements = elements
+        self.guarded_classes = guarded_classes
+        self.findings: List[LintFinding] = []
+        self._reported: Set[Tuple[str, int]] = set()
+
+    def _is_container(self, node: ast.AST) -> Optional[str]:
+        """The element class when ``node`` is ``self.<container attr>``."""
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == self.self_name
+        ):
+            return self.elements.get(node.attr)
+        return None
+
+    def _element_of(self, node: ast.AST) -> Optional[str]:
+        """The element class an *expression* evaluates to, if inferable."""
+        if isinstance(node, ast.Subscript):
+            return self._is_container(node.value)
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in self._GETTERS:
+                return self._is_container(node.func.value)
+        return None
+
+    def _iter_binding(
+        self, target: ast.AST, iter_node: ast.AST
+    ) -> Optional[Tuple[str, str]]:
+        """``(var, element class)`` bound by ``for target in iter_node``."""
+        klass = None
+        var_node: Optional[ast.AST] = None
+        if isinstance(iter_node, ast.Call) and isinstance(
+            iter_node.func, ast.Attribute
+        ):
+            if iter_node.func.attr in self._VALUES:
+                klass = self._is_container(iter_node.func.value)
+                var_node = target
+            elif iter_node.func.attr in self._ITEMS:
+                klass = self._is_container(iter_node.func.value)
+                if isinstance(target, ast.Tuple) and len(target.elts) == 2:
+                    var_node = target.elts[1]
+        if klass is not None and isinstance(var_node, ast.Name):
+            return var_node.id, klass
+        return None
+
+    def scan(self, node: ast.AST, env: Dict[str, str], held: Set[str]) -> None:
+        if isinstance(node, ast.With):
+            inner = set(held)
+            for item in node.items:
+                dotted = _dotted(item.context_expr)
+                if dotted is not None:
+                    inner.add(dotted)
+                self.scan(item.context_expr, env, held)
+            for stmt in node.body:
+                self.scan(stmt, env, inner)
+            return
+        if isinstance(node, ast.Assign):
+            klass = self._element_of(node.value)
+            self.scan(node.value, env, held)
+            if klass is not None:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        env[target.id] = klass
+            return
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            self.scan(node.iter, env, held)
+            binding = self._iter_binding(node.target, node.iter)
+            if binding is not None:
+                env[binding[0]] = binding[1]
+            for stmt in node.body + node.orelse:
+                self.scan(stmt, env, held)
+            return
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            comp_env = dict(env)
+            for gen in node.generators:
+                self.scan(gen.iter, comp_env, held)
+                binding = self._iter_binding(gen.target, gen.iter)
+                if binding is not None:
+                    comp_env[binding[0]] = binding[1]
+                for cond in gen.ifs:
+                    self.scan(cond, comp_env, held)
+            if isinstance(node, ast.DictComp):
+                self.scan(node.key, comp_env, held)
+                self.scan(node.value, comp_env, held)
+            else:
+                self.scan(node.elt, comp_env, held)
+            return
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in env
+        ):
+            klass = env[node.value.id]
+            guarded = self.guarded_classes[klass]
+            if node.attr in guarded:
+                lock = guarded[node.attr]
+                if f"{node.value.id}.{lock}" not in held:
+                    mark = (node.attr, node.lineno)
+                    if mark not in self._reported:
+                        self._reported.add(mark)
+                        self.findings.append(
+                            LintFinding(
+                                "CL009",
+                                self.path,
+                                node.lineno,
+                                f"{self.class_name}: {klass}.{node.attr} of "
+                                f"element {node.value.id!r} is guarded by "
+                                f"{klass}'s {lock}, accessed without it — "
+                                f"holding the container's lock is not "
+                                f"enough (wrap in `with "
+                                f"{node.value.id}.{lock}:` or call a "
+                                f"locking accessor)",
+                            )
+                        )
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.scan(child, {}, set())
+            elif isinstance(child, ast.Lambda):
+                self.scan(child, dict(env), set())
+            else:
+                self.scan(child, env, held)
+
+
+def _cross_object_findings(
+    tree: ast.Module, path: str
+) -> List[LintFinding]:
+    """CL009 over one module: infer container element classes, then
+    require cross-object guarded accesses to hold the element's lock."""
+    guarded_classes: Dict[str, Dict[str, str]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            mapping = _guarded_map(node)
+            if mapping:
+                guarded_classes[node.name] = mapping
+    if not guarded_classes:
+        return []
+    findings: List[LintFinding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        elements = _element_types(node, guarded_classes)
+        if not elements:
+            continue
+        for stmt in node.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            self_name = _self_name(stmt)
+            if self_name is None:
+                continue
+            scan = _CrossObjectScan(
+                class_name=node.name,
+                path=path,
+                self_name=self_name,
+                elements=elements,
+                guarded_classes=guarded_classes,
+            )
+            for body_stmt in stmt.body:
+                scan.scan(body_stmt, {}, set())
+            findings.extend(scan.findings)
+    return findings
+
+
 def lint_concurrency(
     tree: ast.Module, path: str, active: FrozenSet[str]
 ) -> List[LintFinding]:
-    """Run the CL005–CL008 analyses that are in ``active`` over ``tree``."""
+    """Run the CL005–CL009 analyses that are in ``active`` over ``tree``."""
     findings: List[LintFinding] = []
     for node in ast.walk(tree):
         if not isinstance(node, ast.ClassDef):
@@ -344,6 +579,8 @@ def lint_concurrency(
             findings.extend(_cycle_findings(node.name, path, class_edges))
     if "CL008" in active:
         _sleep_in_loops(tree, path, findings)
+    if "CL009" in active:
+        findings.extend(_cross_object_findings(tree, path))
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
 

@@ -41,6 +41,8 @@ from repro.liveness import (
     new_liveness_stats,
 )
 from repro.mq.broker import Broker
+from repro.mq.priority import RepriorityPolicy, base_band, rank_for_sla
+from repro.mq.tcpbroker import RemoteBroker
 from repro.mq.messages import (
     TOPIC_ACK,
     TOPIC_DISPATCH,
@@ -76,6 +78,7 @@ class MasterDaemon:
         "_delayed": "_state_lock",
         "_delayed_seq": "_state_lock",
         "_assignments": "_state_lock",
+        "_last_sweep": "_state_lock",
         "liveness": "_state_lock",
         "shed_submissions": "_state_lock",
         "_events": "_events_lock",
@@ -86,10 +89,16 @@ class MasterDaemon:
         broker: Broker,
         config: Optional[DeweConfig] = None,
         retry: Optional[RetryPolicy] = None,
+        repriority: Optional[RepriorityPolicy] = None,
     ):
         self.broker = broker
         self.config = config or DeweConfig()
         self.retry = retry or RetryPolicy()
+        #: Live-reprioritization policy (``None`` keeps every dispatch at
+        #: priority 0.0 — FIFO order).  Set once here, never rebound.
+        self._repriority = repriority
+        #: Wall-clock time of the last aging sweep (``_check_timeouts``).
+        self._last_sweep = time.monotonic()
         self.states: Dict[str, WorkflowState] = {}
         #: Rejected submissions: name -> reason (duplicate, invalid DAG...).
         self.rejected: Dict[str, str] = {}
@@ -278,14 +287,21 @@ class MasterDaemon:
         return master
 
     # -- internals ----------------------------------------------------------
+    def _priority_of(self, state: WorkflowState, job_id: str, now: float) -> float:
+        """SLA band + bounded heuristic score (0.0 with the policy off)."""
+        if self._repriority is None:
+            return 0.0
+        return state.job_priority(
+            job_id, now, self._repriority, base_band(rank_for_sla(state.sla))
+        )
+
     def _dispatch(self, state: WorkflowState, job_id: str) -> None:
         """Publish one eligible job.
 
         Requires: ``_state_lock``
         """
-        state.mark_dispatched(
-            job_id, time.monotonic(), force=self._lease is not None
-        )
+        now = time.monotonic()
+        state.mark_dispatched(job_id, now, force=self._lease is not None)
         self.broker.publish(
             TOPIC_DISPATCH,
             JobDispatch(
@@ -295,7 +311,37 @@ class MasterDaemon:
                 job=state.workflow.job(job_id),
             ),
             tag=(state.tenant, state.sla) if state.tenant else None,
+            priority=self._priority_of(state, job_id, now),
         )
+
+    def _rerank(self, state: WorkflowState, now: float) -> None:
+        """Re-score the member's still-queued dispatches broker-side
+        (the OSPREY ``asynch_repriority`` pattern — called as
+        completions land and from the periodic aging sweep).
+
+        Requires: ``_state_lock``
+        """
+        remote = isinstance(self.broker, RemoteBroker)
+        for job_id in state.queued_jobs():
+            prio = state.job_priority(
+                job_id, now, self._repriority,
+                base_band(rank_for_sla(state.sla)),
+            )
+            if remote:
+                # Selectors cannot cross the wire: the TCP broker retags
+                # by (workflow, job) fields via a PriorityUpdate message.
+                self.broker.reprioritize(
+                    TOPIC_DISPATCH, prio,
+                    workflow_name=state.name, job_id=job_id,
+                )
+            else:
+                self.broker.reprioritize(
+                    TOPIC_DISPATCH,
+                    lambda m, n=state.name, j=job_id: (
+                        m.workflow_name == n and m.job_id == j
+                    ),
+                    prio,
+                )
 
     def _republish(self, state: WorkflowState, job_id: str) -> None:
         """Re-dispatch after the policy's backoff (immediately if none).
@@ -368,8 +414,9 @@ class MasterDaemon:
             msg.workflow, self.config.default_timeout, retry=self.retry,
             tenant=msg.tenant, sla=msg.sla,
         )
+        state.arrival = time.monotonic()
         self.states[state.name] = state
-        self._submit_times[state.name] = time.monotonic()
+        self._submit_times[state.name] = state.arrival
         for job_id in state.initial_ready():
             self._dispatch(state, job_id)
         if state.is_settled:  # degenerate empty-DAG guard
@@ -426,6 +473,8 @@ class MasterDaemon:
             self._assignments.pop((ack.workflow_name, ack.job_id), None)
             for job_id in state.on_completed(ack.job_id, ack.attempt):
                 self._dispatch(state, job_id)
+            if self._repriority is not None and not state.is_settled:
+                self._rerank(state, now)
             if state.is_settled:
                 self._finish(state)
         else:  # FAILED: resubmission with backoff, or dead-letter
@@ -452,6 +501,18 @@ class MasterDaemon:
         if self._lease is not None:
             for worker in self._lease.expire(now):
                 self._fence_worker(worker, now)
+        policy = self._repriority
+        if (
+            policy is not None
+            and policy.interval > 0
+            and now - self._last_sweep >= policy.interval
+        ):
+            # Aging sweep: re-score every queued job so starving work
+            # accrues enough age to outrank fresher peers of its band.
+            self._last_sweep = now
+            for state in self.states.values():
+                if not state.is_settled:
+                    self._rerank(state, now)
 
     def _fence_worker(self, worker: str, now: float) -> None:
         """Fence a lapsed worker's lease and requeue its in-flight jobs.

@@ -88,6 +88,17 @@ class WorkflowState:
         #: producer job id -> consumers WAITING on its re-completion to
         #: regenerate a lost/corrupt intermediate file.
         self.regen_waiters: Dict[str, Set[str]] = {}
+        #: Live-reprioritization inputs (set by the engine at admission;
+        #: only priority-aware runs read them).  ``arrival`` anchors the
+        #: member's deadline — ``arrival + deadline_factor * cp_total``
+        #: — and ``queued_at`` records each job's first dispatch time
+        #: for the starvation-avoidance aging term.  ``queued_at`` is
+        #: deliberately not snapshotted: after a failover ages restart
+        #: from the takeover, which is deterministic within a run.
+        self.arrival = 0.0
+        self.deadline_factor = 1.0
+        self.queued_at: Dict[str, float] = {}
+        self._cp_total: Optional[float] = None
         self._n_completed = 0
         self._n_dead = 0
         # Copy-on-write per-member state: the shared skeleton provides the
@@ -156,10 +167,43 @@ class WorkflowState:
         only covers validly-acked assignments).
         """
         self._trace("write", "state.mark_dispatched")
+        # First dispatch time, kept across resubmissions: the aging term
+        # measures how long the job has been waiting overall.
+        self.queued_at.setdefault(job_id, now)
         if not (force or self.retry.redispatch_lost):
             return
         if self.status[job_id] is JobStatus.QUEUED:
             self.deadline[job_id] = now + self._timeout_of(job_id)
+
+    # -- live reprioritization ---------------------------------------------
+    def queued_jobs(self) -> List[str]:
+        """Job ids currently QUEUED (published, not yet running), in the
+        deterministic status-map insertion order."""
+        self._trace("read", "state.queued_jobs")
+        return [
+            job_id
+            for job_id, status in self.status.items()
+            if status is JobStatus.QUEUED
+        ]
+
+    def job_priority(self, job_id: str, now: float, policy, base: float = 0.0) -> float:
+        """Current priority of one queued job under ``policy``.
+
+        ``base`` is the SLA band (:func:`repro.mq.priority.base_band`);
+        the policy adds a bounded score from the job's critical-path
+        seconds remaining, the member's deadline slack
+        (``arrival + deadline_factor * cp_total - now - cp_remaining``)
+        and the job's queue age.  Pure function of simulated time and
+        structure — same seed, same priorities.
+        """
+        skeleton = self.workflow.skeleton()
+        cp_remaining = skeleton.critical_path().get(job_id, 0.0)
+        total = self._cp_total
+        if total is None:
+            total = self._cp_total = skeleton.critical_path_total()
+        slack = (self.arrival + self.deadline_factor * total) - now - cp_remaining
+        age = now - self.queued_at.get(job_id, now)
+        return base + policy.score(cp_remaining, slack, age)
 
     def on_running(self, job_id: str, attempt: int, now: float) -> bool:
         """Handle a running ack; returns False for stale/duplicate acks."""
@@ -193,6 +237,7 @@ class WorkflowState:
             return []
         self.status[job_id] = JobStatus.COMPLETED
         self.deadline.pop(job_id, None)
+        self.queued_at.pop(job_id, None)
         self._n_completed += 1
         newly_ready: List[str] = []
         waiters = self.regen_waiters.pop(job_id, None)

@@ -47,6 +47,7 @@ from repro.liveness import (
     new_liveness_stats,
 )
 from repro.mq.chaosbroker import ChaosSimBroker, MessageChaos
+from repro.mq.priority import RepriorityPolicy, base_band, rank_for_sla
 from repro.mq.simbroker import SimBroker
 from repro.recovery.journal import Journal, MasterCrash
 from repro.sim import AnyOf, Interrupt, Process
@@ -126,6 +127,7 @@ class PullEngine(EngineBase):
         admission: Optional[AdmissionControl] = None,
         failover: Optional[MasterFailoverModel] = None,
         service: Optional[ServiceAdmissionPolicy] = None,
+        repriority: Optional[RepriorityPolicy] = None,
     ):
         """``autoscaler`` is an optional controller — a generator function
         taking an :class:`ElasticAPI` — that may start and (gracefully)
@@ -177,6 +179,18 @@ class PullEngine(EngineBase):
         ``admission`` (the policy embeds its own gate).  The policy
         object outlives master incarnations, so quota and fair-share
         state survive a failover.
+
+        Priority knob: ``repriority`` is a
+        :class:`~repro.mq.priority.RepriorityPolicy` turning the
+        dispatching topic into a live priority queue.  Each dispatch is
+        published at its SLA band (gold structurally above best-effort,
+        :func:`~repro.mq.priority.base_band`) plus a bounded heuristic
+        score from critical-path remaining, deadline slack and queue
+        age; every completion re-scores the member's still-queued jobs
+        broker-side (the OSPREY ``asynch_repriority`` pattern), and
+        ``interval > 0`` adds a periodic master sweep so aging can lift
+        starving work.  Without this knob all publishes stay at
+        priority 0.0, which is byte-identical to FIFO order.
         """
         super().__init__(spec, config)
         if failover is not None and journal is None:
@@ -201,6 +215,7 @@ class PullEngine(EngineBase):
         self.admission = admission
         self.failover = failover
         self.service = service
+        self.repriority = repriority
 
     def run(self, ensemble: Ensemble) -> EngineResult:
         sim, cluster, thread_logs = self._setup(ensemble)
@@ -236,6 +251,7 @@ class PullEngine(EngineBase):
         admission = self.admission
         failover = self.failover
         service = self.service
+        repriority = self.repriority
         live_stats = new_liveness_stats()
         if service is not None:
             # The policy accumulates its counters straight into the
@@ -369,6 +385,10 @@ class PullEngine(EngineBase):
                 job_id, sim.now, force=liveness_cfg is not None
             )
             message = (state.name, job_id, state.attempt[job_id])
+            priority = (
+                state.job_priority(job_id, sim.now, repriority, wf_base(state))
+                if repriority is not None else 0.0
+            )
             if service is not None:
                 # Class-aware backstop: a bounded dispatch topic at
                 # capacity evicts the most sheddable queued job in favor
@@ -377,9 +397,34 @@ class PullEngine(EngineBase):
                     _DISPATCH, message,
                     klass=service.rank_of(state.name),
                     tag=(state.tenant, state.sla),
+                    priority=priority,
                 )
             else:
-                broker.publish(_DISPATCH, message)
+                broker.publish(_DISPATCH, message, priority=priority)
+
+        def wf_base(state: WorkflowState) -> float:
+            """The member's SLA priority band (0.0 for untagged work)."""
+            if service is not None:
+                return base_band(service.rank_of(state.name))
+            return base_band(rank_for_sla(state.sla))
+
+        def rerank(state: WorkflowState) -> None:
+            """Re-score the member's still-queued dispatches broker-side.
+
+            Called as completions land (and from the aging sweep): each
+            queued job's critical-path/slack/age score is recomputed at
+            the current simulated time and pushed into the priority
+            topic as a retag — consumed-but-unsettled deliveries are
+            naturally untouched (they are no longer in the topic)."""
+            now = sim.now
+            base = wf_base(state)
+            for job_id in state.queued_jobs():
+                prio = state.job_priority(job_id, now, repriority, base)
+                broker.reprioritize(
+                    _DISPATCH,
+                    lambda m, n=state.name, j=job_id: m[0] == n and m[1] == j,
+                    prio,
+                )
 
         def redispatch(state: WorkflowState, job_id: str) -> None:
             """Re-dispatch after the retry policy's backoff."""
@@ -440,6 +485,8 @@ class PullEngine(EngineBase):
                 wf, timeout, validate=False, retry=retry_policy,
                 tenant=tenant, sla=sla,
             )
+            state.arrival = sim.now
+            state.deadline_factor = timeout_factor
             states[wf.name] = state
             spans.setdefault(wf.name, (sim.now, float("nan")))
             for job_id in state.initial_ready():
@@ -608,6 +655,8 @@ class PullEngine(EngineBase):
                 jlog("ack-complete", name, job_id, attempt)
                 for child_id in state.on_completed(job_id, attempt):
                     dispatch(state, child_id)
+                if repriority is not None and name not in finished:
+                    rerank(state)
                 maybe_finish(state)
 
         def ack_loop():
@@ -650,6 +699,21 @@ class PullEngine(EngineBase):
                         redispatch(state, job_id)
                     collect_dead(state)
                     maybe_finish(state)
+
+        def repriority_sweep_loop():
+            """Periodic re-score of every queued job (starvation
+            avoidance): this is where the aging term takes effect — a
+            job that keeps losing ties accrues age until it outranks
+            fresher work of its band."""
+            interval = repriority.interval
+            while not done.triggered:
+                try:
+                    yield sim.timeout(interval)
+                except Interrupt:
+                    return  # primary master failed
+                for name in sorted(states):
+                    if name not in finished:
+                        rerank(states[name])
 
         # -- liveness protocol (master side) -----------------------------------
         def on_beat(msg) -> None:
@@ -983,6 +1047,8 @@ class PullEngine(EngineBase):
             if lease is not None:
                 master_procs.append(sim.process(heartbeat_loop()))
                 master_procs.append(sim.process(lease_sweep_loop()))
+            if repriority is not None and repriority.interval > 0:
+                master_procs.append(sim.process(repriority_sweep_loop()))
 
         def _primary_die() -> None:
             if done.triggered:
@@ -1189,10 +1255,14 @@ class PullEngine(EngineBase):
             or admission is not None
             or service is not None
             or failover is not None
+            or repriority is not None
             or live_stats["partitions"]
         ):
             liveness_stats = dict(live_stats)
             liveness_stats["dead_letter_depth"] = len(dead_letters)
+            # Shed-record ledger overflow (bounded deque): non-zero means
+            # the oldest shed evidence was dropped, not that sheds were.
+            liveness_stats["shed_record_drops"] = broker.dropped_records
         return EngineResult(
             engine=self.name,
             spec=self.spec,

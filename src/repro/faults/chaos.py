@@ -55,6 +55,7 @@ from repro.liveness import (
     ServiceAdmissionPolicy,
 )
 from repro.mq.chaosbroker import MessageChaos
+from repro.mq.priority import RepriorityPolicy
 from repro.recovery.crash import resume_until_complete
 from repro.recovery.journal import Journal
 from repro.workflow import Ensemble
@@ -156,6 +157,15 @@ class ChaosScenario:
     #: The service policy's embedded backlog gate (jobs).
     service_max_pending: int = 24
     service_brownout_sustain: float = 2.0
+    # -- live reprioritization (repro.mq.priority; docs/FAULTS.md) ---------
+    #: Run the dispatch topic as a live priority queue: SLA-banded
+    #: publishes plus completion-triggered re-scoring of still-queued
+    #: jobs (the OSPREY ``asynch_repriority`` pattern).
+    repriority: bool = False
+    #: Starvation-avoidance aging: priority points per queued second.
+    repriority_aging: float = 0.0
+    #: Re-score/aging sweep period; 0 = completion-triggered only.
+    repriority_interval: float = 0.0
     #: Price-indexed spot hazard breakpoints ``(time, multiplier)``;
     #: empty keeps the flat-rate hazard (byte-identical traces).
     price_hazard: Tuple[Tuple[float, float], ...] = ()
@@ -384,6 +394,14 @@ class ChaosScenario:
             if self.failover_at is not None
             else None
         )
+        repriority = (
+            RepriorityPolicy(
+                aging_rate=self.repriority_aging,
+                interval=self.repriority_interval,
+            )
+            if self.repriority
+            else None
+        )
         return PullEngine(
             self.spec(),
             config=self.run_config(),
@@ -398,6 +416,7 @@ class ChaosScenario:
             admission=admission,
             failover=failover,
             service=service,
+            repriority=repriority,
         )
 
 
@@ -823,6 +842,32 @@ SCENARIOS: Dict[str, ChaosScenario] = {
             service_burst_on=4.0,
             service_burst_off=4.0,
             service_max_pending=24,
+            max_slowdown=6.0,
+            slowdown_slack=60.0,
+        ),
+        ChaosScenario(
+            name="asynch-repriority",
+            description="OSPREY-style asynch_repriority: the overloaded "
+            "multi-tenant service runs its dispatch topic as a live "
+            "priority queue — SLA bands keep gold structurally ahead of "
+            "best_effort, every completion re-scores the member's "
+            "still-queued jobs (critical path remaining + deadline "
+            "slack), and the periodic aging sweep lifts starving "
+            "best-effort work so nothing admitted waits forever.",
+            size=0.3,
+            n_nodes=2,
+            timeout=20.0,
+            check_interval=0.5,
+            service_horizon=20.0,
+            service_gold_rate=1.0,
+            service_silver_rate=1.6,
+            service_burst_rate=10.0,
+            service_burst_on=4.0,
+            service_burst_off=4.0,
+            service_max_pending=24,
+            repriority=True,
+            repriority_aging=5.0,
+            repriority_interval=2.0,
             max_slowdown=6.0,
             slowdown_slack=60.0,
         ),

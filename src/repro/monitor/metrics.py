@@ -105,6 +105,7 @@ def robustness_metrics(result: EngineResult) -> Dict[str, int]:
     """
     stats = new_liveness_stats()
     stats["dead_letter_depth"] = len(result.dead_letters)
+    stats["shed_record_drops"] = 0  # bounded shed-ledger overflow count
     stats.update(getattr(result, "liveness_stats", None) or {})
     return stats
 

@@ -16,7 +16,7 @@ with a seeded :class:`~repro.mq.chaosbroker.MessageChaos` band that
 drops, duplicates or delays published messages.
 """
 
-from repro.mq.broker import Broker, Topic
+from repro.mq.broker import SHED_RECORD_CAP, Broker, Topic
 from repro.mq.chaosbroker import ChaosBroker, ChaosSimBroker, MessageChaos
 from repro.mq.tcpbroker import BrokerServer, RemoteBroker
 from repro.mq.messages import (
@@ -27,9 +27,11 @@ from repro.mq.messages import (
     AckKind,
     JobAck,
     JobDispatch,
+    PriorityUpdate,
     WorkerHeartbeat,
     WorkflowSubmission,
 )
+from repro.mq.priority import PRIORITY_BAND, RepriorityPolicy, base_band, rank_for_sla
 from repro.mq.simbroker import SimBroker
 
 __all__ = [
@@ -39,9 +41,13 @@ __all__ = [
     "ChaosBroker",
     "ChaosSimBroker",
     "MessageChaos",
+    "PRIORITY_BAND",
+    "PriorityUpdate",
     "RemoteBroker",
+    "RepriorityPolicy",
     "JobAck",
     "JobDispatch",
+    "SHED_RECORD_CAP",
     "SimBroker",
     "TOPIC_ACK",
     "TOPIC_DISPATCH",
@@ -50,4 +56,6 @@ __all__ = [
     "Topic",
     "WorkerHeartbeat",
     "WorkflowSubmission",
+    "base_band",
+    "rank_for_sla",
 ]

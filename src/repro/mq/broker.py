@@ -1,56 +1,74 @@
 """Thread-safe in-process topic broker (the RabbitMQ stand-in).
 
 Work-queue semantics per topic: ``publish`` appends, ``consume`` pops the
-oldest message and makes it invisible to every other consumer — exactly
-the check-out behaviour DEWE v2 relies on ("the job is no longer visible
-to other worker nodes", paper §III.C).  There is no broker-side ack or
-redelivery: lost jobs are recovered by the master daemon's timeout
-mechanism, as in the paper.
+best-ranked message and makes it invisible to every other consumer —
+exactly the check-out behaviour DEWE v2 relies on ("the job is no longer
+visible to other worker nodes", paper §III.C).  There is no broker-side
+ack or redelivery: lost jobs are recovered by the master daemon's
+timeout mechanism, as in the paper.
 
-Race detection: messages travel internally as ``(seq, message)``
-envelopes, numbered per topic at publish time under the topic lock.  The
-sequence number lets the happens-before detector pair each ``send`` with
-exactly the ``recv`` that took it — even with competing consumers — so
-"the producer's writes are visible to the message's consumer" becomes a
-provable edge instead of an assumption.  Envelopes never escape:
-``consume`` unwraps before returning.
+Topics are priority queues: ``publish(..., priority=...)`` ranks a
+message above the default band (higher first; messages of equal priority
+leave in publish order, tie-broken by the per-topic publish sequence),
+and ``reprioritize`` retags already-queued messages in place so the
+master can re-rank still-queued jobs as completions land.
+
+Race detection: messages travel internally as heap entries carrying the
+per-topic publish sequence, numbered at publish time under the topic
+condition.  The sequence number lets the happens-before detector pair
+each ``send`` with exactly the ``recv`` that took it — even with
+competing consumers — so "the producer's writes are visible to the
+message's consumer" becomes a provable edge instead of an assumption.
+Entries never escape: ``consume`` unwraps before returning.
 """
 
 from __future__ import annotations
 
-import queue
+import heapq
 import threading
-from typing import Any, Dict, Optional, Tuple
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
 
 import repro.analysis.concurrency.recorder as _conc
 
-__all__ = ["Topic", "Broker"]
+__all__ = ["SHED_RECORD_CAP", "Topic", "Broker"]
+
+#: Upper bound on retained shed-attribution records per topic.  The
+#: ``shed`` counters stay exact over arbitrarily long soaks; only the
+#: per-record ring is capped (``dropped_records`` counts the discards).
+SHED_RECORD_CAP = 256
 
 
 class Topic:
-    """One named FIFO message stream.
+    """One named priority message stream.
 
-    ``_lock`` guards the counters and makes ``seq`` assignment atomic
-    with the enqueue, so envelope numbers are in queue order (the
-    detector's send/recv pairing relies on that).  It is deliberately a
-    *plain* lock even under ``REPRO_RACEDETECT``: tracing it would add
+    ``_cond`` (a condition over a plain lock) guards the heap and the
+    counters and makes ``seq`` assignment atomic with the enqueue, so
+    envelope numbers are in arrival order (the detector's send/recv
+    pairing relies on that).  It is deliberately built on a *plain* lock
+    even under ``REPRO_RACEDETECT``: tracing it would add
     publisher→consumer happens-before edges through the counters and
     mask real races that only the message itself should order.
     """
 
     _guarded_by_ = {
-        "published": "_lock",
-        "consumed": "_lock",
-        "shed": "_lock",
-        "shed_records": "_lock",
-        "capacity": "_lock",
+        "published": "_cond",
+        "consumed": "_cond",
+        "shed": "_cond",
+        "shed_records": "_cond",
+        "dropped_records": "_cond",
+        "capacity": "_cond",
+        "_heap": "_cond",
     }
 
     def __init__(self, name: str, capacity: Optional[int] = None):
         if capacity is not None and capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.name = name
-        self._queue: "queue.Queue[Tuple[int, Any]]" = queue.Queue()
+        #: Entries are ``[-priority, seq, message]`` — lists, so
+        #: ``reprioritize`` can retag in place; ``seq`` is unique, so the
+        #: heap never compares messages.
+        self._heap: List[list] = []
         self.published = 0
         self.consumed = 0
         #: Backlog bound; ``None`` = unbounded.  Publishes at the bound
@@ -60,19 +78,26 @@ class Topic:
         self.shed = 0
         #: Attribution tags of shed publishes (service plane: the
         #: ``(tenant, sla)`` of each message lost at the capacity bound),
-        #: in shed order, for post-mortems.
-        self.shed_records: list = []
-        self._lock = threading.Lock()
+        #: in shed order, for post-mortems.  Bounded to the newest
+        #: :data:`SHED_RECORD_CAP` tags.
+        self.shed_records: Deque[Any] = deque(maxlen=SHED_RECORD_CAP)
+        #: How many shed records the cap discarded (oldest-first).
+        self.dropped_records = 0
+        self._cond = threading.Condition(threading.Lock())
         rec = _conc.active()
         self._key = (
             rec.new_key("topic", name) if rec is not None
             else ("topic", name, 0)
         )
 
-    def publish(self, message: Any, tag: Any = None) -> bool:
-        with self._lock:
-            if self.capacity is not None and self._queue.qsize() >= self.capacity:
+    def publish(
+        self, message: Any, tag: Any = None, priority: float = 0.0
+    ) -> bool:
+        with self._cond:
+            if self.capacity is not None and len(self._heap) >= self.capacity:
                 self.shed += 1
+                if len(self.shed_records) == SHED_RECORD_CAP:
+                    self.dropped_records += 1
                 self.shed_records.append(tag)
                 return False
             self.published += 1
@@ -80,35 +105,65 @@ class Topic:
             rec = _conc.active()
             if rec is not None:
                 rec.on_send(self._key, seq)
-            # Enqueue under the lock: an unbounded put never blocks, and
-            # atomicity keeps envelope numbers in FIFO order.
-            self._queue.put((seq, message))
+            # Enqueue under the condition: atomicity keeps envelope
+            # numbers in arrival order, and the notify hands the message
+            # to at most one blocked consumer.
+            heapq.heappush(self._heap, [-priority, seq, message])
+            self._cond.notify()
         return True
 
     def consume(self, timeout: Optional[float] = None) -> Optional[Any]:
-        """Pop the oldest message; ``None`` when empty after ``timeout``.
+        """Pop the best-ranked message; ``None`` when empty after
+        ``timeout``.
 
         ``timeout=None`` polls without blocking (returns immediately).
         """
-        try:
-            if timeout is None:
-                envelope = self._queue.get_nowait()
-            else:
-                envelope = self._queue.get(timeout=timeout)
-        except queue.Empty:
-            return None
-        seq, message = envelope
-        with self._lock:
+        with self._cond:
+            if not self._heap:
+                if timeout is None:
+                    return None
+                self._cond.wait_for(lambda: bool(self._heap), timeout)
+                if not self._heap:
+                    return None
+            _neg_priority, seq, message = heapq.heappop(self._heap)
             self.consumed += 1
             rec = _conc.active()
             if rec is not None:
                 rec.on_recv(self._key, seq)
         return message
 
+    def reprioritize(self, selector, priority: float) -> int:
+        """Retag every queued message for which ``selector(message)`` is
+        true with ``priority``, preserving arrival order within the new
+        priority level.  Atomic against concurrent publish/consume: a
+        racing consumer sees either the old or the new ranking, never a
+        torn heap.  Returns the number of messages retagged."""
+        moved = 0
+        with self._cond:
+            for entry in self._heap:
+                if entry[0] != -priority and selector(entry[2]):
+                    entry[0] = -priority
+                    moved += 1
+            if moved:
+                heapq.heapify(self._heap)
+        return moved
+
+    def snapshot(self) -> Dict[str, int]:
+        """Stats of this topic, read atomically under its own lock."""
+        with self._cond:
+            return {
+                "published": self.published,
+                "consumed": self.consumed,
+                "depth": len(self._heap),
+                "shed": self.shed,
+                "dropped_records": self.dropped_records,
+            }
+
     @property
     def depth(self) -> int:
-        """Approximate number of queued messages."""
-        return self._queue.qsize()
+        """Number of queued messages."""
+        with self._cond:
+            return len(self._heap)
 
 
 class Broker:
@@ -130,23 +185,29 @@ class Broker:
                 self._topics[name] = topic
             return topic
 
-    def publish(self, topic_name: str, message: Any, tag: Any = None) -> bool:
-        return self.topic(topic_name).publish(message, tag=tag)
+    def publish(
+        self,
+        topic_name: str,
+        message: Any,
+        tag: Any = None,
+        priority: float = 0.0,
+    ) -> bool:
+        return self.topic(topic_name).publish(message, tag=tag, priority=priority)
 
     def consume(self, topic_name: str, timeout: Optional[float] = None) -> Optional[Any]:
         return self.topic(topic_name).consume(timeout)
+
+    def reprioritize(self, topic_name: str, selector, priority: float) -> int:
+        """Retag queued messages of a topic (see :meth:`Topic.reprioritize`)."""
+        return self.topic(topic_name).reprioritize(selector, priority)
 
     def depth(self, topic_name: str) -> int:
         return self.topic(topic_name).depth
 
     def stats(self) -> Dict[str, Dict[str, int]]:
+        # Snapshot the topic table under the broker lock, then read each
+        # topic under its *own* lock — the per-topic counters are guarded
+        # by the topic condition, not by the broker lock (CL009).
         with self._lock:
-            return {
-                name: {
-                    "published": t.published,
-                    "consumed": t.consumed,
-                    "depth": t.depth,
-                    "shed": t.shed,
-                }
-                for name, t in self._topics.items()
-            }
+            topics = list(self._topics.items())
+        return {name: topic.snapshot() for name, topic in topics}

@@ -104,11 +104,14 @@ class ChaosSimBroker(SimBroker):
             )
 
     def publish(
-        self, topic_name: str, message: Any, klass=None, tag=None
+        self, topic_name: str, message: Any, klass=None, tag=None,
+        priority: float = 0.0,
     ) -> bool:
         chaos = self.chaos
         if not chaos.applies_to(topic_name):
-            return super().publish(topic_name, message, klass=klass, tag=tag)
+            return super().publish(
+                topic_name, message, klass=klass, tag=tag, priority=priority
+            )
         u = self._rng.random()
         if u < chaos.p_drop:
             self.dropped += 1
@@ -117,18 +120,27 @@ class ChaosSimBroker(SimBroker):
         if u < chaos.p_drop + chaos.p_duplicate:
             self.duplicated += 1
             self._record("mq-duplicate", topic_name, message)
-            ok = super().publish(topic_name, message, klass=klass, tag=tag)
-            super().publish(topic_name, message, klass=klass, tag=tag)
+            ok = super().publish(
+                topic_name, message, klass=klass, tag=tag, priority=priority
+            )
+            super().publish(
+                topic_name, message, klass=klass, tag=tag, priority=priority
+            )
             return ok
         if u < chaos.p_drop + chaos.p_duplicate + chaos.p_delay:
             self.delayed += 1
             self._record("mq-delay", topic_name, message)
             self.published += 1
+            # Deliver through the meta-preserving direct put so a delayed
+            # message keeps its class, tag and priority.
             self.sim.schedule_call(
-                self.latency + chaos.delay, self.topic(topic_name).put, message
+                self.latency + chaos.delay,
+                self._put_direct, topic_name, message, klass, tag, priority,
             )
             return True
-        return super().publish(topic_name, message, klass=klass, tag=tag)
+        return super().publish(
+            topic_name, message, klass=klass, tag=tag, priority=priority
+        )
 
 
 class ChaosBroker(Broker):
@@ -178,7 +190,7 @@ class ChaosBroker(Broker):
         self._partition_lock = threading.Lock()
         #: worker name -> tuple of topics cut for it.
         self._partitioned: dict = {}
-        #: Held (topic, message) pairs in publish order.
+        #: Held (topic, message, priority) triples in publish order.
         self._held: list = []
         self.held = 0
         self.flushed = 0
@@ -229,19 +241,21 @@ class ChaosBroker(Broker):
                         healed.add(worker)
             flush = []
             kept = []
-            for topic_name, message in self._held:
+            for topic_name, message, priority in self._held:
                 if getattr(message, "worker", None) in healed:
-                    flush.append((topic_name, message))
+                    flush.append((topic_name, message, priority))
                 else:
-                    kept.append((topic_name, message))
+                    kept.append((topic_name, message, priority))
             self._held = kept
             self.flushed += len(flush)
         # Re-publish outside the lock (the chaos band takes its own).
-        for topic_name, message in flush:
-            self.publish(topic_name, message)
+        for topic_name, message, priority in flush:
+            self.publish(topic_name, message, priority=priority)
         return len(flush)
 
-    def _hold_if_partitioned(self, topic_name: str, message: Any) -> bool:
+    def _hold_if_partitioned(
+        self, topic_name: str, message: Any, priority: float
+    ) -> bool:
         worker = getattr(message, "worker", None)
         if worker is None:
             return False
@@ -249,16 +263,22 @@ class ChaosBroker(Broker):
             cut = self._partitioned.get(worker)
             if cut is None or topic_name not in cut:
                 return False
-            self._held.append((topic_name, message))
+            self._held.append((topic_name, message, priority))
             self.held += 1
             return True
 
-    def publish(self, topic_name: str, message: Any, tag: Any = None) -> bool:
+    def publish(
+        self,
+        topic_name: str,
+        message: Any,
+        tag: Any = None,
+        priority: float = 0.0,
+    ) -> bool:
         chaos = self.chaos
-        if self._hold_if_partitioned(topic_name, message):
+        if self._hold_if_partitioned(topic_name, message, priority):
             return True  # in flight until the partition heals
         if not chaos.applies_to(topic_name):
-            return super().publish(topic_name, message, tag=tag)
+            return super().publish(topic_name, message, tag=tag, priority=priority)
         with self._rng_lock:
             u = self._rng.random()
             if u < chaos.p_drop:
@@ -275,14 +295,17 @@ class ChaosBroker(Broker):
         if outcome == "drop":
             return True  # accepted, then lost — chaos, not backpressure
         if outcome == "duplicate":
-            ok = super().publish(topic_name, message, tag=tag)
-            super().publish(topic_name, message, tag=tag)
+            ok = super().publish(topic_name, message, tag=tag, priority=priority)
+            super().publish(topic_name, message, tag=tag, priority=priority)
             return ok
         if outcome == "delay":
             timer = threading.Timer(
-                chaos.delay, super().publish, args=(topic_name, message)
+                chaos.delay,
+                super().publish,
+                args=(topic_name, message),
+                kwargs={"priority": priority},
             )
             timer.daemon = True
             timer.start()
             return True
-        return super().publish(topic_name, message, tag=tag)
+        return super().publish(topic_name, message, tag=tag, priority=priority)

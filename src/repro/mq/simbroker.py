@@ -6,6 +6,15 @@ round-trip time; the default of a few milliseconds matches a co-located
 RabbitMQ node and is deliberately negligible next to job runtimes — the
 pull model's point is that coordination is cheap.
 
+Topics are priority queues: ``publish(..., priority=...)`` ranks a
+message above or below the default band (higher first, FIFO within a
+priority — the tie-break is the deterministic publish sequence carried
+by :class:`~repro.sim.PriorityStore`), and ``reprioritize`` retags
+*already queued* messages in place, which is what lets a running
+ensemble re-rank still-queued jobs as completions land.  Messages still
+in the in-flight latency batch are retagged too — a reprioritize
+logically happens broker-side, after the publish left the producer.
+
 Topics may be *bounded* (``limits``): a publish that would exceed a
 topic's backlog capacity is deterministically shed — ``publish`` returns
 ``False`` and the per-topic ``shed`` counter advances.  This is the
@@ -21,17 +30,24 @@ strictly-more-sheddable message already in the topic instead of being
 dropped itself — a gold dispatch arriving at a full topic displaces a
 queued best-effort one, never the other way around — and every shed is
 recorded on ``shed_records`` with its tag for post-mortems.  Untagged
-messages (``klass=None``) are never evicted.
+messages (``klass=None``) are never evicted.  The record list is a
+bounded deque (:data:`SHED_RECORD_CAP`): the ``shed`` counters stay
+exact over arbitrarily long soaks while ``dropped_records`` counts how
+many of the oldest records the cap discarded.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, Optional, Tuple
 
-from repro.sim import Event, FifoStore, Simulator
+from repro.sim import Event, PriorityStore, Simulator
 
-__all__ = ["SimBroker"]
+__all__ = ["SHED_RECORD_CAP", "SimBroker"]
+
+#: Upper bound on retained shed records (per broker).  Counters stay
+#: exact; only the per-record attribution ring is capped.
+SHED_RECORD_CAP = 256
 
 
 class SimBroker:
@@ -52,16 +68,13 @@ class SimBroker:
         self.latency = latency
         #: Per-topic backlog capacity; absent topics are unbounded.
         self.limits: Dict[str, int] = dict(limits or {})
-        self._topics: Dict[str, FifoStore] = {}
+        self._topics: Dict[str, PriorityStore] = {}
         #: Per-topic in-flight delivery batch: messages published at the
         #: same instant share one agenda entry (they all arrive at
         #: ``now + latency`` anyway, in publish order).  Batches are
-        #: ``(now, [messages], [metas])``; metas mirror messages for
-        #: bounded topics only.
+        #: ``(now, [[message, klass, tag, priority], ...])`` — entries
+        #: are lists so ``reprioritize`` can retag them in flight.
         self._pending: Dict[str, Any] = {}
-        #: Bounded topics only: ``(klass, tag)`` metas aligned 1:1 with
-        #: the store's queued messages so eviction can rank them.
-        self._metas: Dict[str, Deque[Tuple[Optional[int], Any]]] = {}
         self.published = 0
         self.consumed = 0
         #: Per-topic count of publishes shed at the capacity bound
@@ -70,12 +83,17 @@ class SimBroker:
         #: ``(topic, tag, kind)`` per shed message; ``kind`` is
         #: ``"incoming"`` (the publish itself was dropped) or
         #: ``"evicted"`` (a queued lower-priority message made room).
-        self.shed_records: List[Tuple[str, Any, str]] = []
+        #: Bounded: the newest :data:`SHED_RECORD_CAP` records.
+        self.shed_records: Deque[Tuple[str, Any, str]] = deque(
+            maxlen=SHED_RECORD_CAP
+        )
+        #: How many shed records the cap discarded (oldest-first).
+        self.dropped_records = 0
 
-    def topic(self, name: str) -> FifoStore:
+    def topic(self, name: str) -> PriorityStore:
         store = self._topics.get(name)
         if store is None:
-            store = FifoStore(self.sim)
+            store = PriorityStore(self.sim)
             self._topics[name] = store
         return store
 
@@ -87,36 +105,42 @@ class SimBroker:
         best: Optional[int] = None
         pending = self._pending.get(topic_name)
         if pending is not None:
-            for _msg, (k, _tag) in zip(pending[1], pending[2]):
+            for _msg, k, _tag, _prio in pending[1]:
                 if k is not None and k > klass and (best is None or k > best):
                     best = k
-        metas = self._metas.get(topic_name)
-        if metas is not None:
-            for k, _tag in metas:
-                if k is not None and k > klass and (best is None or k > best):
-                    best = k
+        store = self._topics.get(topic_name)
+        queued = store.snapshot() if store is not None else []
+        for _seq, _msg, meta in queued:
+            k = meta[0] if meta is not None else None
+            if k is not None and k > klass and (best is None or k > best):
+                best = k
         if best is None:
             return False
         if pending is not None:
             for i in range(len(pending[1]) - 1, -1, -1):
-                if pending[2][i][0] == best:
-                    tag = pending[2][i][1]
+                if pending[1][i][1] == best:
+                    tag = pending[1][i][2]
                     del pending[1][i]
-                    del pending[2][i]
                     self._count_shed(topic_name, tag, "evicted")
                     return True
-        store = self._topics[topic_name]
-        for i in range(len(metas) - 1, -1, -1):
-            if metas[i][0] == best:
-                tag = metas[i][1]
-                del metas[i]
-                del store._items[i]
-                self._count_shed(topic_name, tag, "evicted")
-                return True
-        return False
+        # Newest queued victim = the highest publish sequence among the
+        # most-sheddable class (snapshot order is consumption order, not
+        # arrival order).
+        victim: Optional[Tuple[int, Any]] = None
+        for seq, _msg, meta in queued:
+            if meta is not None and meta[0] == best:
+                if victim is None or seq > victim[0]:
+                    victim = (seq, meta[1])
+        if victim is None:
+            return False
+        store.remove(victim[0])
+        self._count_shed(topic_name, victim[1], "evicted")
+        return True
 
     def _count_shed(self, topic_name: str, tag: Any, kind: str) -> None:
         self.shed[topic_name] = self.shed.get(topic_name, 0) + 1
+        if len(self.shed_records) == SHED_RECORD_CAP:
+            self.dropped_records += 1
         self.shed_records.append((topic_name, tag, kind))
 
     def publish(
@@ -125,18 +149,19 @@ class SimBroker:
         message: Any,
         klass: Optional[int] = None,
         tag: Any = None,
+        priority: float = 0.0,
     ) -> bool:
         """Deliver ``message`` to the topic after the broker latency.
 
-        Returns ``False`` (and counts a shed) when the topic is bounded
-        and its backlog — queued plus in-flight deliveries — is at
-        capacity and nothing more sheddable than ``klass`` could be
-        evicted; the message is dropped and the publisher is expected
-        to back off and retry.
+        ``priority`` ranks the message among queued ones (higher first,
+        publish order within a priority).  Returns ``False`` (and counts
+        a shed) when the topic is bounded and its backlog — queued plus
+        in-flight deliveries — is at capacity and nothing more sheddable
+        than ``klass`` could be evicted; the message is dropped and the
+        publisher is expected to back off and retry.
         """
         limit = self.limits.get(topic_name)
-        bounded = limit is not None
-        if bounded:
+        if limit is not None:
             backlog = len(self.topic(topic_name))
             pending = self._pending.get(topic_name)
             if pending is not None:
@@ -148,57 +173,41 @@ class SimBroker:
                 return False
         self.published += 1
         if self.latency == 0:
-            self.topic(topic_name).put(message)
-            if bounded:
-                self._meta_put(topic_name, klass, tag)
+            self._put_direct(topic_name, message, klass, tag, priority)
             return True
         now = self.sim.now
         pending = self._pending.get(topic_name)
         if pending is not None and pending[0] == now:
-            pending[1].append(message)
-            if bounded:
-                pending[2].append((klass, tag))
+            pending[1].append([message, klass, tag, priority])
             return True
-        batch = (now, [message], [(klass, tag)] if bounded else [])
+        batch = (now, [[message, klass, tag, priority]])
         self._pending[topic_name] = batch
         self.sim.schedule_call(self.latency, self._deliver, topic_name, batch)
         return True
 
-    def _meta_put(self, topic_name: str, klass, tag) -> None:
-        """Mirror one queued message's meta — only when it actually
-        queued (a waiting getter consumes the put synchronously)."""
-        store = self._topics[topic_name]
-        metas = self._metas.get(topic_name)
-        if metas is None:
-            metas = self._metas[topic_name] = deque()
-        if len(store._items) > len(metas):
-            metas.append((klass, tag))
+    def _put_direct(
+        self,
+        topic_name: str,
+        message: Any,
+        klass: Optional[int],
+        tag: Any,
+        priority: float,
+    ) -> None:
+        """Deposit one message with its shedding meta attached to the
+        store entry itself (no parallel mirror to desync)."""
+        meta = (klass, tag) if klass is not None or tag is not None else None
+        self.topic(topic_name).put(message, priority, meta)
 
     def _deliver(self, topic_name: str, batch) -> None:
         if self._pending.get(topic_name) is batch:
             del self._pending[topic_name]
-        store = self.topic(topic_name)
-        put = store.put
-        if topic_name in self.limits:
-            for message, (klass, tag) in zip(batch[1], batch[2]):
-                put(message)
-                self._meta_put(topic_name, klass, tag)
-        else:
-            for message in batch[1]:
-                put(message)
-
-    def _meta_pop(self, topic_name: str) -> None:
-        metas = self._metas.get(topic_name)
-        if metas:
-            metas.popleft()
+        for message, klass, tag, priority in batch[1]:
+            self._put_direct(topic_name, message, klass, tag, priority)
 
     def consume(self, topic_name: str) -> Event:
         """Event that fires with the next message of the topic."""
         self.consumed += 1
-        store = self.topic(topic_name)
-        if topic_name in self.limits and store._items:
-            self._meta_pop(topic_name)
-        return store.get()
+        return self.topic(topic_name).get()
 
     def consume_nowait(self, topic_name: str) -> Any:
         """Pop the next queued message synchronously, or ``None``.
@@ -207,12 +216,25 @@ class SimBroker:
         without one suspend/resume round-trip per message.
         """
         store = self.topic(topic_name)
-        if store._items:
+        if len(store):
             self.consumed += 1
-            if topic_name in self.limits:
-                self._meta_pop(topic_name)
-            return store._items.popleft()
+            return store.pop_nowait()
         return None
+
+    def reprioritize(self, topic_name: str, selector, priority: float) -> int:
+        """Retag queued messages for which ``selector(message)`` is true
+        with ``priority``; messages still in the in-flight latency batch
+        are retagged too.  Returns the number of messages retagged."""
+        count = self.topic(topic_name).reprioritize(
+            lambda item, _meta: selector(item), priority
+        )
+        pending = self._pending.get(topic_name)
+        if pending is not None:
+            for entry in pending[1]:
+                if entry[3] != priority and selector(entry[0]):
+                    entry[3] = priority
+                    count += 1
+        return count
 
     def cancel(self, topic_name: str, event: Event) -> bool:
         """Abandon a pending consume (worker daemon shutting down)."""

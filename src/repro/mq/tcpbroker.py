@@ -38,6 +38,7 @@ from repro.mq.messages import (
     AckKind,
     JobAck,
     JobDispatch,
+    PriorityUpdate,
     WorkerHeartbeat,
     WorkflowSubmission,
 )
@@ -113,6 +114,14 @@ def encode_message(message: Any) -> dict:
             "epoch": message.epoch,
             "seq": message.seq,
         }
+    if isinstance(message, PriorityUpdate):
+        return {
+            "type": "priority",
+            "topic": message.topic,
+            "workflow_name": message.workflow_name,
+            "job_id": message.job_id,
+            "priority": message.priority,
+        }
     raise TypeError(f"cannot encode message of type {type(message).__name__}")
 
 
@@ -146,7 +155,35 @@ def decode_message(data: dict) -> Any:
             epoch=data.get("epoch", 0),
             seq=data.get("seq", 0),
         )
+    if kind == "priority":
+        return PriorityUpdate(
+            topic=data["topic"],
+            workflow_name=data.get("workflow_name", ""),
+            job_id=data.get("job_id", ""),
+            priority=data.get("priority", 0.0),
+        )
     raise ValueError(f"unknown message type: {kind!r}")
+
+
+def _selector_for(update: PriorityUpdate):
+    """Message predicate for a server-side reprioritize.
+
+    Queued messages live server-side in their encoded (dict) form; empty
+    ``workflow_name``/``job_id`` fields are wildcards.
+    """
+
+    def selector(message: Any) -> bool:
+        if not isinstance(message, dict):
+            return False
+        if update.workflow_name and (
+            message.get("workflow_name") != update.workflow_name
+        ):
+            return False
+        if update.job_id and message.get("job_id") != update.job_id:
+            return False
+        return True
+
+    return selector
 
 
 # ---------------------------------------------------------------------------
@@ -175,12 +212,22 @@ class _Handler(socketserver.StreamRequestHandler):
     def _execute(broker: Broker, request: dict) -> dict:
         op = request.get("op")
         if op == "publish":
-            broker.publish(request["topic"], request["message"])
+            broker.publish(
+                request["topic"],
+                request["message"],
+                priority=request.get("priority", 0.0),
+            )
             return {"ok": True}
         if op == "consume":
             timeout = request.get("timeout")
             message = broker.consume(request["topic"], timeout=timeout)
             return {"ok": True, "message": message}
+        if op == "reprioritize":
+            update = decode_message(request["update"])
+            count = broker.reprioritize(
+                update.topic, _selector_for(update), update.priority
+            )
+            return {"ok": True, "count": count}
         if op == "depth":
             return {"ok": True, "depth": broker.depth(request["topic"])}
         if op == "stats":
@@ -282,13 +329,42 @@ class RemoteBroker:
         return response
 
     # -- Broker interface ----------------------------------------------------
-    def publish(self, topic_name: str, message: Any, tag: Any = None) -> None:
+    def publish(
+        self,
+        topic_name: str,
+        message: Any,
+        tag: Any = None,
+        priority: float = 0.0,
+    ) -> None:
         # ``tag`` (service-plane shed attribution) is accepted for
         # interface parity; the wire protocol has no bounded topics, so
         # there is nothing to attribute on this side.
         self._call(
-            {"op": "publish", "topic": topic_name, "message": encode_message(message)}
+            {
+                "op": "publish",
+                "topic": topic_name,
+                "message": encode_message(message),
+                "priority": priority,
+            }
         )
+
+    def reprioritize(
+        self,
+        topic_name: str,
+        priority: float,
+        workflow_name: str = "",
+        job_id: str = "",
+    ) -> int:
+        """Retag queued dispatches server-side; returns the count retagged."""
+        update = PriorityUpdate(
+            topic=topic_name,
+            workflow_name=workflow_name,
+            job_id=job_id,
+            priority=priority,
+        )
+        return self._call(
+            {"op": "reprioritize", "update": encode_message(update)}
+        )["count"]
 
     def consume(self, topic_name: str, timeout: Optional[float] = None) -> Optional[Any]:
         response = self._call(

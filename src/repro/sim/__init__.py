@@ -19,7 +19,13 @@ from repro.sim.engine import (
     Simulator,
     Timeout,
 )
-from repro.sim.resources import CorePool, FairShareLink, FifoStore, SegmentLog
+from repro.sim.resources import (
+    CorePool,
+    FairShareLink,
+    FifoStore,
+    PriorityStore,
+    SegmentLog,
+)
 
 __all__ = [
     "AllOf",
@@ -29,6 +35,7 @@ __all__ = [
     "FairShareLink",
     "FifoStore",
     "Interrupt",
+    "PriorityStore",
     "Process",
     "SegmentLog",
     "SimulationError",

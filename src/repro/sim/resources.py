@@ -10,7 +10,10 @@ Three resource kinds cover everything the workflow engines need:
   the kernel's fair I/O scheduling among concurrent streams: each of the
   ``n`` active transfers progresses at ``capacity / n``.
 * :class:`FifoStore` — an unbounded FIFO hand-off queue, used by the
-  simulated message broker.
+  scheduling engine's ready/slot feeds.
+* :class:`PriorityStore` — a priority hand-off queue with a deterministic
+  FIFO tie-break (publish sequence) and in-place reprioritization, used
+  by the simulated message broker.
 
 The PS link uses the standard virtual-time trick: because every active
 stream receives the *same* service rate, per-stream progress is a single
@@ -36,7 +39,13 @@ import numpy as np
 import repro.analysis.sanitizer as _sanitizer
 from repro.sim.engine import Event, SimulationError, Simulator
 
-__all__ = ["SegmentLog", "CorePool", "FairShareLink", "FifoStore"]
+__all__ = [
+    "SegmentLog",
+    "CorePool",
+    "FairShareLink",
+    "FifoStore",
+    "PriorityStore",
+]
 
 _EPS = 1e-9
 
@@ -401,6 +410,194 @@ class FifoStore:
                 del items[index]
                 return item
         return None
+
+    def peek_all(self) -> List[Any]:
+        """The queued items in consumption order, without removing them."""
+        return list(self._items)
+
+    def remove_at(self, index: int) -> Any:
+        """Remove and return the queued item at ``index`` (consumption
+        order, 0 = next out)."""
+        item = self._items[index]
+        del self._items[index]
+        return item
+
+    def pop_nowait(self) -> Any:
+        """Remove and return the next item, or ``None`` when empty."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def cancel(self, event: Event) -> bool:
+        """Abandon a pending get (the event is failed so waiters wake up)."""
+        if event.triggered:
+            return False
+        event.succeed(None)
+        return True
+
+
+class PriorityStore:
+    """Priority hand-off queue with a deterministic FIFO tie-break.
+
+    Higher ``priority`` values are consumed first; entries of equal
+    priority leave in publish order (each entry carries a monotonically
+    increasing sequence number, so ordering is a pure function of the
+    ``put``/``reprioritize`` history — no ties, no hash order, no
+    identity comparisons).
+
+    The default-priority hot path stays O(1): priority-0 entries live in
+    a plain deque and only non-zero priorities touch the heap, so a
+    workload that never sets a priority pays deque costs identical to
+    :class:`FifoStore`.  ``reprioritize`` retags queued entries in place
+    (lazy deletion + re-push under the *same* sequence number, so a
+    reprioritized message keeps its arrival order within its new
+    priority level).
+
+    Each entry may carry an opaque ``meta`` value (the simulated broker
+    stores its ``(klass, tag)`` shedding attribution there), which keeps
+    message and metadata in one record instead of a parallel mirror that
+    can desync.
+    """
+
+    __slots__ = ("sim", "_fifo", "_heap", "_getters", "_seq", "_live", "_dead")
+
+    #: Entry layout: ``[-priority, seq, item, meta, alive]``.  Lists (not
+    #: tuples) so reprioritize can flip ``alive`` in place; the heap only
+    #: ever compares ``(-priority, seq)`` because ``seq`` is unique.
+    _NEG_PRIORITY, _SEQ, _ITEM, _META, _ALIVE = range(5)
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._fifo: Deque[list] = deque()  # priority == 0.0 entries
+        self._heap: List[list] = []  # everything else (lazy deletion)
+        self._getters: Deque[Event] = deque()
+        self._seq = 0
+        self._live = 0
+        self._dead = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def _pop_entry(self) -> Optional[list]:
+        """Remove and return the live entry with the best (priority, seq)
+        key, or ``None`` when empty."""
+        fifo, heap = self._fifo, self._heap
+        while fifo and not fifo[0][4]:
+            fifo.popleft()
+            self._dead -= 1
+        while heap and not heap[0][4]:
+            heapq.heappop(heap)
+            self._dead -= 1
+        if fifo and heap:
+            head = heap[0]
+            if (head[0], head[1]) < (fifo[0][0], fifo[0][1]):
+                entry = heapq.heappop(heap)
+            else:
+                entry = fifo.popleft()
+        elif fifo:
+            entry = fifo.popleft()
+        elif heap:
+            entry = heapq.heappop(heap)
+        else:
+            return None
+        entry[4] = False
+        self._live -= 1
+        return entry
+
+    def put(self, item: Any, priority: float = 0.0, meta: Any = None) -> None:
+        """Deposit an item, waking the oldest waiting getter if any.
+
+        A waiting getter implies the queue is empty, so the item is
+        handed over directly — priority only orders *queued* entries.
+        """
+        getters = self._getters
+        while getters:
+            getter = getters.popleft()
+            if getter.triggered:
+                continue  # cancelled getter
+            getter.succeed(item)
+            return
+        self._seq += 1
+        entry = [-priority, self._seq, item, meta, True]
+        self._live += 1
+        if priority == 0.0:
+            self._fifo.append(entry)
+        else:
+            heapq.heappush(self._heap, entry)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next available item."""
+        event = Event(self.sim)
+        entry = self._pop_entry()
+        if entry is not None:
+            event.succeed(entry[2])
+        else:
+            self._getters.append(event)
+        return event
+
+    def pop_nowait(self) -> Any:
+        """Remove and return the next item, or ``None`` when empty."""
+        entry = self._pop_entry()
+        return None if entry is None else entry[2]
+
+    def peek_all(self) -> List[Any]:
+        """The queued items in consumption order, without removing them."""
+        return [entry[2] for entry in self._ordered_live()]
+
+    def snapshot(self) -> List[Tuple[int, Any, Any]]:
+        """Live ``(seq, item, meta)`` triples in consumption order."""
+        return [(e[1], e[2], e[3]) for e in self._ordered_live()]
+
+    def _ordered_live(self) -> List[list]:
+        live = [e for e in self._fifo if e[4]]
+        live.extend(e for e in self._heap if e[4])
+        live.sort(key=lambda e: (e[0], e[1]))
+        return live
+
+    def remove(self, seq: int) -> bool:
+        """Mark the live entry with sequence number ``seq`` dead (it will
+        never be consumed).  O(n); used only on rare eviction paths."""
+        for entry in self._fifo:
+            if entry[1] == seq and entry[4]:
+                self._kill(entry)
+                return True
+        for entry in self._heap:
+            if entry[1] == seq and entry[4]:
+                self._kill(entry)
+                return True
+        return False
+
+    def _kill(self, entry: list) -> None:
+        entry[4] = False
+        self._live -= 1
+        self._dead += 1
+        self._maybe_compact()
+
+    def reprioritize(self, selector, priority: float) -> int:
+        """Retag every queued entry for which ``selector(item, meta)`` is
+        true with ``priority``, preserving each entry's original sequence
+        number (so arrival order still breaks ties at the new level).
+        Returns the number of entries retagged."""
+        moved: List[list] = []
+        for entry in list(self._fifo) + self._heap:
+            if entry[4] and -entry[0] != priority and selector(entry[2], entry[3]):
+                entry[4] = False
+                self._dead += 1
+                moved.append([-priority, entry[1], entry[2], entry[3], True])
+        for entry in moved:
+            heapq.heappush(self._heap, entry)
+        self._maybe_compact()
+        return len(moved)
+
+    def _maybe_compact(self) -> None:
+        """Purge dead entries once they outnumber live ones (bounds the
+        garbage a reprioritize-heavy run can accumulate)."""
+        if self._dead <= 64 or self._dead <= self._live:
+            return
+        self._fifo = deque(e for e in self._fifo if e[4])
+        self._heap = [e for e in self._heap if e[4]]
+        heapq.heapify(self._heap)
+        self._dead = 0
 
     def cancel(self, event: Event) -> bool:
         """Abandon a pending get (the event is failed so waiters wake up)."""

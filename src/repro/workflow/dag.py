@@ -140,7 +140,9 @@ class WorkflowSkeleton:
     this).
     """
 
-    __slots__ = ("jobs", "initial_pending", "roots", "files", "producer_of")
+    __slots__ = (
+        "jobs", "initial_pending", "roots", "files", "producer_of", "_cp",
+    )
 
     def __init__(self, jobs: Dict[str, Job]):
         self.jobs = jobs
@@ -162,6 +164,48 @@ class WorkflowSkeleton:
         self.roots: Tuple[str, ...] = tuple(roots)
         self.files = files
         self.producer_of = producer_of
+        #: Lazy critical-path cache (a pure function of the structure,
+        #: like everything else here — shared by every ensemble member).
+        self._cp: Optional[Dict[str, float]] = None
+
+    def critical_path(self) -> Dict[str, float]:
+        """``job id -> critical-path seconds`` remaining at that job.
+
+        ``cp[j] = runtime(j) + max(cp over children)`` — the longest
+        runtime-weighted chain from ``j`` to any sink, ``j`` included.
+        Built lazily (one reverse-topological sweep) and cached on the
+        shared skeleton, so only priority-aware runs pay for it, once
+        per ensemble rather than once per member.
+        """
+        cp = self._cp
+        if cp is None:
+            jobs = self.jobs
+            indegree = dict(self.initial_pending)
+            order = list(self.roots)
+            head = 0
+            while head < len(order):
+                job = jobs[order[head]]
+                head += 1
+                for child_id in job.children:
+                    indegree[child_id] -= 1
+                    if indegree[child_id] == 0:
+                        order.append(child_id)
+            cp = {}
+            for job_id in reversed(order):
+                job = jobs[job_id]
+                best = 0.0
+                for child_id in job.children:
+                    child_cp = cp[child_id]
+                    if child_cp > best:
+                        best = child_cp
+                cp[job_id] = job.runtime + best
+            self._cp = cp
+        return cp
+
+    def critical_path_total(self) -> float:
+        """The workflow's critical-path length (max over its roots)."""
+        cp = self.critical_path()
+        return max((cp[root] for root in self.roots), default=0.0)
 
 
 class Workflow:

@@ -173,7 +173,7 @@ def test_default_rules_scope_by_subpackage():
 def test_rule_catalogue_is_documented():
     assert set(RULES) == {
         "CL001", "CL002", "CL003", "CL004",
-        "CL005", "CL006", "CL007", "CL008",
+        "CL005", "CL006", "CL007", "CL008", "CL009",
     }
     assert ALL_RULES == frozenset(RULES)
 

@@ -1,4 +1,4 @@
-"""The lock-discipline lints CL005-CL008, plus the repo dogfood gate."""
+"""The lock-discipline lints CL005-CL009, plus the repo dogfood gate."""
 
 import textwrap
 from pathlib import Path
@@ -9,7 +9,7 @@ from repro.analysis.codelint import (
     lint_source,
 )
 
-ALL_CONC = frozenset({"CL005", "CL006", "CL007", "CL008"})
+ALL_CONC = frozenset({"CL005", "CL006", "CL007", "CL008", "CL009"})
 
 
 def findings(source: str, rules=ALL_CONC):
@@ -258,6 +258,141 @@ def test_cl008_sleep_after_nested_loop_still_flagged():
                 time.sleep(0.05)
         """
     ) == ["CL008"]
+
+
+# ---------------------------------------------------------------------------
+# CL009: cross-object guarded access through an annotated container
+# ---------------------------------------------------------------------------
+
+_TOPIC_PREAMBLE = """
+    import threading
+    from typing import Dict
+
+    class Topic:
+        _guarded_by_ = {"published": "_cond", "consumed": "_cond"}
+
+        def __init__(self):
+            self._cond = threading.Condition(threading.Lock())
+            self.published = 0
+            self.consumed = 0
+
+        def snapshot(self):
+            with self._cond:
+                return {"published": self.published}
+"""
+
+
+def test_cl009_container_element_read_under_wrong_lock_flagged():
+    """The ``Broker.stats()`` regression shape: topic counters read in a
+    comprehension under only the *broker's* lock.  CL005's per-class view
+    is blind to this — CL009 must catch it."""
+    fs = findings(
+        _TOPIC_PREAMBLE
+        + """
+    class Broker:
+        _guarded_by_ = {"_topics": "_lock"}
+
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._topics: Dict[str, Topic] = {}
+
+        def stats(self):
+            with self._lock:
+                return {
+                    name: {"published": t.published, "consumed": t.consumed}
+                    for name, t in self._topics.items()
+                }
+    """
+    )
+    assert [f.rule for f in fs] == ["CL009", "CL009"]
+    assert "Topic.published" in fs[0].message
+    assert "_cond" in fs[0].message
+
+
+def test_cl009_blind_spot_of_cl005_confirmed():
+    """CL005 alone stays silent on the cross-object shape (its analysis
+    is lexical per class) — the reason CL009 exists at all."""
+    assert rules_of(
+        _TOPIC_PREAMBLE
+        + """
+    class Broker:
+        _guarded_by_ = {"_topics": "_lock"}
+
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._topics: Dict[str, Topic] = {}
+
+        def stats(self):
+            with self._lock:
+                return {
+                    name: t.published for name, t in self._topics.items()
+                }
+    """,
+        rules=frozenset({"CL005", "CL006", "CL007", "CL008"}),
+    ) == []
+
+
+def test_cl009_element_lock_held_clean():
+    assert rules_of(
+        _TOPIC_PREAMBLE
+        + """
+    class Broker:
+        _guarded_by_ = {"_topics": "_lock"}
+
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._topics: Dict[str, Topic] = {}
+
+        def drain(self, name):
+            with self._lock:
+                topic = self._topics.get(name)
+            with topic._cond:
+                topic.consumed += 1
+    """
+    ) == []
+
+
+def test_cl009_locking_accessor_clean():
+    """The fixed ``Broker.stats()`` shape: snapshot the container under
+    the broker lock, then call each element's own locking accessor."""
+    assert rules_of(
+        _TOPIC_PREAMBLE
+        + """
+    class Broker:
+        _guarded_by_ = {"_topics": "_lock"}
+
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._topics: Dict[str, Topic] = {}
+
+        def stats(self):
+            with self._lock:
+                topics = list(self._topics.items())
+            return {name: topic.snapshot() for name, topic in topics}
+    """
+    ) == []
+
+
+def test_cl009_subscript_and_values_bindings_flagged():
+    fs = findings(
+        _TOPIC_PREAMBLE
+        + """
+    class Broker:
+        _guarded_by_ = {"_topics": "_lock"}
+
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._topics: Dict[str, Topic] = {}
+
+        def poke(self, name):
+            with self._lock:
+                t = self._topics[name]
+                t.published += 1
+                for other in self._topics.values():
+                    other.consumed += 1
+    """
+    )
+    assert [f.rule for f in fs] == ["CL009", "CL009"]
 
 
 # ---------------------------------------------------------------------------

@@ -357,7 +357,9 @@ def test_des_admission_gate_sheds_then_admits():
 def test_robustness_metrics_schema_is_stable():
     plain = PullEngine(small_spec(1), config=fast_cfg()).run(_montage_ensemble())
     stats = robustness_metrics(plain)
-    assert stats == dict(new_liveness_stats(), dead_letter_depth=0)
+    assert stats == dict(
+        new_liveness_stats(), dead_letter_depth=0, shed_record_drops=0
+    )
 
     windows = [PartitionWindow(node=1, start=1.0, duration=3.0)]
     chaotic = _partition_engine(windows).run(_montage_ensemble())

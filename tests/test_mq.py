@@ -75,6 +75,53 @@ def test_concurrent_consumers_each_message_once():
     assert sorted(got) == list(range(n))
 
 
+def test_reprioritize_races_consumers_without_loss_or_duplication():
+    """Live reprioritization against concurrent consumers: every retag
+    either lands before the message is consumed or misses it entirely —
+    a racing consumer must never see a duplicate, a loss, or a torn
+    heap.  Run under REPRO_RACEDETECT this also proves the topic
+    condition covers the retag path."""
+    broker = Broker()
+    n = 400
+    for i in range(n):
+        broker.publish("jobs", i)
+    got = []
+    lock = threading.Lock()
+    stop = threading.Event()
+
+    def consumer():
+        while True:
+            msg = broker.consume("jobs", timeout=0.05)
+            if msg is None:
+                if stop.is_set():
+                    return
+                continue
+            with lock:
+                got.append(msg)
+
+    def repriority_caller():
+        # Deterministic retag pattern cycling over residue classes so
+        # retags keep landing while the queue drains.
+        for round_ in range(1, 40):
+            residue = round_ % 5
+            broker.reprioritize(
+                "jobs", lambda m, r=residue: m % 5 == r, float(round_)
+            )
+        stop.set()
+
+    threads = [threading.Thread(target=consumer) for _ in range(6)]
+    threads.append(threading.Thread(target=repriority_caller))
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert sorted(got) == list(range(n))
+    stats = broker.stats()["jobs"]
+    assert stats["published"] == n
+    assert stats["consumed"] == n
+    assert stats["depth"] == 0
+
+
 def test_blocking_consume_wakes_on_publish():
     broker = Broker()
     result = []

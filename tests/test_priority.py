@@ -1,0 +1,531 @@
+"""Priority topics and live reprioritization (ROADMAP item 2).
+
+Covers the whole stack: the scoring model, the :class:`PriorityStore`
+kernel primitive, priority-inversion regressions in all four brokers
+(simulated, threaded, both chaos bands, TCP), the master-side rerank
+machinery, and FIFO-vs-priority end-to-end runs on a deadline-skewed
+ensemble.
+"""
+
+import pytest
+
+from repro.cloud import ClusterSpec
+from repro.dewe.state import JobStatus, WorkflowState
+from repro.engines import PullEngine
+from repro.mq import Broker, ChaosBroker, ChaosSimBroker, MessageChaos, SimBroker
+from repro.mq.messages import JobDispatch, PriorityUpdate
+from repro.mq.priority import (
+    PRIORITY_BAND,
+    RepriorityPolicy,
+    base_band,
+    rank_for_sla,
+)
+from repro.mq.tcpbroker import BrokerServer, RemoteBroker, decode_message, encode_message
+from repro.sim import FifoStore, PriorityStore, Simulator
+from repro.workflow import Ensemble, Workflow
+
+
+# ---------------------------------------------------------------------------
+# Scoring model
+# ---------------------------------------------------------------------------
+
+
+def test_base_band_orders_sla_ranks():
+    gold, silver, best_effort = base_band(0), base_band(1), base_band(2)
+    assert gold > silver > best_effort > base_band(None) == 0.0
+    assert gold - silver == PRIORITY_BAND
+
+
+def test_base_band_collapses_deep_ranks():
+    assert base_band(3) == base_band(7) == 0.0
+
+
+def test_rank_for_sla_maps_default_classes():
+    assert rank_for_sla("gold") == 0
+    assert rank_for_sla("silver") == 1
+    assert rank_for_sla("best_effort") == 2
+    assert rank_for_sla("") is None
+    assert rank_for_sla("mystery-tier") is None
+
+
+def test_policy_score_combines_cp_slack_and_age():
+    policy = RepriorityPolicy(cp_weight=2.0, slack_weight=1.0, aging_rate=0.5)
+    assert policy.score(10.0, 4.0, 2.0) == pytest.approx(2 * 10 - 4 + 0.5 * 2)
+
+
+def test_policy_score_clamped_within_half_band():
+    policy = RepriorityPolicy()
+    clamp = PRIORITY_BAND / 2.0 - 1.0
+    assert policy.score(1e9, 0.0, 0.0) == clamp
+    assert policy.score(0.0, 1e9, 0.0) == -clamp
+
+
+def test_policy_clamp_means_bands_never_invert():
+    """A best-effort job at maximal score still ranks below a gold job
+    at minimal score — SLA bands are structural, not advisory."""
+    policy = RepriorityPolicy()
+    best_effort_max = base_band(2) + policy.score(1e9, 0.0, 0.0)
+    gold_min = base_band(0) + policy.score(0.0, 1e9, 0.0)
+    assert gold_min > best_effort_max
+
+
+def test_policy_rejects_negative_knobs():
+    with pytest.raises(ValueError):
+        RepriorityPolicy(cp_weight=-1.0)
+    with pytest.raises(ValueError):
+        RepriorityPolicy(aging_rate=-0.1)
+    with pytest.raises(ValueError):
+        RepriorityPolicy(interval=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# PriorityStore (the DES kernel primitive)
+# ---------------------------------------------------------------------------
+
+
+def _drain(store):
+    out = []
+    while True:
+        item = store.pop_nowait()
+        if item is None:
+            return out
+        out.append(item)
+
+
+def test_store_higher_priority_first():
+    store = PriorityStore(Simulator())
+    store.put("low", priority=1.0)
+    store.put("high", priority=9.0)
+    store.put("mid", priority=5.0)
+    assert _drain(store) == ["high", "mid", "low"]
+
+
+def test_store_fifo_tie_break_within_priority():
+    store = PriorityStore(Simulator())
+    for i in range(5):
+        store.put(i, priority=3.0)
+    assert _drain(store) == [0, 1, 2, 3, 4]
+
+
+def test_store_zero_priority_path_matches_fifostore():
+    sim = Simulator()
+    fifo, prio = FifoStore(sim), PriorityStore(sim)
+    for i in range(6):
+        fifo.put(i)
+        prio.put(i)
+    assert fifo.peek_all() == prio.peek_all()
+    assert _drain(prio) == [0, 1, 2, 3, 4, 5]
+
+
+def test_store_negative_priority_sorts_below_default():
+    store = PriorityStore(Simulator())
+    store.put("demoted", priority=-1.0)
+    store.put("normal")
+    assert _drain(store) == ["normal", "demoted"]
+
+
+def test_store_put_hands_to_waiting_getter_directly():
+    store = PriorityStore(Simulator())
+    event = store.get()
+    store.put("x", priority=-100.0)
+    assert event.triggered and event.value == "x"
+    assert len(store) == 0
+
+
+def test_store_reprioritize_retags_and_keeps_arrival_order():
+    store = PriorityStore(Simulator())
+    for name in ("a", "b", "c", "d"):
+        store.put(name)
+    moved = store.reprioritize(lambda item, meta: item in ("b", "d"), 5.0)
+    assert moved == 2
+    # b and d jump ahead; within the new level they keep arrival order.
+    assert store.peek_all() == ["b", "d", "a", "c"]
+    assert _drain(store) == ["b", "d", "a", "c"]
+
+
+def test_store_reprioritize_same_priority_is_a_noop():
+    store = PriorityStore(Simulator())
+    store.put("a", priority=2.0)
+    assert store.reprioritize(lambda item, meta: True, 2.0) == 0
+    assert store.peek_all() == ["a"]
+
+
+def test_store_snapshot_exposes_seq_and_meta():
+    store = PriorityStore(Simulator())
+    store.put("a", priority=1.0, meta=("k", "tag"))
+    store.put("b", priority=9.0)
+    snap = store.snapshot()
+    assert [(item, meta) for _seq, item, meta in snap] == [
+        ("b", None), ("a", ("k", "tag")),
+    ]
+    seqs = [seq for seq, _item, _meta in snap]
+    assert len(set(seqs)) == 2
+
+
+def test_store_remove_by_seq():
+    store = PriorityStore(Simulator())
+    store.put("a")
+    store.put("b", priority=4.0)
+    seq_a = next(s for s, item, _m in store.snapshot() if item == "a")
+    assert store.remove(seq_a)
+    assert not store.remove(seq_a)  # already dead
+    assert _drain(store) == ["b"]
+
+
+def test_store_compaction_bounds_garbage():
+    """A reprioritize-heavy run must not accumulate dead entries without
+    bound: after many retags the store still drains correctly and its
+    internal containers stay proportional to the live count."""
+    store = PriorityStore(Simulator())
+    n = 50
+    for i in range(n):
+        store.put(i, priority=1.0)
+    for round_ in range(2, 12):
+        store.reprioritize(lambda item, meta: True, float(round_))
+    assert len(store) == n
+    internal = len(store._heap) + len(store._fifo)
+    assert internal < 4 * n
+    assert _drain(store) == list(range(n))
+
+
+def test_fifostore_public_inspection_api():
+    store = FifoStore(Simulator())
+    for i in range(4):
+        store.put(i)
+    assert store.peek_all() == [0, 1, 2, 3]
+    assert store.remove_at(1) == 1
+    assert store.pop_nowait() == 0
+    assert store.peek_all() == [2, 3]
+    assert _drain_fifo(store) == [2, 3]
+
+
+def _drain_fifo(store):
+    out = []
+    while True:
+        item = store.pop_nowait()
+        if item is None:
+            return out
+        out.append(item)
+
+
+# ---------------------------------------------------------------------------
+# Priority-inversion regressions, one per broker
+# ---------------------------------------------------------------------------
+
+
+def test_simbroker_no_priority_inversion():
+    sim = Simulator()
+    broker = SimBroker(sim, latency=0.0)
+    broker.publish("t", "bulk")
+    broker.publish("t", "urgent", priority=10.0)
+    got = []
+
+    def consumer():
+        for _ in range(2):
+            msg = yield broker.consume("t")
+            got.append(msg)
+
+    sim.process(consumer())
+    sim.run()
+    assert got == ["urgent", "bulk"]
+
+
+def test_simbroker_reprioritize_reaches_in_flight_batch():
+    """A reprioritize is broker-side: messages still inside the latency
+    window are retagged too, not just already-queued ones."""
+    sim = Simulator()
+    broker = SimBroker(sim, latency=0.5)
+    broker.publish("t", "a")
+    broker.publish("t", "b")
+    assert broker.reprioritize("t", lambda m: m == "b", 7.0) == 1
+    got = []
+
+    def consumer():
+        # Start pulling after the latency window so the retag is judged
+        # on queue order (a pending get would take the first delivery
+        # directly — priority only orders *queued* messages).
+        yield sim.timeout(1.0)
+        for _ in range(2):
+            msg = yield broker.consume("t")
+            got.append(msg)
+
+    sim.process(consumer())
+    sim.run()
+    assert got == ["b", "a"]
+
+
+def test_threaded_broker_no_priority_inversion():
+    broker = Broker()
+    broker.publish("t", "bulk")
+    broker.publish("t", "urgent", priority=10.0)
+    broker.publish("t", "bulk2")
+    assert [broker.consume("t") for _ in range(3)] == [
+        "urgent", "bulk", "bulk2",
+    ]
+
+
+def test_threaded_broker_reprioritize():
+    broker = Broker()
+    for name in ("a", "b", "c"):
+        broker.publish("t", name)
+    assert broker.reprioritize("t", lambda m: m == "c", 5.0) == 1
+    assert [broker.consume("t") for _ in range(3)] == ["c", "a", "b"]
+
+
+def test_chaos_simbroker_zero_band_no_priority_inversion():
+    sim = Simulator()
+    broker = ChaosSimBroker(sim, MessageChaos(), latency=0.0)
+    broker.publish("t", "bulk")
+    broker.publish("t", "urgent", priority=10.0)
+    got = []
+
+    def consumer():
+        for _ in range(2):
+            msg = yield broker.consume("t")
+            got.append(msg)
+
+    sim.process(consumer())
+    sim.run()
+    assert got == ["urgent", "bulk"]
+
+
+def test_chaos_simbroker_delayed_message_keeps_priority():
+    sim = Simulator()
+    broker = ChaosSimBroker(
+        sim, MessageChaos(p_delay=1.0, delay=0.2), latency=0.0
+    )
+    broker.publish("t", "urgent", priority=10.0)  # delayed by the band
+    broker.publish("t", "bulk")
+    got = []
+
+    def consumer():
+        yield sim.timeout(1.0)  # let the delayed delivery land first
+        for _ in range(2):
+            msg = yield broker.consume("t")
+            got.append(msg)
+
+    sim.process(consumer())
+    sim.run()
+    assert broker.stats()["delayed"] == 2
+    assert got == ["urgent", "bulk"]
+
+
+def test_chaos_threaded_broker_no_priority_inversion():
+    broker = ChaosBroker(MessageChaos())
+    broker.publish("t", "bulk")
+    broker.publish("t", "urgent", priority=10.0)
+    assert [broker.consume("t") for _ in range(2)] == ["urgent", "bulk"]
+
+
+def test_remote_broker_no_priority_inversion():
+    with BrokerServer() as server:
+        host, port = server.address
+        with RemoteBroker(host, port) as client:
+            client.publish("t", JobDispatch("wf", "bulk"))
+            client.publish("t", JobDispatch("wf", "urgent"), priority=10.0)
+            assert client.consume("t").job_id == "urgent"
+            assert client.consume("t").job_id == "bulk"
+
+
+def test_remote_reprioritize_by_fields():
+    """Selectors cannot cross the wire; the TCP protocol addresses
+    queued dispatches by (workflow, job) fields instead."""
+    with BrokerServer() as server:
+        host, port = server.address
+        with RemoteBroker(host, port) as client:
+            for job_id in ("a", "b", "c"):
+                client.publish("t", JobDispatch("wf", job_id))
+            assert client.reprioritize("t", 5.0, workflow_name="wf", job_id="c") == 1
+            assert [client.consume("t").job_id for _ in range(3)] == [
+                "c", "a", "b",
+            ]
+
+
+def test_remote_reprioritize_wildcard_selects_whole_member():
+    with BrokerServer() as server:
+        host, port = server.address
+        with RemoteBroker(host, port) as client:
+            client.publish("t", JobDispatch("wf-a", "j1"))
+            client.publish("t", JobDispatch("wf-b", "j1"))
+            client.publish("t", JobDispatch("wf-b", "j2"))
+            # Empty job_id = every queued dispatch of the member.
+            assert client.reprioritize("t", 3.0, workflow_name="wf-b") == 2
+            order = [client.consume("t").workflow_name for _ in range(3)]
+            assert order == ["wf-b", "wf-b", "wf-a"]
+
+
+def test_priority_update_codec_round_trip():
+    msg = PriorityUpdate(
+        topic="job-dispatching", workflow_name="wf", job_id="j", priority=2.5
+    )
+    restored = decode_message(encode_message(msg))
+    assert isinstance(restored, PriorityUpdate)
+    assert restored == msg
+
+
+# ---------------------------------------------------------------------------
+# Master-side scoring state
+# ---------------------------------------------------------------------------
+
+
+def _chain(name="chain", links=4, runtime=2.0):
+    wf = Workflow(name)
+    prev = None
+    for i in range(links):
+        job = wf.new_job(f"link{i}", "chain", runtime=runtime)
+        if prev is not None:
+            wf.add_dependency(prev.id, job.id)
+        prev = job
+    return wf
+
+
+def _wide(name="wide", leaves=6, runtime=1.0):
+    wf = Workflow(name)
+    for i in range(leaves):
+        wf.new_job(f"leaf{i:02d}", "wide", runtime=runtime)
+    return wf
+
+
+def test_skeleton_critical_path():
+    wf = _chain(links=4, runtime=2.0)
+    cp = wf.skeleton().critical_path()
+    assert cp["link0"] == 8.0
+    assert cp["link3"] == 2.0
+    assert wf.skeleton().critical_path_total() == 8.0
+
+
+def test_state_queued_jobs_tracks_status():
+    state = WorkflowState(_chain(), 60.0)
+    assert state.queued_jobs() == []
+    state.initial_ready()
+    assert state.queued_jobs() == ["link0"]
+    state.mark_dispatched("link0", 0.0)
+    state.on_running("link0", 1, 0.1)
+    assert state.queued_jobs() == []
+
+
+def test_state_job_priority_scores_cp_slack_and_band():
+    policy = RepriorityPolicy()
+    state = WorkflowState(_chain(links=4, runtime=2.0), 60.0)
+    state.initial_ready()
+    state.mark_dispatched("link0", 0.0)
+    # At t=0 the root's slack is zero, so its score is its cp-remaining.
+    assert state.job_priority("link0", 0.0, policy) == pytest.approx(8.0)
+    # Later, the evaporating slack raises urgency 1:1 with elapsed time.
+    assert state.job_priority("link0", 3.0, policy) == pytest.approx(11.0)
+    # The SLA band rides on top untouched.
+    assert state.job_priority(
+        "link0", 0.0, policy, base=base_band(0)
+    ) == pytest.approx(base_band(0) + 8.0)
+
+
+def test_state_job_priority_aging_from_first_dispatch():
+    policy = RepriorityPolicy(cp_weight=0.0, slack_weight=0.0, aging_rate=2.0)
+    state = WorkflowState(_chain(), 60.0)
+    state.initial_ready()
+    state.mark_dispatched("link0", 5.0)
+    assert state.job_priority("link0", 9.0, policy) == pytest.approx(8.0)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: FIFO vs priority on a deadline-skewed ensemble
+# ---------------------------------------------------------------------------
+
+
+def _skewed_members():
+    """Wide members first — FIFO's worst case for the trailing chain."""
+    members = [_wide(f"wide-{i}", leaves=20) for i in range(3)]
+    members.append(_chain("deadline-chain", links=12, runtime=2.0))
+    return members
+
+
+def _run_skewed(repriority):
+    spec = ClusterSpec("m3.2xlarge", 1, filesystem="local")
+    members = _skewed_members()
+    return PullEngine(spec, repriority=repriority).run(
+        Ensemble([wf.relabel(wf.name) for wf in members])
+    )
+
+
+def _chain_start(result):
+    return min(
+        r.start for r in result.records
+        if r.workflow == "deadline-chain" and r.job_id == "link0"
+    )
+
+
+def test_priority_beats_fifo_on_deadline_skew():
+    fifo = _run_skewed(None)
+    prio = _run_skewed(RepriorityPolicy())
+    # The chain's critical-path score pulls its root to the front of the
+    # backlog at the first queue pop instead of behind 60 wide jobs.
+    assert _chain_start(prio) < _chain_start(fifo) * 0.5
+    assert prio.makespan < fifo.makespan
+    # The same work ran either way — priority reorders, never drops.
+    assert prio.jobs_executed == fifo.jobs_executed == 72
+
+
+def test_priority_run_is_deterministic():
+    policy = RepriorityPolicy(aging_rate=0.25, interval=2.0)
+    a = _run_skewed(policy)
+    b = _run_skewed(policy)
+    assert a.makespan == b.makespan
+    assert [
+        (r.workflow, r.job_id, r.start, r.end, r.node) for r in a.records
+    ] == [(r.workflow, r.job_id, r.start, r.end, r.node) for r in b.records]
+
+
+def test_aging_leaves_no_job_starved():
+    result = _run_skewed(RepriorityPolicy(aging_rate=0.25, interval=2.0))
+    for name, counts in result.job_counts.items():
+        non_completed = {
+            status: n for status, n in counts.items()
+            if status != JobStatus.COMPLETED.value and n
+        }
+        assert non_completed == {}, (name, counts)
+
+
+def test_priority_run_surfaces_shed_record_drops():
+    result = _run_skewed(RepriorityPolicy())
+    assert result.liveness_stats["shed_record_drops"] == 0
+
+
+def test_fifo_run_without_policy_is_unchanged():
+    """The priority plane is opt-in: without a policy every publish goes
+    out at priority 0.0, which is byte-identical to the seed's FIFO."""
+    a = _run_skewed(None)
+    b = _run_skewed(None)
+    assert a.makespan == b.makespan
+    assert a.liveness_stats == {}
+
+
+# ---------------------------------------------------------------------------
+# Threaded daemons under a repriority policy
+# ---------------------------------------------------------------------------
+
+
+def test_threaded_master_reprioritizes_and_completes():
+    """The real MasterDaemon with a live policy: SLA bands plus the
+    aging sweep, two members, everything settles."""
+    from repro.dewe import DeweConfig, MasterDaemon, WorkerDaemon, submit_workflow
+
+    cfg = DeweConfig(
+        default_timeout=5.0,
+        master_poll_interval=0.002,
+        worker_poll_interval=0.005,
+        max_concurrent_jobs=2,
+    )
+    policy = RepriorityPolicy(aging_rate=1.0, interval=0.01)
+    broker = Broker()
+    with MasterDaemon(broker, cfg, repriority=policy) as master, WorkerDaemon(
+        broker, config=cfg
+    ):
+        submit_workflow(broker, _wide("bulk", leaves=8, runtime=0.0),
+                        tenant="t1", sla="best_effort")
+        submit_workflow(broker, _chain("urgent", links=3, runtime=0.0),
+                        tenant="t2", sla="gold")
+        assert master.wait("bulk", timeout=20.0)
+        assert master.wait("urgent", timeout=20.0)
+        assert master.states["bulk"].is_complete
+        assert master.states["urgent"].is_complete
+    assert master.dropped_acks == 0

@@ -281,7 +281,9 @@ def test_simbroker_classed_publish_evicts_more_sheddable():
     assert broker.publish("work", "be-2", klass=2, tag=("casual", "best_effort"))
     # Gold dispatches at capacity displace the queued best-effort ones.
     assert broker.publish("work", "gold-1", klass=0, tag=("acme", "gold"))
-    assert broker.shed_records == [("work", ("casual", "best_effort"), "evicted")]
+    assert list(broker.shed_records) == [
+        ("work", ("casual", "best_effort"), "evicted")
+    ]
     assert broker.publish("work", "gold-2", klass=0, tag=("acme", "gold"))
     assert broker.shed_records[-1][2] == "evicted"
     # The reverse never happens: best_effort cannot displace gold — the
@@ -298,7 +300,7 @@ def test_simbroker_untagged_messages_are_never_evicted():
     broker = SimBroker(sim, latency=0.0, limits={"work": 1})
     assert broker.publish("work", "legacy")  # klass=None
     assert not broker.publish("work", "gold", klass=0, tag=("acme", "gold"))
-    assert broker.shed_records == [("work", ("acme", "gold"), "incoming")]
+    assert list(broker.shed_records) == [("work", ("acme", "gold"), "incoming")]
 
 
 # -- dead-letter attribution and snapshot compatibility ----------------------
