@@ -19,7 +19,11 @@ CL003     iteration over a ``set`` in scheduling/provisioning decision code
           nondeterministic across processes; sort first
 CL004     a ``__slots__`` class assigns a ``self`` attribute not declared
           in its (resolvable) slots chain — raises ``AttributeError`` at
-          runtime, usually on a rarely executed path
+          runtime, usually on a rarely executed path.  In the hot
+          sub-packages (``repro/sim``, ``repro/engines``) the rule also
+          flags *slot-less* in-module classes instantiated inside a
+          loop: each such instance drags a ``__dict__`` through the
+          million-object engine paths
 CL005     a ``_guarded_by_``-annotated shared attribute is accessed
           outside its guarding lock (threaded code: ``repro/dewe``,
           ``repro/mq``) — see
@@ -84,6 +88,9 @@ DETERMINISTIC_SUBPACKAGES = frozenset({"sim", "cloud"})
 DECISION_SUBPACKAGES = frozenset({"sim", "cloud", "engines", "provision", "dewe"})
 #: Sub-packages with real threads: lock-discipline rules (CL005-CL008).
 THREADED_SUBPACKAGES = frozenset({"dewe", "mq"})
+#: Sub-packages whose loops allocate millions of records: CL004 also
+#: flags slot-less classes instantiated inside a loop there.
+HOT_LOOP_SUBPACKAGES = frozenset({"sim", "engines"})
 
 _WALL_CLOCK_CALLS = frozenset(
     {
@@ -291,6 +298,80 @@ def _lint_slots(tree: ast.Module, path: str) -> List[LintFinding]:
     return findings
 
 
+def _declares_slots(class_def: ast.ClassDef) -> bool:
+    """True when the class gets ``__slots__`` — a literal assignment or a
+    ``@dataclass(slots=True)`` decorator."""
+    if _slot_names(class_def) is not None:
+        return True
+    for decorator in class_def.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        name = _dotted(decorator.func)
+        if name is None or name.split(".")[-1] != "dataclass":
+            continue
+        for keyword in decorator.keywords:
+            if (
+                keyword.arg == "slots"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            ):
+                return True
+    return False
+
+
+_LOOP_NODES = (
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+)
+
+
+def _lint_hot_loop_allocations(tree: ast.Module, path: str) -> List[LintFinding]:
+    """CL004 extension for the hot sub-packages: a slot-less in-module
+    class instantiated inside a loop.  Imported classes are out of scope
+    (their slots are not resolvable statically); exceptions are exempt
+    (raised once, not allocated per event)."""
+    slotless = {
+        node.name
+        for node in tree.body
+        if isinstance(node, ast.ClassDef)
+        and not _declares_slots(node)
+        and not any(
+            isinstance(base, ast.Name) and base.id.endswith(("Error", "Exception"))
+            for base in node.bases
+        )
+    }
+    if not slotless:
+        return []
+    findings: List[LintFinding] = []
+    seen: Set[tuple] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, _LOOP_NODES):
+            continue
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Name)
+                and sub.func.id in slotless
+                and (sub.lineno, sub.func.id) not in seen
+            ):
+                seen.add((sub.lineno, sub.func.id))
+                findings.append(
+                    LintFinding(
+                        "CL004",
+                        path,
+                        sub.lineno,
+                        f"slot-less class {sub.func.id} instantiated in a "
+                        f"hot loop; declare __slots__",
+                    )
+                )
+    return findings
+
+
 def lint_source(
     source: str, path: str = "<string>", rules: Optional[FrozenSet[str]] = None
 ) -> List[LintFinding]:
@@ -345,6 +426,8 @@ def lint_source(
                     )
     if "CL004" in active:
         findings.extend(_lint_slots(tree, path))
+        if _subpackage_of(path) in HOT_LOOP_SUBPACKAGES:
+            findings.extend(_lint_hot_loop_allocations(tree, path))
     if active & CONCURRENCY_RULES:
         # Lazy: the lock-discipline analyses live with the rest of the
         # concurrency tooling and most lint runs never enable them.

@@ -118,21 +118,33 @@ class Sanitizer:
     # -- shared-structure ensembles (repro.dewe.state.WorkflowState) ----
     def check_cow_isolation(self, state, skeleton) -> None:
         """Per-member mutable job state must never alias the shared
-        skeleton's dicts, nor another member's (relabelled ensemble
+        skeleton's structures, nor another member's (relabelled ensemble
         members share the DAG structure; sharing *run state* would let
-        one member's progress corrupt another's)."""
-        if state.pending is skeleton.initial_pending:
+        one member's progress corrupt another's).
+
+        The checks unwrap arena views to their backing arrays (``_arr``)
+        — aliasing lives at the storage layer, and two distinct view
+        objects over one shared array would be exactly the bug this
+        check exists to catch.
+        """
+        pending_store = getattr(state.pending, "_arr", state.pending)
+        shared_arena = getattr(skeleton, "_arena", None)
+        if pending_store is skeleton.initial_pending or (
+            shared_arena is not None
+            and pending_store is shared_arena.initial_pending
+        ):
             self._report(
                 "cow-isolation",
                 f"{state.name}: pending counts alias the shared skeleton",
             )
         owners = self._cow_owners
-        for label, d in (("pending", state.pending), ("status", state.status)):
+        status_store = getattr(state.status, "_arr", state.status)
+        for label, d in (("pending", pending_store), ("status", status_store)):
             entry = owners.get(id(d))
             if entry is not None and entry[1] is d and entry[0] != state.name:
                 self._report(
                     "cow-isolation",
-                    f"{state.name}: {label} dict is shared with "
+                    f"{state.name}: {label} store is shared with "
                     f"workflow {entry[0]!r}",
                 )
             owners[id(d)] = (state.name, d)

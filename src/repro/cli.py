@@ -498,6 +498,7 @@ def main_bench(argv: Optional[List[str]] = None) -> int:
     from repro.parallel.bench import (
         BENCH_FILENAME,
         compare_benchmarks,
+        compare_warnings,
         load_snapshot,
         render_report,
         run_benchmarks,
@@ -538,10 +539,20 @@ def main_bench(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--compare", default=None, metavar="PATH",
                         help="compare against a committed snapshot and "
                              "fail on regression")
-    parser.add_argument("--tolerance", type=float, default=0.50,
+    parser.add_argument("--tolerance", type=float, default=0.30,
                         help="allowed fractional rate drop for --compare "
-                             "(default 0.50)")
+                             "(default 0.30; drifts past 10%% print a "
+                             "soft warning before the gate)")
+    parser.add_argument("--filter", default=None, metavar="SUBSTR",
+                        help="run only kernel benchmarks whose name "
+                             "contains SUBSTR (e.g. fig10); incompatible "
+                             "with --write")
     args = parser.parse_args(argv)
+
+    if args.filter is not None and args.write is not None:
+        print("--filter produces a partial suite; refusing to --write it",
+              file=sys.stderr)
+        return 2
 
     if args.write == "__default__":
         args.write = (
@@ -551,7 +562,8 @@ def main_bench(argv: Optional[List[str]] = None) -> int:
     if args.suite == "service":
         payload = run_service_benchmarks(quick=args.quick, seed=args.seed)
     else:
-        payload = run_benchmarks(quick=args.quick, workers=args.workers)
+        payload = run_benchmarks(quick=args.quick, workers=args.workers,
+                                 only=args.filter)
     print(render_report(payload))
 
     status = 0
@@ -567,6 +579,10 @@ def main_bench(argv: Optional[List[str]] = None) -> int:
         except OSError as exc:
             print(f"cannot read snapshot: {exc}", file=sys.stderr)
             return 2
+        # Soft warnings first: a slide past 10% shows up in the log long
+        # before it trips the hard gate.
+        for warning in compare_warnings(payload, committed):
+            print(f"DRIFT {warning}", file=sys.stderr)
         failures = compare_benchmarks(payload, committed, args.tolerance)
         for failure in failures:
             print(f"REGRESSION {failure}", file=sys.stderr)

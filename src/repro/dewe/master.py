@@ -271,6 +271,7 @@ class MasterDaemon:
                 default_timeout=master.config.default_timeout,
                 retry=master.retry,
             )
+            state.track_queue_age = master._repriority is not None
             master.states[name] = state
             master._submit_times[name] = now - checkpoint.elapsed.get(name, 0.0)
         master.makespans.update(checkpoint.makespans)
@@ -415,6 +416,9 @@ class MasterDaemon:
             tenant=msg.tenant, sla=msg.sla,
         )
         state.arrival = time.monotonic()
+        # Only the repriority aging term reads queue ages; skip the
+        # per-dispatch bookkeeping when the policy is off.
+        state.track_queue_age = self._repriority is not None
         self.states[state.name] = state
         self._submit_times[state.name] = state.arrival
         for job_id in state.initial_ready():

@@ -24,12 +24,26 @@ at-least-once execution discipline:
 
 Time is an argument everywhere, so the same class serves wall-clock
 threads and the DES.
+
+**Arena storage** (docs/PERFORMANCE.md): the dense per-job state — status,
+dependency count, attempt counter — lives in flat per-member arrays
+(``bytearray`` / ``array``) indexed through the shared
+:class:`~repro.workflow.dag.SkeletonArena`, not in per-job dict entries.
+A 200 x 6.0-degree Montage ensemble holds 1.7M jobs; three dicts per
+member cost hundreds of MB and a dict-build per member at admission,
+while the arenas cost ~9 bytes per job and one ``memcpy``-speed copy.
+The public ``status`` / ``pending`` / ``attempt`` attributes remain
+mapping-shaped *views* over the arrays, so the sanitizer, journal,
+repriority layer and tests keep their dict idioms unchanged.  The sparse
+maps — armed ``deadline`` entries, ``queued_at`` ages — stay real dicts:
+they hold only in-flight jobs, never all of them.
 """
 
 from __future__ import annotations
 
+from array import array
 from enum import Enum
-from typing import Any, Dict, List, Optional, Set
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
 import repro.analysis.concurrency.recorder as _conc
 import repro.analysis.sanitizer as _sanitizer
@@ -46,6 +60,189 @@ class JobStatus(Enum):
     RUNNING = "running"      # checked out by a worker (running ack seen)
     COMPLETED = "completed"
     DEAD = "dead"            # dead-lettered: attempt budget exhausted
+
+
+# Arena status codes (bytearray cells).  WAITING must be 0 so a fresh
+# ``bytearray(n)`` is "every job waiting" without an initialisation pass.
+_WAITING, _QUEUED, _RUNNING, _COMPLETED, _DEAD = range(5)
+_STATUS_BY_CODE: Tuple[JobStatus, ...] = (
+    JobStatus.WAITING,
+    JobStatus.QUEUED,
+    JobStatus.RUNNING,
+    JobStatus.COMPLETED,
+    JobStatus.DEAD,
+)
+_CODE_BY_STATUS: Dict[JobStatus, int] = {
+    status: code for code, status in enumerate(_STATUS_BY_CODE)
+}
+_CODE_BY_VALUE: Dict[str, int] = {
+    status.value: code for code, status in enumerate(_STATUS_BY_CODE)
+}
+_VALUE_BY_CODE: Tuple[str, ...] = tuple(s.value for s in _STATUS_BY_CODE)
+
+
+class _StatusView:
+    """Mapping-shaped view of the status bytearray (job id -> JobStatus)."""
+
+    __slots__ = ("_arr", "_index_of", "_job_ids")
+
+    def __init__(self, arr: bytearray, arena):
+        self._arr = arr
+        self._index_of = arena.index_of
+        self._job_ids = arena.job_ids
+
+    def __getitem__(self, job_id: str) -> JobStatus:
+        return _STATUS_BY_CODE[self._arr[self._index_of[job_id]]]
+
+    def __setitem__(self, job_id: str, status: JobStatus) -> None:
+        self._arr[self._index_of[job_id]] = _CODE_BY_STATUS[status]
+
+    def get(self, job_id: str, default=None):
+        i = self._index_of.get(job_id)
+        return default if i is None else _STATUS_BY_CODE[self._arr[i]]
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._index_of
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._job_ids)
+
+    def __len__(self) -> int:
+        return len(self._arr)
+
+    def keys(self) -> Tuple[str, ...]:
+        return self._job_ids
+
+    def values(self) -> List[JobStatus]:
+        by_code = _STATUS_BY_CODE
+        return [by_code[code] for code in self._arr]
+
+    def items(self) -> List[Tuple[str, JobStatus]]:
+        by_code = _STATUS_BY_CODE
+        return [
+            (job_id, by_code[code])
+            for job_id, code in zip(self._job_ids, self._arr)
+        ]
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, _StatusView):
+            return self._job_ids == other._job_ids and self._arr == other._arr
+        if isinstance(other, dict):
+            return dict(self.items()) == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"_StatusView({dict(self.items())!r})"
+
+
+class _PendingView:
+    """Mapping-shaped view of the pending-parents array (job id -> int)."""
+
+    __slots__ = ("_arr", "_index_of", "_job_ids")
+
+    def __init__(self, arr: array, arena):
+        self._arr = arr
+        self._index_of = arena.index_of
+        self._job_ids = arena.job_ids
+
+    def __getitem__(self, job_id: str) -> int:
+        return self._arr[self._index_of[job_id]]
+
+    def __setitem__(self, job_id: str, count: int) -> None:
+        self._arr[self._index_of[job_id]] = count
+
+    def get(self, job_id: str, default=None):
+        i = self._index_of.get(job_id)
+        return default if i is None else self._arr[i]
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._index_of
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._job_ids)
+
+    def __len__(self) -> int:
+        return len(self._arr)
+
+    def keys(self) -> Tuple[str, ...]:
+        return self._job_ids
+
+    def values(self) -> List[int]:
+        return list(self._arr)
+
+    def items(self) -> List[Tuple[str, int]]:
+        return list(zip(self._job_ids, self._arr))
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, _PendingView):
+            return self._job_ids == other._job_ids and self._arr == other._arr
+        if isinstance(other, dict):
+            return dict(self.items()) == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"_PendingView({dict(self.items())!r})"
+
+
+class _AttemptView:
+    """Mapping-shaped view of the attempt array (job id -> int).
+
+    The dict era only held entries for jobs that had been queued at least
+    once; the arena holds a cell per job with 0 meaning "never queued".
+    Iteration therefore skips zeros, so ``dict(state.attempt)`` and the
+    snapshot/journal digests keep their historical shape, while
+    ``attempt[job_id]`` returns 0 instead of raising for untouched jobs
+    (every call site already used ``.get(job_id, 0)`` for that case).
+    """
+
+    __slots__ = ("_arr", "_index_of", "_job_ids")
+
+    def __init__(self, arr: array, arena):
+        self._arr = arr
+        self._index_of = arena.index_of
+        self._job_ids = arena.job_ids
+
+    def __getitem__(self, job_id: str) -> int:
+        return self._arr[self._index_of[job_id]]
+
+    def __setitem__(self, job_id: str, count: int) -> None:
+        self._arr[self._index_of[job_id]] = count
+
+    def get(self, job_id: str, default=None):
+        i = self._index_of.get(job_id)
+        return default if i is None else self._arr[i]
+
+    def __contains__(self, job_id: str) -> bool:
+        i = self._index_of.get(job_id)
+        return i is not None and self._arr[i] != 0
+
+    def __iter__(self) -> Iterator[str]:
+        arr = self._arr
+        return (job_id for job_id, a in zip(self._job_ids, arr) if a)
+
+    def __len__(self) -> int:
+        return len(self._arr) - self._arr.count(0)
+
+    def keys(self) -> List[str]:
+        return [job_id for job_id, a in zip(self._job_ids, self._arr) if a]
+
+    def values(self) -> List[int]:
+        return [a for a in self._arr if a]
+
+    def items(self) -> List[Tuple[str, int]]:
+        return [
+            (job_id, a) for job_id, a in zip(self._job_ids, self._arr) if a
+        ]
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, _AttemptView):
+            return self._job_ids == other._job_ids and self._arr == other._arr
+        if isinstance(other, dict):
+            return dict(self.items()) == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"_AttemptView({dict(self.items())!r})"
 
 
 class WorkflowState:
@@ -73,9 +270,6 @@ class WorkflowState:
         #: *whose* work was lost and at which SLA class.
         self.tenant = tenant
         self.sla = sla
-        self.pending: Dict[str, int]
-        self.status: Dict[str, JobStatus]
-        self.attempt: Dict[str, int] = {}
         self.deadline: Dict[str, float] = {}
         self.resubmissions = 0
         #: Completion (or running) acks ignored as duplicates/stale —
@@ -95,18 +289,29 @@ class WorkflowState:
         #: for the starvation-avoidance aging term.  ``queued_at`` is
         #: deliberately not snapshotted: after a failover ages restart
         #: from the takeover, which is deterministic within a run.
+        #: ``track_queue_age`` is flipped *off* by engines running
+        #: without a repriority policy: nothing ever reads the ages
+        #: there, so they skip the per-dispatch dict write entirely.
         self.arrival = 0.0
         self.deadline_factor = 1.0
+        self.track_queue_age = True
         self.queued_at: Dict[str, float] = {}
         self._cp_total: Optional[float] = None
         self._n_completed = 0
         self._n_dead = 0
-        # Copy-on-write per-member state: the shared skeleton provides the
-        # initial dependency counts once per jobs table; each member gets
-        # its own mutable copies (never aliased — sanitizer-checked).
+        # Copy-on-write per-member state: the shared skeleton arena
+        # provides the structure and the initial dependency counts once
+        # per jobs table; each member gets its own flat mutable arrays
+        # (never aliased — sanitizer-checked).
         skeleton = workflow.skeleton()
-        self.pending = dict(skeleton.initial_pending)
-        self.status = dict.fromkeys(skeleton.initial_pending, JobStatus.WAITING)
+        arena = skeleton.arena()
+        self._arena = arena
+        self._status_arr = bytearray(arena.n)  # all cells _WAITING
+        self._pending_arr = array("i", arena.initial_pending)
+        self._attempt_arr = array("I", bytes(4 * arena.n))
+        self.status = _StatusView(self._status_arr, arena)
+        self.pending = _PendingView(self._pending_arr, arena)
+        self.attempt = _AttemptView(self._attempt_arr, arena)
         san = _sanitizer._ACTIVE
         if san is not None:
             san.check_cow_isolation(self, skeleton)
@@ -129,24 +334,32 @@ class WorkflowState:
         """Jobs eligible at submission; marks them QUEUED."""
         self._trace("write", "state.initial_ready")
         ready = []
-        status = self.status
-        attempt = self.attempt
-        for job_id in self.workflow.skeleton().roots:
-            if status[job_id] is JobStatus.WAITING:
-                status[job_id] = JobStatus.QUEUED
-                attempt[job_id] = 1
-                ready.append(job_id)
+        status_arr = self._status_arr
+        attempt_arr = self._attempt_arr
+        job_ids = self._arena.job_ids
+        for i in self._arena.root_indices:
+            if status_arr[i] == _WAITING:
+                status_arr[i] = _QUEUED
+                attempt_arr[i] = 1
+                ready.append(job_ids[i])
         return ready
 
     def _timeout_of(self, job_id: str) -> float:
-        return self.workflow.job(job_id).timeout or self.default_timeout
+        return self._timeout_at(self._arena.index_of[job_id])
+
+    def _timeout_at(self, i: int) -> float:
+        timeout = self._arena.timeouts[i]
+        return timeout if timeout > 0.0 else self.default_timeout
 
     def exhausted(self, job_id: str) -> bool:
         """Attempt budget check: the job's own ``max_attempts`` override
         when set (0 = unlimited), else the shared retry policy."""
-        limit = self.workflow.job(job_id).max_attempts
-        attempts = self.attempt.get(job_id, 0)
-        if limit is not None:
+        return self._exhausted_at(self._arena.index_of[job_id])
+
+    def _exhausted_at(self, i: int) -> bool:
+        limit = self._arena.max_attempts[i]
+        attempts = self._attempt_arr[i]
+        if limit >= 0:
             return limit > 0 and attempts >= limit
         return self.retry.exhausted(attempts)
 
@@ -167,23 +380,26 @@ class WorkflowState:
         only covers validly-acked assignments).
         """
         self._trace("write", "state.mark_dispatched")
-        # First dispatch time, kept across resubmissions: the aging term
-        # measures how long the job has been waiting overall.
-        self.queued_at.setdefault(job_id, now)
+        if self.track_queue_age:
+            # First dispatch time, kept across resubmissions: the aging
+            # term measures how long the job has been waiting overall.
+            self.queued_at.setdefault(job_id, now)
         if not (force or self.retry.redispatch_lost):
             return
-        if self.status[job_id] is JobStatus.QUEUED:
-            self.deadline[job_id] = now + self._timeout_of(job_id)
+        i = self._arena.index_of[job_id]
+        if self._status_arr[i] == _QUEUED:
+            self.deadline[job_id] = now + self._timeout_at(i)
 
     # -- live reprioritization ---------------------------------------------
     def queued_jobs(self) -> List[str]:
         """Job ids currently QUEUED (published, not yet running), in the
-        deterministic status-map insertion order."""
+        deterministic jobs-table insertion order."""
         self._trace("read", "state.queued_jobs")
+        job_ids = self._arena.job_ids
         return [
-            job_id
-            for job_id, status in self.status.items()
-            if status is JobStatus.QUEUED
+            job_ids[i]
+            for i, code in enumerate(self._status_arr)
+            if code == _QUEUED
         ]
 
     def job_priority(self, job_id: str, now: float, policy, base: float = 0.0) -> float:
@@ -208,18 +424,20 @@ class WorkflowState:
     def on_running(self, job_id: str, attempt: int, now: float) -> bool:
         """Handle a running ack; returns False for stale/duplicate acks."""
         self._trace("write", "state.on_running")
-        status = self.status[job_id]
-        if status is JobStatus.COMPLETED or status is JobStatus.DEAD:
+        i = self._arena.index_of[job_id]
+        status_arr = self._status_arr
+        code = status_arr[i]
+        if code == _COMPLETED or code == _DEAD:
             self.duplicate_acks += 1
             return False
-        # ``.get``: a state rewound to a checkpoint (standby-master
-        # takeover) may see late acks for jobs it has not dispatched yet
-        # — no attempt entry means every real attempt number is stale.
-        if attempt != self.attempt.get(job_id, 0):
+        # A state rewound to a checkpoint (standby-master takeover) may
+        # see late acks for jobs it has not dispatched yet — attempt 0
+        # means every real attempt number is stale.
+        if attempt != self._attempt_arr[i]:
             self.duplicate_acks += 1
             return False  # ack from a superseded delivery
-        self.status[job_id] = JobStatus.RUNNING
-        self.deadline[job_id] = now + self._timeout_of(job_id)
+        status_arr[i] = _RUNNING
+        self.deadline[job_id] = now + self._timeout_at(i)
         return True
 
     def on_completed(self, job_id: str, attempt: int) -> List[str]:
@@ -231,41 +449,46 @@ class WorkflowState:
         its descendants have been cascaded and must not be revived.
         """
         self._trace("write", "state.on_completed")
-        status = self.status[job_id]
-        if status is JobStatus.COMPLETED or status is JobStatus.DEAD:
+        arena = self._arena
+        i = arena.index_of[job_id]
+        status_arr = self._status_arr
+        code = status_arr[i]
+        if code == _COMPLETED or code == _DEAD:
             self.duplicate_acks += 1
             return []
-        self.status[job_id] = JobStatus.COMPLETED
+        status_arr[i] = _COMPLETED
         self.deadline.pop(job_id, None)
-        self.queued_at.pop(job_id, None)
+        if self.queued_at:
+            self.queued_at.pop(job_id, None)
         self._n_completed += 1
         newly_ready: List[str] = []
-        waiters = self.regen_waiters.pop(job_id, None)
-        if waiters is not None:
-            # Re-completion of a producer re-run to regenerate a data
-            # file: only the registered waiters were re-blocked on it —
-            # its ordinary children already had their pending count
-            # decremented at the first completion.  Waiters keep their
-            # (bumped) attempt number so stale pre-recovery acks stay
-            # stale.
-            for child_id in sorted(waiters):
-                self.pending[child_id] -= 1
-                if (
-                    self.pending[child_id] == 0
-                    and self.status[child_id] is JobStatus.WAITING
-                ):
-                    self.status[child_id] = JobStatus.QUEUED
-                    newly_ready.append(child_id)
-            return newly_ready
-        for child_id in self.workflow.job(job_id).children:
-            self.pending[child_id] -= 1
-            if (
-                self.pending[child_id] == 0
-                and self.status[child_id] is JobStatus.WAITING
-            ):
-                self.status[child_id] = JobStatus.QUEUED
-                self.attempt[child_id] = 1
-                newly_ready.append(child_id)
+        pending_arr = self._pending_arr
+        if self.regen_waiters:
+            waiters = self.regen_waiters.pop(job_id, None)
+            if waiters is not None:
+                # Re-completion of a producer re-run to regenerate a data
+                # file: only the registered waiters were re-blocked on it —
+                # its ordinary children already had their pending count
+                # decremented at the first completion.  Waiters keep their
+                # (bumped) attempt number so stale pre-recovery acks stay
+                # stale.
+                index_of = arena.index_of
+                for child_id in sorted(waiters):
+                    ci = index_of[child_id]
+                    pending_arr[ci] -= 1
+                    if pending_arr[ci] == 0 and status_arr[ci] == _WAITING:
+                        status_arr[ci] = _QUEUED
+                        newly_ready.append(child_id)
+                return newly_ready
+        attempt_arr = self._attempt_arr
+        job_ids = arena.job_ids
+        for ci in arena.children[i]:
+            remaining = pending_arr[ci] - 1
+            pending_arr[ci] = remaining
+            if remaining == 0 and status_arr[ci] == _WAITING:
+                status_arr[ci] = _QUEUED
+                attempt_arr[ci] = 1
+                newly_ready.append(job_ids[ci])
         return newly_ready
 
     def on_failed(self, job_id: str, attempt: int, now: float = 0.0) -> Optional[str]:
@@ -276,16 +499,18 @@ class WorkflowState:
         then check :attr:`is_settled`).
         """
         self._trace("write", "state.on_failed")
-        status = self.status[job_id]
-        if status is JobStatus.COMPLETED or status is JobStatus.DEAD:
+        i = self._arena.index_of[job_id]
+        status_arr = self._status_arr
+        code = status_arr[i]
+        if code == _COMPLETED or code == _DEAD:
             return None
-        if attempt != self.attempt.get(job_id, 0):
+        if attempt != self._attempt_arr[i]:
             return None  # stale ack (superseded, or state rewound)
-        if self.exhausted(job_id):
+        if self._exhausted_at(i):
             self._dead_letter(job_id, "failed", now)
             return None
-        self.attempt[job_id] += 1
-        self.status[job_id] = JobStatus.QUEUED
+        self._attempt_arr[i] += 1
+        status_arr[i] = _QUEUED
         self.deadline.pop(job_id, None)
         self.resubmissions += 1
         return job_id
@@ -310,32 +535,38 @@ class WorkflowState:
         :meth:`on_completed`'s regeneration path.
         """
         self._trace("write", "state.on_corrupt")
-        status = self.status[job_id]
-        if status is JobStatus.COMPLETED or status is JobStatus.DEAD:
+        arena = self._arena
+        index_of = arena.index_of
+        i = index_of[job_id]
+        status_arr = self._status_arr
+        attempt_arr = self._attempt_arr
+        code = status_arr[i]
+        if code == _COMPLETED or code == _DEAD:
             self.duplicate_acks += 1
             return None
-        if attempt != self.attempt.get(job_id, 0):
+        if attempt != attempt_arr[i]:
             self.duplicate_acks += 1
             return None  # stale ack (superseded, or state rewound)
         self.data_recoveries += 1
         # Bump the consumer's attempt so acks from the aborted delivery
         # (or duplicated broker messages) are dropped as stale.
-        self.attempt[job_id] += 1
+        attempt_arr[i] += 1
         self.deadline.pop(job_id, None)
         self.resubmissions += 1
         if not producers:
-            self.status[job_id] = JobStatus.QUEUED
+            status_arr[i] = _QUEUED
             return [job_id]
-        self.status[job_id] = JobStatus.WAITING
+        status_arr[i] = _WAITING
         to_dispatch: List[str] = []
         for producer_id in producers:
+            pi = index_of[producer_id]
             waiters = self.regen_waiters.setdefault(producer_id, set())
             if job_id not in waiters:
                 waiters.add(job_id)
-                self.pending[job_id] += 1
-            producer_status = self.status[producer_id]
-            if producer_status is JobStatus.COMPLETED:
-                if self.exhausted(producer_id):
+                self._pending_arr[i] += 1
+            producer_code = status_arr[pi]
+            if producer_code == _COMPLETED:
+                if self._exhausted_at(pi):
                     # Cannot regenerate within the attempt budget: the
                     # producer dead-letters and the cascade takes the
                     # WAITING consumer down as upstream-dead.  It is no
@@ -346,12 +577,12 @@ class WorkflowState:
                 # Un-complete the producer: it re-runs to rewrite its
                 # outputs.  Its ordinary children keep their state; only
                 # the registered waiters block on the re-completion.
-                self.status[producer_id] = JobStatus.QUEUED
+                status_arr[pi] = _QUEUED
                 self._n_completed -= 1
-                self.attempt[producer_id] += 1
+                attempt_arr[pi] += 1
                 self.resubmissions += 1
                 to_dispatch.append(producer_id)
-            elif producer_status is JobStatus.DEAD:
+            elif producer_code == _DEAD:
                 self._dead_letter_waiters(producer_id, now)
             # QUEUED / RUNNING / WAITING: already being (re)generated —
             # the waiter registration above is all that is needed.
@@ -371,16 +602,18 @@ class WorkflowState:
         exhausted attempt budgets (dead-letter ``lease-expired``).
         """
         self._trace("write", "state.on_lease_expired")
-        status = self.status[job_id]
-        if status is not JobStatus.RUNNING and status is not JobStatus.QUEUED:
+        i = self._arena.index_of[job_id]
+        status_arr = self._status_arr
+        code = status_arr[i]
+        if code != _RUNNING and code != _QUEUED:
             return None
-        if attempt != self.attempt[job_id]:
+        if attempt != self._attempt_arr[i]:
             return None
-        if self.exhausted(job_id):
+        if self._exhausted_at(i):
             self._dead_letter(job_id, "lease-expired", now)
             return None
-        self.attempt[job_id] += 1
-        self.status[job_id] = JobStatus.QUEUED
+        self._attempt_arr[i] += 1
+        status_arr[i] = _QUEUED
         self.deadline.pop(job_id, None)
         self.resubmissions += 1
         return job_id
@@ -396,13 +629,16 @@ class WorkflowState:
         """
         self._trace("write", "state.requeue_in_flight")
         out: List[str] = []
-        for job_id, status in list(self.status.items()):
-            if status is JobStatus.QUEUED or status is JobStatus.RUNNING:
-                if self.exhausted(job_id):
+        status_arr = self._status_arr
+        job_ids = self._arena.job_ids
+        for i, code in enumerate(status_arr):
+            if code == _QUEUED or code == _RUNNING:
+                job_id = job_ids[i]
+                if self._exhausted_at(i):
                     self._dead_letter(job_id, "master-crash", now)
                     continue
-                self.attempt[job_id] += 1
-                self.status[job_id] = JobStatus.QUEUED
+                self._attempt_arr[i] += 1
+                status_arr[i] = _QUEUED
                 self.deadline.pop(job_id, None)
                 self.resubmissions += 1
                 out.append(job_id)
@@ -414,16 +650,17 @@ class WorkflowState:
         their attempt budget are dead-lettered instead (and not returned)."""
         self._trace("write", "state.expired")
         out = []
+        index_of = self._arena.index_of
+        status_arr = self._status_arr
         for job_id, deadline in list(self.deadline.items()):
-            status = self.status[job_id]
-            if now >= deadline and (
-                status is JobStatus.RUNNING or status is JobStatus.QUEUED
-            ):
-                if self.exhausted(job_id):
+            i = index_of[job_id]
+            code = status_arr[i]
+            if now >= deadline and (code == _RUNNING or code == _QUEUED):
+                if self._exhausted_at(i):
                     self._dead_letter(job_id, "timeout", now)
                     continue
-                self.attempt[job_id] += 1
-                self.status[job_id] = JobStatus.QUEUED
+                self._attempt_arr[i] += 1
+                status_arr[i] = _QUEUED
                 del self.deadline[job_id]
                 self.resubmissions += 1
                 out.append(job_id)
@@ -437,44 +674,54 @@ class WorkflowState:
         *settle* (completed + dead == all jobs) instead of hanging.
         """
         self._trace("write", "state.dead_letter")
-        self.status[job_id] = JobStatus.DEAD
+        arena = self._arena
+        i = arena.index_of[job_id]
+        status_arr = self._status_arr
+        status_arr[i] = _DEAD
         self.deadline.pop(job_id, None)
         self._n_dead += 1
         self.dead_letters.append(
             DeadLetterEntry(
-                self.name, job_id, self.attempt.get(job_id, 0), reason, now,
+                self.name, job_id, self._attempt_arr[i], reason, now,
                 self.tenant, self.sla,
             )
         )
         self._dead_letter_waiters(job_id, now)
-        stack = list(self.workflow.job(job_id).children)
+        job_ids = arena.job_ids
+        children = arena.children
+        stack = list(children[i])
         while stack:
-            child_id = stack.pop()
-            if self.status[child_id] is not JobStatus.WAITING:
+            ci = stack.pop()
+            if status_arr[ci] != _WAITING:
                 continue
-            self.status[child_id] = JobStatus.DEAD
+            status_arr[ci] = _DEAD
             self._n_dead += 1
             self.dead_letters.append(
                 DeadLetterEntry(
-                    self.name, child_id, 0, "upstream-dead", now,
+                    self.name, job_ids[ci], 0, "upstream-dead", now,
                     self.tenant, self.sla,
                 )
             )
-            self._dead_letter_waiters(child_id, now)
-            stack.extend(self.workflow.job(child_id).children)
+            self._dead_letter_waiters(job_ids[ci], now)
+            stack.extend(children[ci])
 
     def _dead_letter_waiters(self, producer_id: str, now: float) -> None:
         """A producer that can never re-complete takes its regeneration
         waiters down with it (they are its DAG descendants, but guard
         here too in case the cascade visited them in a different order)."""
+        if not self.regen_waiters:
+            return
+        index_of = self._arena.index_of
+        status_arr = self._status_arr
         for waiter_id in sorted(self.regen_waiters.pop(producer_id, ())):
-            if self.status[waiter_id] is JobStatus.WAITING:
-                self.status[waiter_id] = JobStatus.DEAD
+            wi = index_of[waiter_id]
+            if status_arr[wi] == _WAITING:
+                status_arr[wi] = _DEAD
                 self._n_dead += 1
                 self.dead_letters.append(
                     DeadLetterEntry(
                         self.name, waiter_id,
-                        self.attempt.get(waiter_id, 0), "upstream-dead", now,
+                        self._attempt_arr[wi], "upstream-dead", now,
                         self.tenant, self.sla,
                     )
                 )
@@ -483,7 +730,7 @@ class WorkflowState:
     # -- inspection ----------------------------------------------------------
     @property
     def n_jobs(self) -> int:
-        return len(self.status)
+        return self._arena.n
 
     @property
     def n_completed(self) -> int:
@@ -496,7 +743,7 @@ class WorkflowState:
     @property
     def is_complete(self) -> bool:
         """Every job completed (no dead letters)."""
-        return self._n_completed == len(self.status)
+        return self._n_completed == self._arena.n
 
     @property
     def is_settled(self) -> bool:
@@ -506,19 +753,20 @@ class WorkflowState:
         a workflow with a poison job never *completes* but must still
         *settle* so the rest of the ensemble can be accounted for.
         """
-        return self._n_completed + self._n_dead == len(self.status)
+        return self._n_completed + self._n_dead == self._arena.n
 
     def dead_jobs(self) -> List[str]:
         return [e.job_id for e in self.dead_letters]
 
     def current_attempt(self, job_id: str) -> int:
-        return self.attempt.get(job_id, 0)
+        return self._attempt_arr[self._arena.index_of[job_id]]
 
     def counts(self) -> Dict[str, int]:
-        out = {s.value: 0 for s in JobStatus}
-        for status in self.status.values():
-            out[status.value] += 1
-        return out
+        status_arr = self._status_arr
+        return {
+            value: status_arr.count(code)
+            for code, value in enumerate(_VALUE_BY_CODE)
+        }
 
     # -- checkpoint / restore ------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
@@ -526,13 +774,19 @@ class WorkflowState:
         workflow — everything needed to resume after a master crash, and
         the input to the journal's checkpoint digest."""
         self._trace("read", "state.snapshot")
+        job_ids = self._arena.job_ids
         return {
             "name": self.name,
             "tenant": self.tenant,
             "sla": self.sla,
-            "status": {j: s.value for j, s in self.status.items()},
-            "attempt": dict(self.attempt),
-            "pending": dict(self.pending),
+            "status": {
+                j: _VALUE_BY_CODE[c]
+                for j, c in zip(job_ids, self._status_arr)
+            },
+            "attempt": {
+                j: a for j, a in zip(job_ids, self._attempt_arr) if a
+            },
+            "pending": dict(zip(job_ids, self._pending_arr)),
             "deadline": dict(self.deadline),
             "resubmissions": self.resubmissions,
             "duplicate_acks": self.duplicate_acks,
@@ -570,11 +824,16 @@ class WorkflowState:
             validate=False, retry=retry,
             tenant=snapshot.get("tenant", ""), sla=snapshot.get("sla", ""),
         )
-        state.status = {
-            j: JobStatus(v) for j, v in snapshot["status"].items()
-        }
-        state.attempt = {j: int(a) for j, a in snapshot["attempt"].items()}
-        state.pending = {j: int(p) for j, p in snapshot["pending"].items()}
+        index_of = state._arena.index_of
+        status_arr = state._status_arr
+        for j, v in snapshot["status"].items():
+            status_arr[index_of[j]] = _CODE_BY_VALUE[v]
+        attempt_arr = state._attempt_arr
+        for j, a in snapshot["attempt"].items():
+            attempt_arr[index_of[j]] = int(a)
+        pending_arr = state._pending_arr
+        for j, p in snapshot["pending"].items():
+            pending_arr[index_of[j]] = int(p)
         state.deadline = {j: float(d) for j, d in snapshot["deadline"].items()}
         state.resubmissions = int(snapshot["resubmissions"])
         state.duplicate_acks = int(snapshot["duplicate_acks"])
@@ -591,9 +850,6 @@ class WorkflowState:
         state.regen_waiters = {
             j: set(w) for j, w in snapshot.get("regen_waiters", {}).items()
         }
-        statuses = list(state.status.values())
-        state._n_completed = sum(
-            1 for s in statuses if s is JobStatus.COMPLETED
-        )
-        state._n_dead = sum(1 for s in statuses if s is JobStatus.DEAD)
+        state._n_completed = status_arr.count(_COMPLETED)
+        state._n_dead = status_arr.count(_DEAD)
         return state

@@ -47,7 +47,7 @@ class RunConfig:
     drain_caches: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class JobRecord:
     """What one executed job attempt did, for timelines and reports."""
 
@@ -245,7 +245,7 @@ def execute_job(
 
 def _read_with_miss(sim, node, fs, job, miss: float):
     """Read inputs at an explicit miss ratio (bypasses the cache model)."""
-    from repro.sim import AllOf
+    from repro.sim import JoinEvent
 
     local = 0.0
     remote: dict = {}
@@ -256,17 +256,26 @@ def _read_with_miss(sim, node, fs, job, miss: float):
             local += nbytes
         else:
             remote[home] = remote.get(home, 0.0) + nbytes
-    events = []
+    if not remote:
+        if local > 0:
+            fs.bytes_read += local
+            yield node.disk.read.transfer(local)
+        return
+    join = JoinEvent(sim, (1 if local > 0 else 0) + 3 * len(remote))
     if local > 0:
         fs.bytes_read += local
-        events.append(node.disk.read.transfer(local))
+        node.disk.read.transfer_into(local, join)
+    sizes = []
     for home, nbytes in remote.items():
         fs.bytes_read += nbytes
-        events.append(home.disk.read.transfer(nbytes))
-        events.append(home.nic_out.transfer(nbytes))
-        events.append(node.nic_in.transfer(nbytes))
-    if events:
-        yield AllOf(sim, events) if len(events) > 1 else events[0]
+        home.disk.read.transfer_into(nbytes, join)
+        home.nic_out.transfer_into(nbytes, join)
+        sizes.append(nbytes)
+    if len(sizes) == 1:
+        node.nic_in.transfer_into(sizes[0], join)
+    else:
+        node.nic_in.transfer_many(sizes, join)
+    yield join
 
 
 class EngineBase:

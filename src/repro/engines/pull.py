@@ -487,6 +487,9 @@ class PullEngine(EngineBase):
             )
             state.arrival = sim.now
             state.deadline_factor = timeout_factor
+            # Only the repriority aging term reads queue ages; skip the
+            # per-dispatch bookkeeping on plain runs.
+            state.track_queue_age = repriority is not None
             states[wf.name] = state
             spans.setdefault(wf.name, (sim.now, float("nan")))
             for job_id in state.initial_ready():
@@ -1083,11 +1086,13 @@ class PullEngine(EngineBase):
             states.clear()
             for name in sorted(snaps):
                 if name in wf_by_name:
-                    states[name] = WorkflowState.restore(
+                    restored = WorkflowState.restore(
                         wf_by_name[name], snaps[name],
                         wf_timeouts.get(name, cfg.default_timeout),
                         retry_policy,
                     )
+                    restored.track_queue_age = repriority is not None
+                    states[name] = restored
             # ...and re-admit workflows submitted after that checkpoint
             # (at-least-once execution; settlement stays exactly-once
             # because the state machine absorbs duplicate acks).  In
@@ -1106,11 +1111,13 @@ class PullEngine(EngineBase):
                         if service is not None else ("", "")
                     )
                     jlog("submit", wf.name, detail=f"jobs={len(wf.jobs)}")
-                    states[wf.name] = WorkflowState(
+                    readmit = WorkflowState(
                         wf, wf_timeouts.get(wf.name, cfg.default_timeout),
                         validate=False, retry=retry_policy,
                         tenant=tenant, sla=sla,
                     )
+                    readmit.track_queue_age = repriority is not None
+                    states[wf.name] = readmit
                     spans.setdefault(wf.name, (sim.now, float("nan")))
                     readmitted.add(wf.name)
             # Rebuild the dead-letter ledger and settlement bookkeeping

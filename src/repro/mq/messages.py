@@ -37,7 +37,7 @@ class AckKind(Enum):
     FAILED = "failed"        # job raised; master decides on retry
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WorkflowSubmission:
     """Submission application -> master: meta data about the workflow
     ("the name of the workflow, as well as the path to the related folder
@@ -54,7 +54,7 @@ class WorkflowSubmission:
     sla: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JobDispatch:
     """Master -> workers: meta data about one eligible job ("the location
     of the binary executable with input and output parameters", §III.C).
@@ -73,7 +73,7 @@ class JobDispatch:
     job: Optional["Job"] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JobAck:
     """Worker -> master: job status transition."""
 
@@ -85,7 +85,7 @@ class JobAck:
     error: Optional[str] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PriorityUpdate:
     """Master -> broker: retag queued dispatches of a topic.
 
@@ -102,7 +102,7 @@ class PriorityUpdate:
     priority: float = 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WorkerHeartbeat:
     """Worker -> master: lease renewal.
 

@@ -7,6 +7,12 @@ parallel — :func:`run_many` shards the runs across worker processes and
 merges the results in canonical submission order, producing output
 byte-identical to the serial :func:`run_serial` path.
 
+One *giant* ensemble shards the same way: :func:`run_sharded` splits a
+single run into per-member-group shards (disjoint sub-clusters, paper
+§V), executes them serially or across a pool, and merges the per-shard
+digests with :func:`merge_digests` into one result byte-identical to the
+:func:`run_sharded_serial` reference.
+
 See docs/PERFORMANCE.md for the execution model and determinism
 contract; :mod:`repro.parallel.bench` holds the ``repro-bench`` kernel
 benchmark harness.
@@ -17,8 +23,12 @@ from repro.parallel.runner import (
     RunSpec,
     digest_result,
     execute_spec,
+    merge_digests,
     run_many,
     run_serial,
+    run_sharded,
+    run_sharded_serial,
+    shard_ensemble,
 )
 
 __all__ = [
@@ -26,6 +36,10 @@ __all__ = [
     "RunSpec",
     "digest_result",
     "execute_spec",
+    "merge_digests",
     "run_many",
     "run_serial",
+    "run_sharded",
+    "run_sharded_serial",
+    "shard_ensemble",
 ]

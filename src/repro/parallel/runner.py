@@ -19,8 +19,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
@@ -30,6 +31,10 @@ __all__ = [
     "execute_spec",
     "run_serial",
     "run_many",
+    "shard_ensemble",
+    "merge_digests",
+    "run_sharded",
+    "run_sharded_serial",
 ]
 
 
@@ -198,3 +203,136 @@ def run_many(
         # Executor.map preserves input order while letting runs complete
         # out of order — the canonical-order merge is the iteration.
         return list(pool.map(execute_spec, specs, chunksize=chunksize))
+
+
+# -- single-ensemble sharding ------------------------------------------------
+#
+# A sweep shards *across* specs; the paper-scale figures need to shard
+# *within* one giant run: hundreds of ensemble members on a matching
+# fleet of sub-clusters (paper §V: each member group gets its own
+# provisioned slice, members in different slices never share a node or a
+# link).  That independence is what makes member sharding exact: the
+# giant run *is* the union of its shard runs, so executing the shards in
+# one process or across a pool must — and does — merge to the same
+# digest byte for byte.
+
+
+def shard_ensemble(spec: RunSpec, shards: int) -> List[RunSpec]:
+    """Split one giant ensemble run into per-member-group shard specs.
+
+    ``shards`` must divide both ``spec.workflows`` and ``spec.nodes`` so
+    every shard simulates the same members-per-nodes ratio.  The
+    filesystem default is resolved *before* splitting: a 25-node shared-fs
+    run must not silently turn into local-fs shards when the per-shard
+    node count reaches 1.
+    """
+    if shards <= 0:
+        raise ValueError(f"shards must be positive: {shards!r}")
+    if spec.workflows % shards or spec.nodes % shards:
+        raise ValueError(
+            f"shards={shards} must divide workflows={spec.workflows} "
+            f"and nodes={spec.nodes}"
+        )
+    fs = spec.filesystem or ("local" if spec.nodes == 1 else "moosefs")
+    title = spec.title()
+    return [
+        replace(
+            spec,
+            workflows=spec.workflows // shards,
+            nodes=spec.nodes // shards,
+            filesystem=fs,
+            label=f"{title}#s{i:02d}",
+        )
+        for i in range(shards)
+    ]
+
+
+def merge_digests(label: str, digests: Sequence[RunDigest]) -> RunDigest:
+    """Merge per-shard digests into one ensemble-level :class:`RunDigest`.
+
+    Scalars sum; the makespan is the max (shards run concurrently in
+    simulated time on disjoint sub-clusters); spans are namespaced by
+    shard index so relabelled members from different shards cannot
+    collide.  The fingerprint hashes the ordered shard fingerprints, so
+    the merged digest is byte-identical iff every shard is.
+    """
+    if not digests:
+        raise ValueError("merge_digests needs at least one shard digest")
+    n_workflows = sum(d.n_workflows for d in digests)
+    spans = tuple(
+        (f"s{i:02d}/{name}", start, end)
+        for i, d in enumerate(digests)
+        for name, start, end in d.workflow_spans
+    )
+    fingerprint = hashlib.sha256(
+        json.dumps(
+            {"shards": [d.fingerprint for d in digests]},
+            sort_keys=True, separators=(",", ":"),
+        ).encode()
+    ).hexdigest()
+    return RunDigest(
+        label=label,
+        engine=digests[0].engine,
+        n_workflows=n_workflows,
+        jobs_executed=sum(d.jobs_executed for d in digests),
+        makespan=max(d.makespan for d in digests),
+        mean_workflow_makespan=(
+            sum(d.mean_workflow_makespan * d.n_workflows for d in digests)
+            / n_workflows
+            if n_workflows
+            else 0.0
+        ),
+        cpu_seconds=sum(d.cpu_seconds for d in digests),
+        bytes_read=sum(d.bytes_read for d in digests),
+        bytes_written=sum(d.bytes_written for d in digests),
+        resubmissions=sum(d.resubmissions for d in digests),
+        cost_usd=sum(d.cost_usd for d in digests),
+        events_scheduled=sum(d.events_scheduled for d in digests),
+        fingerprint=fingerprint,
+        workflow_spans=spans,
+    )
+
+
+def run_sharded_serial(spec: RunSpec, shards: int) -> RunDigest:
+    """Reference path: execute every shard serially, then merge."""
+    return merge_digests(spec.title(), run_serial(shard_ensemble(spec, shards)))
+
+
+def run_sharded(
+    spec: RunSpec,
+    shards: int,
+    workers: int = 0,
+    dedupe: bool = True,
+) -> RunDigest:
+    """Execute one giant ensemble as member shards; merge to one digest.
+
+    ``workers`` defaults to (and is always capped at) ``cpu_count`` — a
+    pool wider than the machine only adds scheduling noise.  With
+    ``dedupe`` on, structurally identical shards (same spec up to the
+    label — the common case for a replicated ensemble) execute once and
+    the digest is reused, which is exact because ``execute_spec`` is
+    deterministic (pinned by the fast-path regression tests).
+    """
+    shard_specs = shard_ensemble(spec, shards)
+    cpus = os.cpu_count() or 1
+    workers = min(workers if workers > 0 else cpus, cpus)
+    canon = [replace(s, label="") for s in shard_specs]
+    if dedupe:
+        unique: List[RunSpec] = []
+        index_of: Dict[RunSpec, int] = {}
+        for key in canon:
+            if key not in index_of:
+                index_of[key] = len(unique)
+                unique.append(key)
+    else:
+        unique = canon
+        index_of = {}  # positional 1:1 mapping below
+    results = run_many(unique, workers=workers)
+    digests = [
+        replace(
+            results[index_of[key] if dedupe else i],
+            label=shard_specs[i].label,
+        )
+        for i, key in enumerate(canon)
+    ]
+    return merge_digests(spec.title(), digests)

@@ -14,6 +14,7 @@ from repro.sim.engine import (
     AnyOf,
     Event,
     Interrupt,
+    JoinEvent,
     Process,
     SimulationError,
     Simulator,
@@ -35,6 +36,7 @@ __all__ = [
     "FairShareLink",
     "FifoStore",
     "Interrupt",
+    "JoinEvent",
     "PriorityStore",
     "Process",
     "SegmentLog",

@@ -317,7 +317,10 @@ class FairShareLink:
         )
         while heap and heap[0][0] <= self._v + tol:
             _v_target, _seq, event = heapq.heappop(heap)
-            event.succeed()
+            # _complete is succeed() for plain events and arrive() for
+            # JoinEvents, so batched storage fan-outs finish without an
+            # intermediate event per stream.
+            event._complete()
             fired += 1
         self._n -= fired
         if self._n == 0:
@@ -364,6 +367,64 @@ class FairShareLink:
             san.check_link(self)
         self._reschedule()
         return event
+
+    def transfer_into(self, nbytes: float, event: Event) -> None:
+        """Start a stream whose completion *arrives into* ``event``.
+
+        ``event`` is normally a :class:`~repro.sim.engine.JoinEvent`
+        counting several streams (its ``_complete`` is ``arrive``); the
+        stream completes without allocating a per-stream event or an
+        agenda entry.  A zero-byte stream arrives immediately.
+        """
+        if nbytes <= 0:
+            if nbytes < 0:
+                raise ValueError(f"negative transfer size: {nbytes}")
+            event._complete()
+            return
+        self._advance()
+        if self._n == 0:
+            self.log.record(self.sim.now, self.capacity)
+        self._seq += 1
+        heapq.heappush(self._heap, (self._v + nbytes, self._seq, event))
+        self._n += 1
+        san = _sanitizer._ACTIVE
+        if san is not None:
+            san.check_link(self)
+        self._reschedule()
+
+    def transfer_many(self, sizes, event: Event) -> None:
+        """Start one stream per entry of ``sizes``, all arriving into
+        ``event``, with a *single* bandwidth re-partition for the batch.
+
+        N same-instant starts on one link cost one ``_advance`` / log
+        record / sanitizer check / wake-up reschedule instead of N —
+        the streams are admitted at the same virtual time either way, so
+        the heap ends up byte-identical to N ``transfer_into`` calls.
+        """
+        self._advance()
+        v = self._v
+        heap = self._heap
+        seq = self._seq
+        started = 0
+        for nbytes in sizes:
+            if nbytes <= 0:
+                if nbytes < 0:
+                    raise ValueError(f"negative transfer size: {nbytes}")
+                event._complete()
+                continue
+            seq += 1
+            heapq.heappush(heap, (v + nbytes, seq, event))
+            started += 1
+        self._seq = seq
+        if started == 0:
+            return
+        if self._n == 0:
+            self.log.record(self.sim.now, self.capacity)
+        self._n += started
+        san = _sanitizer._ACTIVE
+        if san is not None:
+            san.check_link(self)
+        self._reschedule()
 
 
 class FifoStore:
@@ -436,6 +497,33 @@ class FifoStore:
         return True
 
 
+class _PriorityEntry:
+    """One queued :class:`PriorityStore` item.
+
+    Slotted and mutable: ``reprioritize`` flips ``alive`` in place (lazy
+    deletion) and re-publishes under the same ``seq``.  Heap order is
+    ``(neg_priority, seq)``; ``seq`` is unique so comparison never falls
+    through to the payload.
+    """
+
+    __slots__ = ("neg_priority", "seq", "item", "meta", "alive")
+
+    def __init__(self, neg_priority: float, seq: int, item: Any, meta: Any):
+        self.neg_priority = neg_priority
+        self.seq = seq
+        self.item = item
+        self.meta = meta
+        self.alive = True
+
+    def __lt__(self, other: "_PriorityEntry") -> bool:
+        if self.neg_priority != other.neg_priority:
+            return self.neg_priority < other.neg_priority
+        return self.seq < other.seq
+
+    def key(self) -> Tuple[float, int]:
+        return (self.neg_priority, self.seq)
+
+
 class PriorityStore:
     """Priority hand-off queue with a deterministic FIFO tie-break.
 
@@ -445,13 +533,18 @@ class PriorityStore:
     ``put``/``reprioritize`` history — no ties, no hash order, no
     identity comparisons).
 
-    The default-priority hot path stays O(1): priority-0 entries live in
-    a plain deque and only non-zero priorities touch the heap, so a
-    workload that never sets a priority pays deque costs identical to
-    :class:`FifoStore`.  ``reprioritize`` retags queued entries in place
-    (lazy deletion + re-push under the *same* sequence number, so a
-    reprioritized message keeps its arrival order within its new
-    priority level).
+    The default-priority hot path stays O(1) *and allocation-free*: the
+    store starts in a plain mode where the FIFO lane holds raw items —
+    no entry record, no sequence stamp, no heap — so a workload that
+    never sets a priority pays deque costs identical to
+    :class:`FifoStore` (the fast-path microbench pins parity within
+    10%).  The first prioritized/metadata put, ``reprioritize``,
+    ``remove`` or ``snapshot`` materializes the queued items into
+    :class:`_PriorityEntry` records (arrival order preserved) and the
+    store stays in entry mode from then on.  ``reprioritize`` retags
+    queued entries in place (lazy deletion + re-push under the *same*
+    sequence number, so a reprioritized message keeps its arrival order
+    within its new priority level).
 
     Each entry may carry an opaque ``meta`` value (the simulated broker
     stores its ``(klass, tag)`` shedding attribution there), which keeps
@@ -459,38 +552,51 @@ class PriorityStore:
     can desync.
     """
 
-    __slots__ = ("sim", "_fifo", "_heap", "_getters", "_seq", "_live", "_dead")
-
-    #: Entry layout: ``[-priority, seq, item, meta, alive]``.  Lists (not
-    #: tuples) so reprioritize can flip ``alive`` in place; the heap only
-    #: ever compares ``(-priority, seq)`` because ``seq`` is unique.
-    _NEG_PRIORITY, _SEQ, _ITEM, _META, _ALIVE = range(5)
+    __slots__ = (
+        "sim", "_fifo", "_heap", "_getters", "_seq", "_live", "_dead", "_plain"
+    )
 
     def __init__(self, sim: Simulator):
         self.sim = sim
-        self._fifo: Deque[list] = deque()  # priority == 0.0 entries
-        self._heap: List[list] = []  # everything else (lazy deletion)
+        #: Plain mode: raw items.  Entry mode: ``_PriorityEntry`` records.
+        self._fifo: Deque[Any] = deque()  # priority == 0.0 lane
+        self._heap: List[_PriorityEntry] = []  # everything else (lazy deletion)
         self._getters: Deque[Event] = deque()
         self._seq = 0
-        self._live = 0
+        self._live = 0  # entry mode only; plain mode uses len(_fifo)
         self._dead = 0
+        self._plain = True
 
     def __len__(self) -> int:
-        return self._live
+        return len(self._fifo) if self._plain else self._live
 
-    def _pop_entry(self) -> Optional[list]:
+    def _materialize(self) -> None:
+        """Switch (permanently) from raw items to entry records.
+
+        Seqs are assigned in deque order — exactly arrival order, since
+        plain mode implies no other entry exists anywhere yet."""
+        if not self._plain:
+            return
+        self._plain = False
+        entries: Deque[_PriorityEntry] = deque()
+        for item in self._fifo:
+            self._seq += 1
+            entries.append(_PriorityEntry(0.0, self._seq, item, None))
+        self._live = len(entries)
+        self._fifo = entries
+
+    def _pop_entry(self) -> Optional[_PriorityEntry]:
         """Remove and return the live entry with the best (priority, seq)
         key, or ``None`` when empty."""
         fifo, heap = self._fifo, self._heap
-        while fifo and not fifo[0][4]:
+        while fifo and not fifo[0].alive:
             fifo.popleft()
             self._dead -= 1
-        while heap and not heap[0][4]:
+        while heap and not heap[0].alive:
             heapq.heappop(heap)
             self._dead -= 1
         if fifo and heap:
-            head = heap[0]
-            if (head[0], head[1]) < (fifo[0][0], fifo[0][1]):
+            if heap[0] < fifo[0]:
                 entry = heapq.heappop(heap)
             else:
                 entry = fifo.popleft()
@@ -500,7 +606,7 @@ class PriorityStore:
             entry = heapq.heappop(heap)
         else:
             return None
-        entry[4] = False
+        entry.alive = False
         self._live -= 1
         return entry
 
@@ -517,8 +623,13 @@ class PriorityStore:
                 continue  # cancelled getter
             getter.succeed(item)
             return
+        if self._plain:
+            if meta is None and priority == 0.0:
+                self._fifo.append(item)  # allocation-free fast path
+                return
+            self._materialize()
         self._seq += 1
-        entry = [-priority, self._seq, item, meta, True]
+        entry = _PriorityEntry(-priority, self._seq, item, meta)
         self._live += 1
         if priority == 0.0:
             self._fifo.append(entry)
@@ -528,47 +639,60 @@ class PriorityStore:
     def get(self) -> Event:
         """Return an event that fires with the next available item."""
         event = Event(self.sim)
+        if self._plain:
+            if self._fifo:
+                event.succeed(self._fifo.popleft())
+            else:
+                self._getters.append(event)
+            return event
         entry = self._pop_entry()
         if entry is not None:
-            event.succeed(entry[2])
+            event.succeed(entry.item)
         else:
             self._getters.append(event)
         return event
 
     def pop_nowait(self) -> Any:
         """Remove and return the next item, or ``None`` when empty."""
+        if self._plain:
+            fifo = self._fifo
+            return fifo.popleft() if fifo else None
         entry = self._pop_entry()
-        return None if entry is None else entry[2]
+        return None if entry is None else entry.item
 
     def peek_all(self) -> List[Any]:
         """The queued items in consumption order, without removing them."""
-        return [entry[2] for entry in self._ordered_live()]
+        if self._plain:
+            return list(self._fifo)
+        return [entry.item for entry in self._ordered_live()]
 
     def snapshot(self) -> List[Tuple[int, Any, Any]]:
         """Live ``(seq, item, meta)`` triples in consumption order."""
-        return [(e[1], e[2], e[3]) for e in self._ordered_live()]
+        self._materialize()
+        return [(e.seq, e.item, e.meta) for e in self._ordered_live()]
 
-    def _ordered_live(self) -> List[list]:
-        live = [e for e in self._fifo if e[4]]
-        live.extend(e for e in self._heap if e[4])
-        live.sort(key=lambda e: (e[0], e[1]))
+    def _ordered_live(self) -> List[_PriorityEntry]:
+        live = [e for e in self._fifo if e.alive]
+        live.extend(e for e in self._heap if e.alive)
+        live.sort(key=_PriorityEntry.key)
         return live
 
     def remove(self, seq: int) -> bool:
         """Mark the live entry with sequence number ``seq`` dead (it will
         never be consumed).  O(n); used only on rare eviction paths."""
+        self._materialize()
         for entry in self._fifo:
-            if entry[1] == seq and entry[4]:
+            if entry.seq == seq and entry.alive:
                 self._kill(entry)
                 return True
         for entry in self._heap:
-            if entry[1] == seq and entry[4]:
+            if entry.seq == seq and entry.alive:
                 self._kill(entry)
                 return True
         return False
 
-    def _kill(self, entry: list) -> None:
-        entry[4] = False
+    def _kill(self, entry: _PriorityEntry) -> None:
+        entry.alive = False
         self._live -= 1
         self._dead += 1
         self._maybe_compact()
@@ -578,12 +702,19 @@ class PriorityStore:
         true with ``priority``, preserving each entry's original sequence
         number (so arrival order still breaks ties at the new level).
         Returns the number of entries retagged."""
-        moved: List[list] = []
+        self._materialize()
+        moved: List[_PriorityEntry] = []
         for entry in list(self._fifo) + self._heap:
-            if entry[4] and -entry[0] != priority and selector(entry[2], entry[3]):
-                entry[4] = False
+            if (
+                entry.alive
+                and -entry.neg_priority != priority
+                and selector(entry.item, entry.meta)
+            ):
+                entry.alive = False
                 self._dead += 1
-                moved.append([-priority, entry[1], entry[2], entry[3], True])
+                moved.append(
+                    _PriorityEntry(-priority, entry.seq, entry.item, entry.meta)
+                )
         for entry in moved:
             heapq.heappush(self._heap, entry)
         self._maybe_compact()
@@ -594,8 +725,8 @@ class PriorityStore:
         garbage a reprioritize-heavy run can accumulate)."""
         if self._dead <= 64 or self._dead <= self._live:
             return
-        self._fifo = deque(e for e in self._fifo if e[4])
-        self._heap = [e for e in self._heap if e[4]]
+        self._fifo = deque(e for e in self._fifo if e.alive)
+        self._heap = [e for e in self._heap if e.alive]
         heapq.heapify(self._heap)
         self._dead = 0
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, List, Sequence
 
-from repro.sim import AllOf, Event, Simulator
+from repro.sim import AllOf, Event, JoinEvent, Simulator
 from repro.storage.cache import read_miss_ratio
 from repro.workflow.dag import DataFile, Workflow
 
@@ -176,20 +176,31 @@ class SharedFileSystem:
                 else:
                     remote[home] = remote.get(home, 0.0) + nbytes
                     self.remote_reads += 1
-        events: List[Event] = []
+        if not remote:
+            if local > 0:
+                self.bytes_read += local
+                return node.disk.read.transfer(local)
+            return self._noop
+        # Fan-out: each remote home contributes three parallel streams
+        # (home disk read, home NIC egress, reader NIC ingress).  All
+        # streams arrive into one counting barrier — no per-stream events,
+        # no AllOf — and the reader's NIC admits its per-home streams as
+        # one batch (one bandwidth re-partition instead of one per home).
+        join = JoinEvent(self.sim, (1 if local > 0 else 0) + 3 * len(remote))
         if local > 0:
             self.bytes_read += local
-            events.append(node.disk.read.transfer(local))
+            node.disk.read.transfer_into(local, join)
+        sizes: List[float] = []
         for home, nbytes in remote.items():
             self.bytes_read += nbytes
-            events.append(home.disk.read.transfer(nbytes))
-            events.append(home.nic_out.transfer(nbytes))
-            events.append(node.nic_in.transfer(nbytes))
-        if not events:
-            return self._noop
-        if len(events) == 1:
-            return events[0]
-        return AllOf(self.sim, events)
+            home.disk.read.transfer_into(nbytes, join)
+            home.nic_out.transfer_into(nbytes, join)
+            sizes.append(nbytes)
+        if len(sizes) == 1:
+            node.nic_in.transfer_into(sizes[0], join)
+        else:
+            node.nic_in.transfer_many(sizes, join)
+        return join
 
     def write(self, node, files: Sequence[DataFile], owner: str = "") -> Event:
         """Write ``files`` from ``node``; fires when buffered (write-back).
@@ -229,13 +240,14 @@ class SharedFileSystem:
             routes[(node.disk.write,)] = total
         if not routes:
             return self._noop
-        events: List[Event] = [
-            node.write_cache.write(nbytes, links)
-            for links, nbytes in routes.items()
-        ]
-        if len(events) == 1:
-            return events[0]
-        return AllOf(self.sim, events)
+        if len(routes) == 1:
+            links, nbytes = next(iter(routes.items()))
+            return node.write_cache.write(nbytes, links)
+        join = JoinEvent(self.sim, len(routes))
+        write_into = node.write_cache.write_into
+        for links, nbytes in routes.items():
+            write_into(nbytes, links, join)
+        return join
 
     def drained(self) -> Event:
         """Fires when every node's write-back cache is empty."""

@@ -24,7 +24,7 @@ from collections import deque
 from typing import Deque, List, Tuple
 
 import repro.analysis.sanitizer as _sanitizer
-from repro.sim import AllOf, Event, FairShareLink, Simulator
+from repro.sim import Event, FairShareLink, JoinEvent, Simulator
 
 __all__ = ["WriteBackCache", "read_miss_ratio"]
 
@@ -108,6 +108,32 @@ class WriteBackCache:
         self._ensure_flusher()
         return event
 
+    def write_into(self, nbytes: float, links: Tuple[FairShareLink, ...],
+                   event: Event) -> None:
+        """Buffer ``nbytes`` arriving into ``event`` when buffered.
+
+        ``event`` is normally a :class:`~repro.sim.engine.JoinEvent`
+        counting one arrival per route of a multi-route write, so a
+        fan-out write allocates one event total instead of one per route
+        plus an ``AllOf``.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative write size: {nbytes}")
+        if nbytes == 0:
+            event._complete()
+            return
+        self.bytes_written += nbytes
+        if self._stalled or self.dirty + nbytes > self.capacity:
+            self._stalled.append((event, nbytes, links))
+        else:
+            self.dirty += nbytes
+            self._queue.append((nbytes, links))
+            event._complete()
+        san = _sanitizer._ACTIVE
+        if san is not None:
+            san.check_cache(self)
+        self._ensure_flusher()
+
     def drained(self) -> Event:
         """Event that fires when every buffered byte has hit the device."""
         event = Event(self.sim)
@@ -137,7 +163,7 @@ class WriteBackCache:
             self._stalled.popleft()
             self.dirty += nbytes
             self._queue.append((nbytes, links))
-            event.succeed()
+            event._complete()  # succeed() for write(), arrive() for write_into()
 
     def _flush_loop(self):
         sim = self.sim
@@ -177,7 +203,10 @@ class WriteBackCache:
                     if len(links) == 1:
                         yield links[0].transfer(burst)
                     else:
-                        yield AllOf(sim, [link.transfer(burst) for link in links])
+                        join = JoinEvent(sim, len(links))
+                        for link in links:
+                            link.transfer_into(burst, join)
+                        yield join
                     remaining -= burst
                     self.dirty -= burst
                     self.bytes_flushed += burst

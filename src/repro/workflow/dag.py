@@ -12,9 +12,10 @@ use ``__slots__`` and plain lists to keep per-object overhead small.
 
 from __future__ import annotations
 
+from array import array
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
-__all__ = ["DataFile", "Job", "Workflow", "WorkflowSkeleton"]
+__all__ = ["DataFile", "Job", "SkeletonArena", "Workflow", "WorkflowSkeleton"]
 
 
 class DataFile:
@@ -125,6 +126,56 @@ class Job:
         return f"Job({self.id!r}, {self.task_type}, {self.runtime:.2f}s)"
 
 
+class SkeletonArena:
+    """Integer-indexed views of a skeleton for arena-backed run state.
+
+    Job ids are interned into dense indices (jobs-table insertion order,
+    which is also the ``initial_pending`` iteration order every dict-era
+    consumer observed), and the structural facts the state machine needs
+    per job — dependency counts, child lists, timeout and attempt-budget
+    overrides — become flat C arrays / tuples of ints.  Like the skeleton
+    itself this is immutable, built once, and shared by every relabelled
+    ensemble member; per-member *mutable* arrays are copied out of it by
+    :class:`~repro.dewe.state.WorkflowState`.
+    """
+
+    __slots__ = (
+        "n", "job_ids", "index_of", "children", "initial_pending",
+        "root_indices", "timeouts", "max_attempts",
+    )
+
+    def __init__(self, skeleton: "WorkflowSkeleton"):
+        jobs = skeleton.jobs
+        job_ids = tuple(jobs)
+        index_of = {job_id: i for i, job_id in enumerate(job_ids)}
+        self.n = len(job_ids)
+        self.job_ids = job_ids
+        self.index_of = index_of
+        self.children: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(index_of[c] for c in job.children) for job in jobs.values()
+        )
+        self.initial_pending = array(
+            "i", (len(job.parents) for job in jobs.values())
+        )
+        self.root_indices: Tuple[int, ...] = tuple(
+            index_of[r] for r in skeleton.roots
+        )
+        #: Per-job timeout override; <= 0 means "use the run default"
+        #: (mirrors the ``job.timeout or default`` truthiness rule).
+        self.timeouts = array(
+            "d", (job.timeout if job.timeout else -1.0 for job in jobs.values())
+        )
+        #: Per-job attempt-budget override; -1 means "no override, use the
+        #: retry policy" (``None`` in the Job object), 0 means unlimited.
+        self.max_attempts = array(
+            "i",
+            (
+                -1 if job.max_attempts is None else job.max_attempts
+                for job in jobs.values()
+            ),
+        )
+
+
 class WorkflowSkeleton:
     """Derived views of a workflow's immutable structure, built once.
 
@@ -142,6 +193,7 @@ class WorkflowSkeleton:
 
     __slots__ = (
         "jobs", "initial_pending", "roots", "files", "producer_of", "_cp",
+        "_arena",
     )
 
     def __init__(self, jobs: Dict[str, Job]):
@@ -167,6 +219,16 @@ class WorkflowSkeleton:
         #: Lazy critical-path cache (a pure function of the structure,
         #: like everything else here — shared by every ensemble member).
         self._cp: Optional[Dict[str, float]] = None
+        #: Lazy arena index (int job indices + flat structural arrays),
+        #: likewise shared by every ensemble member.
+        self._arena: Optional[SkeletonArena] = None
+
+    def arena(self) -> SkeletonArena:
+        """The interned integer-index arena (cached; shared by relabels)."""
+        arena = self._arena
+        if arena is None:
+            arena = self._arena = SkeletonArena(self)
+        return arena
 
     def critical_path(self) -> Dict[str, float]:
         """``job id -> critical-path seconds`` remaining at that job.

@@ -1,0 +1,188 @@
+"""Timer-wheel agenda: ordering must be byte-identical to the pure heap.
+
+The wheel (docs/PERFORMANCE.md) is a throughput device only: O(1) bucket
+appends plus one C-speed sort per bucket instead of two O(log n) heap
+operations per timer.  These tests drive randomized and adversarial
+timer workloads through a wheel-enabled and a wheel-disabled simulator
+and require the *exact* same dispatch sequence — same times, same
+relative order within an instant — including the edge cases the boundary
+invariant has to get right: ties on the bucket edge, far-future heap
+fallback, timers scheduled into an already-flushed bucket, lazy
+cancellation, and ``run(until=...)`` push-back.
+"""
+
+import random
+
+import pytest
+
+from repro.sim import Event, Simulator
+
+
+def _trace_of(sim, schedule):
+    """Run ``schedule(sim, log)`` to completion and return the log."""
+    log = []
+    sim.process(schedule(sim, log))
+    sim.run()
+    return log
+
+
+def _pair(**kwargs):
+    """A wheel-enabled and a wheel-disabled simulator."""
+    return Simulator(**kwargs), Simulator(wheel_slots=0)
+
+
+def _random_burst(seed, n=400):
+    """A process scheduling a dense mix of short/long/tied timers."""
+
+    def schedule(sim, log):
+        rng = random.Random(seed)
+        pending = []
+        for i in range(n):
+            roll = rng.random()
+            if roll < 0.5:
+                delay = rng.uniform(0.0, 8.0)  # in-wheel
+            elif roll < 0.8:
+                delay = rng.choice([1.0, 2.0, 2.0, 4.0])  # heavy ties
+            else:
+                delay = rng.uniform(300.0, 5000.0)  # beyond the horizon
+            timeout = sim.timeout(delay, value=i)
+            timeout.callbacks.append(
+                lambda ev, i=i: log.append((sim.now, i))
+            )
+            pending.append(timeout)
+            if roll > 0.95 and pending:
+                pending.pop(rng.randrange(len(pending))).cancel()
+            if roll > 0.9:
+                # Advance the clock mid-burst so later timers land in
+                # buckets behind the flush cursor (heap fallback path).
+                yield sim.timeout(rng.uniform(0.1, 3.0))
+        if False:
+            yield  # pragma: no cover - generator marker
+
+    return schedule
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42])
+def test_wheel_matches_heap_on_random_workload(seed):
+    wheel, heap_only = _pair()
+    a = _trace_of(wheel, _random_burst(seed))
+    b = _trace_of(heap_only, _random_burst(seed))
+    assert a == b
+    assert len(a) > 300  # cancelled timers aside, the burst dispatched
+
+
+def test_wheel_matches_heap_with_tiny_buckets():
+    # granularity 0.25 s exercises many bucket boundaries per burst
+    wheel = Simulator(wheel_slots=16, wheel_granularity=0.25)
+    heap_only = Simulator(wheel_slots=0)
+    a = _trace_of(wheel, _random_burst(3))
+    b = _trace_of(heap_only, _random_burst(3))
+    assert a == b
+
+
+def test_same_instant_ties_break_by_schedule_order():
+    sim = Simulator(wheel_slots=8, wheel_granularity=1.0)
+    log = []
+    # Three timers at the same instant, scheduled in a known order, one
+    # landing exactly on a bucket edge.
+    for tag in "abc":
+        t = sim.timeout(2.0)
+        t.callbacks.append(lambda ev, tag=tag: log.append(tag))
+    edge = sim.timeout(1.0)  # exactly on the slot-1/slot-2 boundary
+    edge.callbacks.append(lambda ev: log.append("edge"))
+    sim.run()
+    assert log == ["edge", "a", "b", "c"]
+
+
+def test_succeed_during_bucket_dispatch_runs_after_bucket():
+    # An event succeeded while a bucket drains gets a fresh (larger)
+    # seq, so the rest of the bucket at that instant dispatches first.
+    sim = Simulator(wheel_slots=8)
+    log = []
+    side = Event(sim)
+    side.callbacks.append(lambda ev: log.append("side"))
+    first = sim.timeout(0.5)
+    first.callbacks.append(lambda ev: (log.append("first"), side.succeed()))
+    second = sim.timeout(0.5)
+    second.callbacks.append(lambda ev: log.append("second"))
+    sim.run()
+    assert log == ["first", "second", "side"]
+
+
+def test_far_future_timer_fires_after_wheel_drains():
+    sim = Simulator(wheel_slots=4, wheel_granularity=1.0)  # horizon 4 s
+    log = []
+    far = sim.timeout(1000.0, value="far")
+    far.callbacks.append(lambda ev: log.append((sim.now, "far")))
+    near = sim.timeout(2.0, value="near")
+    near.callbacks.append(lambda ev: log.append((sim.now, "near")))
+    sim.run()
+    assert log == [(2.0, "near"), (1000.0, "far")]
+
+
+def test_timer_into_flushed_bucket_falls_back_to_heap():
+    sim = Simulator(wheel_slots=8, wheel_granularity=1.0)
+    log = []
+
+    def proc(sim, log):
+        yield sim.timeout(5.5)  # cursor now past buckets 0..5
+        short = sim.timeout(0.25)  # lands inside the flushed bucket 5
+        short.callbacks.append(lambda ev: log.append(sim.now))
+        yield sim.timeout(1.0)
+
+    sim.process(proc(sim, log))
+    sim.run()
+    assert log == [5.75]
+
+
+def test_run_until_boundary_pushes_wheel_entry_back():
+    sim = Simulator(wheel_slots=8)
+    log = []
+    t = sim.timeout(3.0)
+    t.callbacks.append(lambda ev: log.append(sim.now))
+    assert sim.run(until=2.0) == 2.0
+    assert log == []
+    assert sim.peek() == 3.0  # entry survived the early stop
+    sim.run()
+    assert log == [3.0]
+
+
+def test_cancelled_wheel_timer_is_skipped():
+    sim = Simulator(wheel_slots=8)
+    log = []
+    doomed = sim.timeout(1.0)
+    doomed.callbacks.append(lambda ev: log.append("doomed"))
+    keeper = sim.timeout(2.0)
+    keeper.callbacks.append(lambda ev: log.append("keeper"))
+    assert doomed.cancel()
+    sim.run()
+    assert log == ["keeper"]
+
+
+def test_peek_sees_wheel_entries():
+    sim = Simulator(wheel_slots=8)
+    assert sim.peek() == float("inf")
+    sim.timeout(2.5)
+    assert sim.peek() == 2.5
+    sim.timeout(1.25)
+    assert sim.peek() == 1.25
+
+
+def test_sanitizer_stepped_run_matches_fast_path():
+    import repro.analysis.sanitizer as sanitizer
+
+    a = _trace_of(Simulator(), _random_burst(11))
+    with sanitizer.enabled(strict=True):
+        b = _trace_of(Simulator(), _random_burst(11))
+    assert a == b
+
+
+def test_granularity_must_be_power_of_two():
+    with pytest.raises(ValueError):
+        Simulator(wheel_granularity=0.1)
+    with pytest.raises(ValueError):
+        Simulator(wheel_granularity=0.0)
+    with pytest.raises(ValueError):
+        Simulator(wheel_slots=-1)
+    Simulator(wheel_granularity=0.5)  # powers of two are fine
+    Simulator(wheel_granularity=4.0)
